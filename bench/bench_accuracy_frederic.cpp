@@ -1,0 +1,88 @@
+// bench_accuracy_frederic — reproduces the Sec. 5.1 accuracy result:
+// "The parallel algorithm obtained the same result as the sequential
+// implementation, with a root-mean-squared error of less than one pixel
+// with respect to the manual estimates" (32 expert-tracked wind barbs).
+//
+// Runs the full stereo pipeline (ASA -> heights -> semi-fluid SMA) on
+// the Frederic analog and evaluates all three execution paths.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/sma.hpp"
+#include "goes/datasets.hpp"
+#include "imaging/convolve.hpp"
+#include "maspar/sma_simd.hpp"
+#include "stereo/asa.hpp"
+
+using namespace sma;
+
+int main() {
+  const int size = 72;
+  const goes::FredericDataset data =
+      goes::make_frederic_analog(size, 31, 2.0);
+
+  // ASA stereo -> smoothed cloud-top heights at both time steps.
+  stereo::AsaOptions sopts;
+  sopts.levels = 3;
+  const stereo::DisparityMap d0 =
+      stereo::asa_disparity(data.left0, data.right0, sopts);
+  const stereo::DisparityMap d1 =
+      stereo::asa_disparity(data.left1, data.right1, sopts);
+  const imaging::ImageF z0 = imaging::gaussian_blur(
+      goes::heights_from_disparity(d0.disparity, data.geometry), 1.0);
+  const imaging::ImageF z1 = imaging::gaussian_blur(
+      goes::heights_from_disparity(d1.disparity, data.geometry), 1.0);
+
+  core::TrackerInput in;
+  in.intensity_before = &data.left0;
+  in.intensity_after = &data.left1;
+  in.surface_before = &z0;
+  in.surface_after = &z1;
+
+  core::SmaConfig cfg = core::frederic_scaled_config();
+  cfg.z_search_radius = 3;
+
+  const core::TrackResult seq =
+      core::track_pair(in, cfg, {.policy = core::ExecutionPolicy::kSequential});
+  const core::TrackResult par =
+      core::track_pair(in, cfg, {.policy = core::ExecutionPolicy::kParallel});
+  maspar::MachineSpec spec;
+  spec.nxproc = 8;
+  spec.nyproc = 8;
+  const maspar::SimdRunReport simd =
+      maspar::MasParExecutor(spec).run(in, cfg, 4);
+
+  const double rms_seq = imaging::rms_endpoint_error(seq.flow, data.tracks);
+  const double rms_par = imaging::rms_endpoint_error(par.flow, data.tracks);
+  const double rms_simd = imaging::rms_endpoint_error(simd.flow, data.tracks);
+
+  bench::header("Sec. 5.1 — accuracy vs 32 manual wind barbs (Frederic, " +
+                std::to_string(size) + "x" + std::to_string(size) + ")");
+  bench::row_header("paper", "this repro");
+  bench::row("RMS vs manual, sequential", "< 1 px",
+             bench::fmt(rms_seq, " px"));
+  bench::row("RMS vs manual, parallel", "same result",
+             bench::fmt(rms_par, " px"));
+  bench::row("RMS vs manual, SIMD executor", "same result",
+             bench::fmt(rms_simd, " px"));
+  bench::row("parallel == sequential", "yes",
+             seq.flow == par.flow ? "yes" : "NO");
+  bench::row("SIMD == sequential", "yes",
+             seq.flow == simd.flow ? "yes" : "NO");
+
+  // Dense-field accuracy against the generator's analytic wind truth —
+  // a check the paper could not run (no dense ground truth for real
+  // clouds), included as an extension.
+  const double rms_dense = imaging::rms_endpoint_error(seq.flow, data.truth,
+                                                       /*margin=*/12);
+  bench::row("dense RMS vs analytic truth", "(n/a)",
+             bench::fmt(rms_dense, " px"));
+  std::printf("\n");
+
+  const bool pass = rms_seq < 1.0 && seq.flow == par.flow &&
+                    seq.flow == simd.flow;
+  std::printf("  overall: %s\n\n", pass ? "PASS (sub-pixel, identical "
+                                          "across execution paths)"
+                                        : "CHECK VALUES ABOVE");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// bench_memory_segmentation — reproduces the Sec. 4.3 analysis: the
+// 64 KB/PE memory ceiling, the 23x23-search example that overflows it
+// (67.7 KB for two floats per precomputed mapping with 16 pixels/PE),
+// and the hypothesis-row segmentation scheme (Z rows per chunk) that
+// trades recomputation for memory while leaving the minimization result
+// unchanged.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/sma.hpp"
+#include "goes/synth.hpp"
+#include "maspar/machine.hpp"
+
+using namespace sma;
+
+int main() {
+  // --- The paper's overflow example.
+  bench::header("Sec. 4.3 — PE memory accounting");
+  const std::uint64_t example =
+      core::PeMemoryModel::mapping_store_bytes(23, 2, 16);
+  bench::row_header("paper", "this model");
+  bench::row("23x23 search, 2 floats, 16 px/PE", "67.7 KB",
+             bench::fmt(example / 1000.0, " KB", 1));
+  bench::row("PE memory budget", "64 KB", "65.5 KB (64 KiB)");
+  bench::row("fits?", "no", example > 64 * 1024 ? "no" : "yes");
+
+  // --- Z sweep at paper geometry: bytes per PE and budget fit.
+  core::PeMemoryModel mem;  // xvr = yvr = 4 (512x512 on 128x128)
+  core::SmaConfig wide = core::frederic_config();
+  wide.z_search_radius = 11;  // the 23x23 example
+  std::printf("\n  segment height Z vs footprint (23x23 search, Frederic "
+              "windows):\n");
+  std::printf("  %-6s %14s %10s\n", "Z", "bytes/PE", "fits 64KB");
+  std::printf("  %-6s %14s %10s\n", "-----", "---------", "---------");
+  for (int z : {1, 2, 4, 8, 16, 23}) {
+    const std::uint64_t b = mem.segmented_bytes(wide, z);
+    std::printf("  %-6d %14llu %10s\n", z,
+                static_cast<unsigned long long>(b),
+                b <= 64 * 1024 ? "yes" : "no");
+  }
+  std::printf("  largest fitting Z: %d (of %d rows)\n",
+              mem.max_segment_rows(wide, 64 * 1024), wide.z_search_size());
+
+  // --- Measured: segmentation changes time, never the answer.
+  const int size = 40;
+  const imaging::ImageF f0 = goes::fractal_clouds(size, size, 3);
+  const goes::WindModel wind = goes::uniform_shear(1.0, 1.0, 0.0);
+  const imaging::ImageF f1 = goes::advect_frame(f0, wind);
+  core::SmaConfig cfg = core::frederic_scaled_config();
+
+  bench::header("Measured Z sweep (scaled run, " + std::to_string(size) +
+                "x" + std::to_string(size) + ")");
+  std::printf("  %-6s %12s %16s %12s\n", "Z", "host (s)", "peak map bytes",
+              "flow equal");
+  std::printf("  %-6s %12s %16s %12s\n", "-----", "--------",
+              "--------------", "----------");
+  cfg.segment_rows = 0;  // unsegmented reference
+  const core::TrackResult ref = core::track_pair_monocular(f0, f1, cfg);
+  for (int z : {1, 2, 3, 5, 7}) {
+    cfg.segment_rows = z == 7 ? 0 : z;
+    const core::TrackResult r = core::track_pair_monocular(f0, f1, cfg);
+    std::printf("  %-6d %12.3f %16llu %12s\n", z, r.timings.total,
+                static_cast<unsigned long long>(r.peak_mapping_bytes),
+                r.flow == ref.flow ? "yes" : "NO — BUG");
+  }
+  std::printf(
+      "\n  smaller Z -> smaller resident cost field at the price of\n"
+      "  rebuilding boundary rows per segment (modest at laptop scale,\n"
+      "  decisive under 64 KB/PE); \"once all the segments are processed,\n"
+      "  the equivalent minimization of (7) is complete\" (Sec. 4.3).\n\n");
+  return 0;
+}

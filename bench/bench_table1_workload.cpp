@@ -1,0 +1,127 @@
+// bench_table1_workload — reproduces Table 1 (Hurricane Frederic
+// neighborhood sizes) and the Sec. 3 computational-burden arithmetic,
+// then microbenchmarks the primitive operations those counts multiply
+// (6x6 Gaussian elimination, patch fit, error-term accumulation) to
+// ground the cost model's flop weights in measured numbers.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/sma.hpp"
+#include "surface/patch_fit.hpp"
+
+namespace {
+
+using namespace sma;
+
+void print_table1() {
+  const core::SmaConfig c = core::frederic_config();
+  const core::Workload w{512, 512, c};
+
+  bench::header(
+      "Table 1 — Frederic neighborhood sizes (M x N = 512 x 512)");
+  bench::row_header();
+  bench::row("Surface-fitting window", "5x5",
+             std::to_string(c.surface_fit_size()) + "x" +
+                 std::to_string(c.surface_fit_size()));
+  bench::row("z-Search area", "13x13",
+             std::to_string(c.z_search_size()) + "x" +
+                 std::to_string(c.z_search_size()));
+  bench::row("z-Template", "121x121",
+             std::to_string(c.z_template_size()) + "x" +
+                 std::to_string(c.z_template_size()));
+  bench::row("Semi-fluid search", "3x3",
+             std::to_string(c.semifluid_search_size()) + "x" +
+                 std::to_string(c.semifluid_search_size()));
+  bench::row("Semi-fluid template", "5x5",
+             std::to_string(c.semifluid_template_size()) + "x" +
+                 std::to_string(c.semifluid_template_size()));
+
+  bench::header("Sec. 3 — computational burden per 512x512 image pair");
+  bench::row_header();
+  bench::row("dense motion field pixels", "262144",
+             bench::fmt_int(static_cast<long long>(w.pixels())));
+  bench::row("Gaussian elims / pixel", "169",
+             bench::fmt_int(
+                 static_cast<long long>(w.eliminations_per_pixel())));
+  bench::row("error terms / hypothesis", "14641",
+             bench::fmt_int(
+                 static_cast<long long>(w.error_terms_per_hypothesis())));
+  bench::row("semi-fluid terms / mapping", "9",
+             bench::fmt_int(static_cast<long long>(
+                 w.semifluid_candidates_per_mapping())));
+  bench::row("Eq.11 params / semi-fluid term", "25",
+             bench::fmt_int(static_cast<long long>(
+                 w.discriminant_terms_per_candidate())));
+  bench::row("patch-fit elims (4 x M x N)", "1048576",
+             bench::fmt_int(
+                 static_cast<long long>(w.patch_fit_eliminations(true))));
+  bench::row("total motion elims", "~44.3M",
+             bench::fmt_int(
+                 static_cast<long long>(w.total_motion_eliminations())));
+  std::printf("\n");
+}
+
+void BM_Solve6(benchmark::State& state) {
+  linalg::Mat6 a;
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      a(r, c) = (r == c) ? 8.0 + r : 0.5 / (1.0 + r + c);
+  linalg::Vec6 b{1, 2, 3, 4, 5, 6};
+  for (auto _ : state) {
+    linalg::Vec6 x;
+    benchmark::DoNotOptimize(linalg::solve6(a, b, x));
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Solve6);
+
+void BM_PatchFit(benchmark::State& state) {
+  const int radius = static_cast<int>(state.range(0));
+  imaging::ImageF img(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      img.at(x, y) = static_cast<float>((x * 31 + y * 17) % 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surface::fit_patch(img, 32, 32, radius));
+  }
+}
+BENCHMARK(BM_PatchFit)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PatchFitCachedInverse(benchmark::State& state) {
+  const int radius = static_cast<int>(state.range(0));
+  const surface::PatchFitter fitter(radius);
+  imaging::ImageF img(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      img.at(x, y) = static_cast<float>((x * 31 + y * 17) % 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fitter.fit(img, 32, 32));
+  }
+}
+BENCHMARK(BM_PatchFitCachedInverse)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ErrorTermRows(benchmark::State& state) {
+  // One Eq. (4)-(5) error-term contribution: the unit the paper counts
+  // 14641 of per hypothesis.
+  imaging::ImageF img(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      img.at(x, y) = static_cast<float>((x * 7 + y * 13) % 23);
+  surface::GeometryOptions gopts;
+  const surface::GeometricField g = surface::compute_geometry(img, gopts);
+  for (auto _ : state) {
+    linalg::NormalEquations6 ne;
+    core::add_normal_rows(g, g, 16, 16, 17, 16, ne);
+    benchmark::DoNotOptimize(ne);
+  }
+}
+BENCHMARK(BM_ErrorTermRows);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

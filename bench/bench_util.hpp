@@ -1,0 +1,45 @@
+// bench_util.hpp — shared formatting helpers for the benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper:
+// it prints the paper's reported values next to this reproduction's
+// modeled (paper-scale) and measured (scaled run) values, so
+// EXPERIMENTS.md can be filled directly from `./bench_* | tee`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sma::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void row(const std::string& label, const std::string& paper,
+                const std::string& repro) {
+  std::printf("  %-34s %16s %18s\n", label.c_str(), paper.c_str(),
+              repro.c_str());
+}
+
+inline void row_header(const std::string& col_paper = "paper",
+                       const std::string& col_repro = "this repro") {
+  std::printf("  %-34s %16s %18s\n", "", col_paper.c_str(), col_repro.c_str());
+  std::printf("  %-34s %16s %18s\n", "----------------------------------",
+              "----------------", "------------------");
+}
+
+inline std::string fmt(double v, const char* unit = "", int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", prec, v, unit);
+  return buf;
+}
+
+inline std::string fmt_int(long long v, const char* unit = "") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld%s", v, unit);
+  return buf;
+}
+
+}  // namespace sma::bench

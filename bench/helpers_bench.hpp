@@ -1,0 +1,19 @@
+// helpers_bench.hpp — small shared utilities for bench harnesses.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace sma::bench {
+
+/// Shifts an image by an integer offset with clamped borders:
+/// features move by (+dx, +dy).
+inline imaging::ImageF shift_clamped(const imaging::ImageF& src, int dx,
+                                     int dy) {
+  imaging::ImageF out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y)
+    for (int x = 0; x < src.width(); ++x)
+      out.at(x, y) = src.at_clamped(x - dx, y - dy);
+  return out;
+}
+
+}  // namespace sma::bench

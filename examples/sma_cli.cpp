@@ -1,0 +1,174 @@
+// sma_cli.cpp — command-line front end for the SMA library.
+//
+// Subcommands:
+//   sma_cli synth  <prefix>                      write a demo cloud pair
+//   sma_cli track  <before.pgm> <after.pgm> <out_flow.txt> [options]
+//   sma_cli stereo <left.pgm> <right.pgm> <out_disparity.pfm> [options]
+//
+// track options:
+//   --model cont|semi      motion model            (default semi)
+//   --search N             z-search radius         (default 3)
+//   --template N           z-template radius       (default 4)
+//   --subpixel             parabolic refinement
+//   --sequential           disable OpenMP
+//   --robust               robust post-processing
+//   --ppm FILE             also write a color-wheel rendering
+// stereo options:
+//   --levels N             pyramid levels          (default 4)
+//   --max-disparity N      coarsest search range   (default 8)
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/sma.hpp"
+#include "goes/synth.hpp"
+#include "imaging/colorize.hpp"
+#include "imaging/io.hpp"
+#include "stereo/asa.hpp"
+#include "stereo/refine.hpp"
+
+namespace {
+
+using namespace sma;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sma_cli synth  <prefix>\n"
+               "  sma_cli track  <before.pgm> <after.pgm> <out_flow.txt>\n"
+               "                 [--model cont|semi] [--search N]\n"
+               "                 [--template N] [--subpixel] [--sequential]\n"
+               "                 [--robust] [--ppm FILE]\n"
+               "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
+               "                 [--levels N] [--max-disparity N]\n");
+  return 2;
+}
+
+int int_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+  return std::atoi(argv[++i]);
+}
+
+int cmd_synth(const std::string& prefix) {
+  const int size = 96;
+  const imaging::ImageF f0 = goes::fractal_clouds(size, size, 7);
+  const goes::WindModel wind =
+      goes::rankine_vortex(size / 2.0, size / 2.0, size / 5.0, 2.0);
+  const imaging::ImageF f1 = goes::advect_frame(f0, wind);
+  imaging::write_pgm(f0, prefix + "_before.pgm");
+  imaging::write_pgm(f1, prefix + "_after.pgm");
+  std::printf("wrote %s_before.pgm and %s_after.pgm (%dx%d, vortex wind)\n",
+              prefix.c_str(), prefix.c_str(), size, size);
+  return 0;
+}
+
+int cmd_track(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const std::string before_path = argv[2];
+  const std::string after_path = argv[3];
+  const std::string out_path = argv[4];
+
+  core::SmaConfig cfg;
+  cfg.model = core::MotionModel::kSemiFluid;
+  cfg.surface_fit_radius = 2;
+  cfg.z_search_radius = 3;
+  cfg.z_template_radius = 4;
+  cfg.semifluid_search_radius = 1;
+  cfg.semifluid_template_radius = 2;
+  core::TrackOptions opts;
+  opts.policy = core::ExecutionPolicy::kParallel;
+  bool robust = false;
+  std::string ppm_path;
+
+  for (int i = 5; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--model") {
+      const std::string m = argv[++i];
+      cfg.model = (m == "cont") ? core::MotionModel::kContinuous
+                                : core::MotionModel::kSemiFluid;
+    } else if (a == "--search") {
+      cfg.z_search_radius = int_arg(argc, argv, i);
+    } else if (a == "--template") {
+      cfg.z_template_radius = int_arg(argc, argv, i);
+    } else if (a == "--subpixel") {
+      opts.subpixel = true;
+    } else if (a == "--sequential") {
+      opts.policy = core::ExecutionPolicy::kSequential;
+    } else if (a == "--robust") {
+      robust = true;
+    } else if (a == "--ppm") {
+      ppm_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  const imaging::ImageF before = imaging::read_pgm(before_path);
+  const imaging::ImageF after = imaging::read_pgm(after_path);
+  std::printf("tracking %dx%d pair: %s\n", before.width(), before.height(),
+              cfg.describe().c_str());
+  core::TrackResult r = core::track_pair_monocular(before, after, cfg, opts);
+  imaging::FlowField flow = std::move(r.flow);
+  if (robust) flow = core::robust_postprocess(flow);
+
+  imaging::write_flow_text(flow, out_path);
+  std::printf("tracked in %.2f s; %zu/%d valid vectors -> %s\n",
+              r.timings.total, flow.count_valid(),
+              flow.width() * flow.height(), out_path.c_str());
+  if (!ppm_path.empty()) {
+    imaging::write_ppm(imaging::colorize_flow(flow), ppm_path);
+    std::printf("color rendering -> %s\n", ppm_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_stereo(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const imaging::ImageF left = imaging::read_pgm(argv[2]);
+  imaging::ImageF right = imaging::read_pgm(argv[3]);
+  const std::string out_path = argv[4];
+
+  stereo::AsaOptions opts;
+  for (int i = 5; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--levels")
+      opts.levels = int_arg(argc, argv, i);
+    else if (a == "--max-disparity")
+      opts.max_disparity = int_arg(argc, argv, i);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  // Minimal rectification: remove any global vertical misalignment.
+  const int dy = stereo::estimate_vertical_offset(left, right, 4);
+  if (dy != 0) {
+    std::printf("rectifying vertical offset of %d rows\n", dy);
+    right = stereo::shift_vertical(right, dy);
+  }
+  stereo::DisparityMap map = stereo::asa_disparity(left, right, opts);
+  map = stereo::median_filter_disparity(map, 1);
+  stereo::fill_invalid_disparity(map, 1);
+  imaging::write_pfm(map.disparity, out_path);
+  std::printf("disparity map -> %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "synth" && argc >= 3) return cmd_synth(argv[2]);
+    if (cmd == "track") return cmd_track(argc, argv);
+    if (cmd == "stereo") return cmd_stereo(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Plot the Fig. 4 curve from bench_fig4_template_scaling output.
+
+Usage:
+    build/bench/bench_fig4_template_scaling | python3 scripts/plot_fig4.py
+
+Parses the "NxN   seconds" rows of the modeled series and renders the
+paper's log-scale per-correspondence curve.
+"""
+import re
+import sys
+
+import matplotlib.pyplot as plt
+
+
+def main() -> int:
+    edges, secs = [], []
+    pattern = re.compile(r"^\s*(\d+)x\d+\s+([0-9.]+)\s*$")
+    for line in sys.stdin:
+        match = pattern.match(line)
+        if match:
+            edges.append(int(match.group(1)))
+            secs.append(float(match.group(2)))
+    if not edges:
+        print("no 'NxN seconds' rows found on stdin", file=sys.stderr)
+        return 1
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(edges, secs, "o-")
+    ax.set_xlabel("z-Template edge (pixels)")
+    ax.set_ylabel("seconds per pixel correspondence")
+    ax.set_yscale("log")
+    ax.set_title("Fig. 4 — sequential per-correspondence time")
+    ax.grid(True, which="both", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig("fig4.png", dpi=150)
+    print(f"wrote fig4.png ({len(edges)} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quiver-plot a flow text file written by sma::imaging::write_flow_text.
+
+Usage:
+    python3 scripts/plot_flow.py fig6_flow_t0.txt [out.png]
+
+Regenerates the paper's Fig. 6 style (vectors over the tracked scene);
+matplotlib only.  The SVG output of bench_fig6_flowfield needs no Python
+at all — this script is for users who prefer raster figures.
+"""
+import sys
+
+import matplotlib.pyplot as plt
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+
+    xs, ys, us, vs = [], [], [], []
+    with open(path, encoding="ascii") as handle:
+        header = handle.readline().split()
+        width, height = int(header[2]), int(header[4])
+        for line in handle:
+            x, y, u, v, _err, valid = line.split()
+            if int(valid):
+                xs.append(float(x))
+                ys.append(float(y))
+                us.append(float(u))
+                vs.append(float(v))
+
+    fig, ax = plt.subplots(figsize=(6, 6 * height / width))
+    ax.quiver(xs, ys, us, vs, angles="xy", scale_units="xy", scale=0.25,
+              color="#d62728", width=0.004)
+    ax.set_xlim(0, width)
+    ax.set_ylim(height, 0)  # image coordinates: y grows downward
+    ax.set_aspect("equal")
+    ax.set_title(path)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out} ({len(xs)} vectors)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/stats.hpp"
+
+namespace sma::core {
+
+SceneAnalysis analyze_scene(const imaging::ImageF& frame) {
+  SceneAnalysis a;
+  a.texture_strength = imaging::summarize(frame).stddev;
+  double grad = 0.0;
+  std::size_t n = 0;
+  for (int y = 1; y < frame.height() - 1; ++y)
+    for (int x = 1; x < frame.width() - 1; ++x) {
+      const double gx =
+          0.5 * (frame.at(x + 1, y) - frame.at(x - 1, y));
+      const double gy =
+          0.5 * (frame.at(x, y + 1) - frame.at(x, y - 1));
+      grad += std::hypot(gx, gy);
+      ++n;
+    }
+  a.gradient_mean = n > 0 ? grad / static_cast<double>(n) : 0.0;
+  a.texture_wavelength =
+      a.gradient_mean > 1e-9
+          ? 2.0 * M_PI * a.texture_strength / a.gradient_mean
+          : 0.0;
+  return a;
+}
+
+SmaConfig suggest_config(const imaging::ImageF& frame,
+                         const AutotuneOptions& options) {
+  const SceneAnalysis a = analyze_scene(frame);
+
+  SmaConfig cfg;
+  cfg.model = options.semifluid ? MotionModel::kSemiFluid
+                                : MotionModel::kContinuous;
+  cfg.surface_fit_radius = 2;  // the paper's 5x5 across all datasets
+
+  // Search must reach the fastest particles (Sec. 2.2).
+  cfg.z_search_radius =
+      std::max(1, static_cast<int>(std::ceil(options.max_displacement_px)));
+
+  // Template spans about half the texture wavelength: enough independent
+  // structure for the six-parameter solve without paying the Fig. 4
+  // quadratic for redundant pixels.  Degenerate (flat) scenes fall back
+  // to the maximum radius — they need all the support they can get.
+  int tmpl = options.max_template_radius;
+  if (a.texture_wavelength > 0.0)
+    tmpl = static_cast<int>(std::lround(a.texture_wavelength / 4.0));
+  cfg.z_template_radius = std::clamp(tmpl, options.min_template_radius,
+                                     options.max_template_radius);
+
+  cfg.semifluid_search_radius = options.semifluid ? 1 : 0;
+  cfg.semifluid_template_radius = 2;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace sma::core

@@ -1,0 +1,43 @@
+// autotune.hpp — data-driven SMA configuration.
+//
+// The paper selects neighborhood sizes by hand per dataset (Tables 1 and
+// 3) using the sequential implementation "for selecting neighborhood
+// parameters to use in the parallel version" (Sec. 4).  This extension
+// automates that step from two measurable quantities:
+//
+//  * the expected maximum displacement bounds the search radius — the
+//    paper's own rule ("a fixed hypothesis neighborhood dependent upon
+//    the maximum particle velocity", Sec. 2.2);
+//  * the image's texture correlation scale sets the template radius: the
+//    template must span enough independent structure to determine six
+//    motion parameters, but no more (cost grows quadratically, Fig. 4).
+#pragma once
+
+#include "core/config.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::core {
+
+struct SceneAnalysis {
+  double texture_strength = 0.0;  ///< image standard deviation
+  double gradient_mean = 0.0;     ///< mean gradient magnitude
+  /// Dominant texture wavelength estimate (px): 2*pi*std / mean|grad|
+  /// (exact for a sinusoid; a useful scale proxy in general).
+  double texture_wavelength = 0.0;
+};
+
+/// Measures the texture statistics used by suggest_config.
+SceneAnalysis analyze_scene(const imaging::ImageF& frame);
+
+struct AutotuneOptions {
+  double max_displacement_px = 3.0;  ///< expected maximum particle motion
+  bool semifluid = true;             ///< non-rigid / multilayer scenes
+  int min_template_radius = 2;
+  int max_template_radius = 8;
+};
+
+/// Suggests a validated SmaConfig for the given frame and expectations.
+SmaConfig suggest_config(const imaging::ImageF& frame,
+                         const AutotuneOptions& options = {});
+
+}  // namespace sma::core

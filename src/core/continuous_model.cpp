@@ -1,0 +1,85 @@
+#include "core/continuous_model.hpp"
+
+#include <cmath>
+
+namespace sma::core {
+
+void add_normal_rows(const surface::GeometricField& before,
+                     const surface::GeometricField& after, int px, int py,
+                     int qx, int qy, linalg::NormalEquations6& ne) {
+  const double zx = before.zx.at_clamped(px, py);
+  const double zy = before.zy.at_clamped(px, py);
+  const double ee = before.ee.at_clamped(px, py);
+  const double gg = before.gg.at_clamped(px, py);
+
+  // Unit normal before motion and the norm of the unnormalized normal.
+  const double ni = before.ni.at_clamped(px, py);
+  const double nj = before.nj.at_clamped(px, py);
+  const double nk = before.nk.at_clamped(px, py);
+  const double mnorm = std::sqrt(1.0 + zx * zx + zy * zy);
+
+  // Observed unit normal after motion.
+  const double oi = after.ni.at_clamped(qx, qy);
+  const double oj = after.nj.at_clamped(qx, qy);
+  const double ok = after.nk.at_clamped(qx, qy);
+
+  // dm = M theta, theta = (a_i, b_i, a_j, b_j, a_k, b_k):
+  //   dm_i = -a_k - b_j zx + a_j zy
+  //   dm_j = -b_k - a_i zy + b_i zx
+  //   dm_k =  a_i + b_j
+  const double mi[6] = {0.0, 0.0, zy, -zx, -1.0, 0.0};
+  const double mj[6] = {-zy, zx, 0.0, 0.0, 0.0, -1.0};
+  const double mk[6] = {1.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+
+  // Rows of (P M)/|m| with P = I - n n^T, targets n_obs - n.
+  const double inv = 1.0 / mnorm;
+  linalg::Vec6 row_i, row_j, row_k;
+  for (std::size_t c = 0; c < 6; ++c) {
+    const double proj = ni * mi[c] + nj * mj[c] + nk * mk[c];
+    row_i[c] = (mi[c] - ni * proj) * inv;
+    row_j[c] = (mj[c] - nj * proj) * inv;
+    row_k[c] = (mk[c] - nk * proj) * inv;
+  }
+  // First-fundamental-form weighting (Eqs. 4-5): i rows scale with 1/E,
+  // j rows with 1/G, the k row is unweighted.
+  ne.add_row(row_i, oi - ni, 1.0 / ee);
+  ne.add_row(row_j, oj - nj, 1.0 / gg);
+  ne.add_row(row_k, ok - nk, 1.0);
+}
+
+TemplateMapping continuous_mapping(int hx, int hy) {
+  return [hx, hy](int px, int py) { return std::pair<int, int>{px + hx, py + hy}; };
+}
+
+HypothesisResult evaluate_hypothesis(const surface::GeometricField& before,
+                                     const surface::GeometricField& after,
+                                     int x, int y, const SmaConfig& config,
+                                     const TemplateMapping& mapping) {
+  linalg::NormalEquations6 ne;
+  const int r = config.z_template_radius;
+  const int stride = config.template_stride;
+  for (int v = -r; v <= r; v += stride)
+    for (int u = -r; u <= r; u += stride) {
+      const int px = x + u;
+      const int py = y + v;
+      const auto [qx, qy] = mapping(px, py);
+      add_normal_rows(before, after, px, py, qx, qy, ne);
+    }
+
+  HypothesisResult res;
+  linalg::Vec6 theta;
+  if (ne.solve(theta) != linalg::SolveStatus::kOk) {
+    // Singular system: no deformation information in this patch.  Fall
+    // back to the zero-deformation error so the hypothesis still ranks.
+    res.params = MotionParams{};
+    res.error = ne.residual(linalg::Vec6{});
+    res.ok = false;
+    return res;
+  }
+  res.params = MotionParams::from_vec(theta);
+  res.error = ne.residual(theta);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace sma::core

@@ -1,0 +1,164 @@
+#include "core/semifluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sma::core {
+
+namespace {
+
+// Border semantics shared by the direct and precomputed paths: the
+// template coordinate t = p + s clamps into the image first, then the
+// offset candidate reads D'(t + o) with its own clamp.  This composition
+// makes the box-filtered layers bit-identical to the direct sum.
+inline std::pair<int, int> clamp_coord(const imaging::ImageF& img, int x,
+                                       int y) {
+  return {std::clamp(x, 0, img.width() - 1),
+          std::clamp(y, 0, img.height() - 1)};
+}
+
+inline double sq_diff(const imaging::ImageF& disc_before,
+                      const imaging::ImageF& disc_after, int tx, int ty,
+                      int ox, int oy) {
+  const double d = disc_after.at_clamped(tx + ox, ty + oy) -
+                   disc_before.at(tx, ty);
+  return d * d;
+}
+
+// Returns true when candidate (dx2, dy2) should replace (dx1, dy1) on an
+// equal-cost tie: prefer the smaller displacement from the window center,
+// then raster order.
+inline bool tie_prefers(int dx1, int dy1, int dx2, int dy2) {
+  const int m1 = std::abs(dx1) + std::abs(dy1);
+  const int m2 = std::abs(dx2) + std::abs(dy2);
+  if (m2 != m1) return m2 < m1;
+  if (dy2 != dy1) return dy2 < dy1;
+  return dx2 < dx1;
+}
+
+}  // namespace
+
+double semifluid_cost(const imaging::ImageF& disc_before,
+                      const imaging::ImageF& disc_after, int px, int py,
+                      int qx, int qy, int nst) {
+  const int ox = qx - px;
+  const int oy = qy - py;
+  // Row-grouped accumulation: identical floating-point ordering to the
+  // separable box sums in SemiFluidCostField, so the precomputed and
+  // direct paths agree bit for bit.
+  double sum = 0.0;
+  for (int sy = -nst; sy <= nst; ++sy) {
+    const auto [unused_x, ty] = clamp_coord(disc_before, px, py + sy);
+    (void)unused_x;
+    double rowsum = 0.0;
+    for (int sx = -nst; sx <= nst; ++sx) {
+      const auto [tx, unused_y] = clamp_coord(disc_before, px + sx, py);
+      (void)unused_y;
+      rowsum += sq_diff(disc_before, disc_after, tx, ty, ox, oy);
+    }
+    sum += rowsum;
+  }
+  const int n = (2 * nst + 1) * (2 * nst + 1);
+  return sum / n;
+}
+
+std::pair<int, int> semifluid_match(const imaging::ImageF& disc_before,
+                                    const imaging::ImageF& disc_after,
+                                    int px, int py, int cx, int cy, int nss,
+                                    int nst) {
+  double best = std::numeric_limits<double>::infinity();
+  int bx = cx, by = cy;
+  for (int dy = -nss; dy <= nss; ++dy)
+    for (int dx = -nss; dx <= nss; ++dx) {
+      const double c =
+          semifluid_cost(disc_before, disc_after, px, py, cx + dx, cy + dy, nst);
+      const int cur_dx = bx - cx, cur_dy = by - cy;
+      if (c < best ||
+          (c == best && tie_prefers(cur_dx, cur_dy, dx, dy))) {
+        best = c;
+        bx = cx + dx;
+        by = cy + dy;
+      }
+    }
+  return {bx, by};
+}
+
+SemiFluidCostField::SemiFluidCostField(const imaging::ImageF& disc_before,
+                                       const imaging::ImageF& disc_after,
+                                       int ox_radius, int oy_min, int oy_max,
+                                       int nst)
+    : ox_radius_(ox_radius), oy_min_(oy_min), oy_max_(oy_max) {
+  assert(oy_min <= oy_max);
+  const int w = disc_before.width();
+  const int h = disc_before.height();
+  const int n = (2 * nst + 1) * (2 * nst + 1);
+  const std::size_t layer_count =
+      static_cast<std::size_t>(2 * ox_radius + 1) *
+      static_cast<std::size_t>(oy_max - oy_min + 1);
+  layers_.reserve(layer_count);
+
+  imaging::ImageD sq(w, h);
+  imaging::ImageD rowsum(w, h);
+  for (int oy = oy_min; oy <= oy_max; ++oy) {
+    for (int ox = -ox_radius; ox <= ox_radius; ++ox) {
+      // Squared discriminant change for this offset.
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          sq.at(x, y) = sq_diff(disc_before, disc_after, x, y, ox, oy);
+      // Separable box sum with clamped template coordinates: horizontal
+      // pass accumulates sq at clamped x+sx, vertical pass at clamped
+      // y+sy — the same composition and double-precision grouping as the
+      // direct sum in semifluid_cost.
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          double s = 0.0;
+          for (int sx = -nst; sx <= nst; ++sx)
+            s += sq.at_clamped(x + sx, y);
+          rowsum.at(x, y) = s;
+        }
+      imaging::ImageD layer(w, h);
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          double s = 0.0;
+          for (int sy = -nst; sy <= nst; ++sy)
+            s += rowsum.at_clamped(x, y + sy);
+          layer.at(x, y) = s / n;
+        }
+      layers_.push_back(std::move(layer));
+    }
+  }
+}
+
+std::size_t SemiFluidCostField::layer_index(int ox, int oy) const {
+  assert(oy >= oy_min_ && oy <= oy_max_);
+  assert(ox >= -ox_radius_ && ox <= ox_radius_);
+  return static_cast<std::size_t>(oy - oy_min_) *
+             static_cast<std::size_t>(2 * ox_radius_ + 1) +
+         static_cast<std::size_t>(ox + ox_radius_);
+}
+
+std::pair<int, int> SemiFluidCostField::best_offset(int px, int py, int cx,
+                                                    int cy, int nss) const {
+  double best = std::numeric_limits<double>::infinity();
+  int bx = cx, by = cy;
+  for (int dy = -nss; dy <= nss; ++dy)
+    for (int dx = -nss; dx <= nss; ++dx) {
+      const double c = cost(px, py, cx + dx, cy + dy);
+      const int cur_dx = bx - cx, cur_dy = by - cy;
+      if (c < best || (c == best && tie_prefers(cur_dx, cur_dy, dx, dy))) {
+        best = c;
+        bx = cx + dx;
+        by = cy + dy;
+      }
+    }
+  return {bx, by};
+}
+
+std::size_t SemiFluidCostField::bytes() const {
+  std::size_t b = 0;
+  for (const auto& l : layers_) b += l.size() * sizeof(double);
+  return b;
+}
+
+}  // namespace sma::core

@@ -1,0 +1,101 @@
+// semifluid.hpp — F_semi: the semi-fluid template mapping (Sec. 2.3).
+//
+// "The semi-fluid motion paradigm relaxes the local continuity constraint
+// for a small surface patch."  For each template pixel, instead of the
+// rigidly shifted target p + h prescribed by F_cont, a square
+// (2N_ss+1) x (2N_ss+1) search window centered on p + h is scanned and
+// the candidate minimizing the change of the intensity-surface
+// discriminant over the (2N_sT+1) x (2N_sT+1) semi-fluid template is
+// selected (Eqs. 9-11):
+//
+//   eps_semi(p; q) = (1/|eta_sT|) * sum_{s in eta_sT} (D'(q+s) - D(p+s))^2
+//   F_semi(p)      = argmin_{q in eta_ss(p+h)} eps_semi(p; q)
+//
+// where D is the Hessian discriminant of the fitted quadratic intensity
+// patch (geometry.hpp).  With N_ss = 0 the argmin degenerates to p + h and
+// F_semi == F_cont (tested invariant).
+//
+// Sec. 4.1 optimization: because every pixel is tracked and templates
+// overlap, the matching cost between a pixel p and an offset o depends
+// only on (p, o).  SemiFluidCostField therefore precomputes cost layers
+// C_o(p) for all offsets o in the extended
+// (2(N_zs + N_ss) + 1)^2 window — "computing the error term in (10) for
+// all pixels in a (2N_zs + 2N_ss + 1) x (2N_zs + 2N_ss + 1) neighborhood
+// centered around the pixel being tracked, and then applying a
+// (2N_ss + 1) x (2N_ss + 1) window ... and performing the minimization
+// given in (9)".  Each layer is a box-filtered squared-difference image,
+// so the precompute is O(pixels * offsets) instead of
+// O(pixels * hypotheses * template * search).
+//
+// Sec. 4.3 segmentation: the full set of layers may exceed PE memory
+// (67.7 KB/PE for a 23x23 search with 16 pixels/PE), so layers can be
+// built for a band of offset rows at a time ("segments are in multiples
+// of rows of the search or hypothesis neighborhood") and discarded after
+// the corresponding hypotheses are evaluated.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::core {
+
+/// Direct (naive) evaluation of eps_semi between template pixel p in D
+/// and candidate q in D', averaged over the semi-fluid template.
+double semifluid_cost(const imaging::ImageF& disc_before,
+                      const imaging::ImageF& disc_after, int px, int py,
+                      int qx, int qy, int nst);
+
+/// Direct argmin of eps_semi over the (2*nss+1)^2 window centered at
+/// (cx, cy); ties break toward the window center then raster order,
+/// matching SemiFluidCostField::best_offset.
+std::pair<int, int> semifluid_match(const imaging::ImageF& disc_before,
+                                    const imaging::ImageF& disc_after,
+                                    int px, int py, int cx, int cy, int nss,
+                                    int nst);
+
+/// Precomputed matching-cost layers over a band of offset rows.
+class SemiFluidCostField {
+ public:
+  /// Builds layers C_o for offsets o with oy in [oy_min, oy_max] and
+  /// ox in [-ox_radius, +ox_radius].
+  SemiFluidCostField(const imaging::ImageF& disc_before,
+                     const imaging::ImageF& disc_after, int ox_radius,
+                     int oy_min, int oy_max, int nst);
+
+  int ox_radius() const { return ox_radius_; }
+  int oy_min() const { return oy_min_; }
+  int oy_max() const { return oy_max_; }
+
+  /// Matching cost between pixel p and offset (ox, oy).  Offsets outside
+  /// the built band are a contract violation (assert in debug builds).
+  /// Stored in double precision with the same summation grouping as
+  /// `semifluid_cost`, so the two paths are bit-identical and the
+  /// bench_precompute_ablation equivalence is exact.
+  double cost(int px, int py, int ox, int oy) const {
+    const std::size_t idx = layer_index(ox, oy);
+    return layers_[idx].at_clamped(px, py);
+  }
+
+  /// argmin over the (2*nss+1)^2 window centered at offset (cx, cy),
+  /// returning the winning offset relative to p.  Tie-break: smallest
+  /// displacement from the window center, then raster order — a
+  /// deterministic rule shared with `semifluid_match`.
+  std::pair<int, int> best_offset(int px, int py, int cx, int cy,
+                                  int nss) const;
+
+  /// Bytes held by the layers (used by the PE-memory accounting).
+  std::size_t bytes() const;
+
+ private:
+  std::size_t layer_index(int ox, int oy) const;
+
+  int ox_radius_;
+  int oy_min_;
+  int oy_max_;
+  std::vector<imaging::ImageD> layers_;
+};
+
+}  // namespace sma::core

@@ -1,0 +1,48 @@
+// sequence.hpp — tracking over whole frame sequences.
+//
+// The paper's production runs are sequences, not pairs: Frederic T=4
+// stereo steps, the Florida thunderstorm 49 rapid-scan frames, Hurricane
+// Luis 490 frames streamed from the MPDA (Sec. 5).  track_sequence wraps
+// the pairwise tracker over consecutive frames and optionally chains
+// seed particles into Lagrangian trajectories — the full cloud-tracking
+// product.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tracker.hpp"
+#include "core/trajectory.hpp"
+#include "imaging/flow.hpp"
+
+namespace sma::core {
+
+struct SequenceOptions {
+  SmaConfig config;
+  TrackOptions track;
+  /// Apply robust_postprocess (outlier mask + fill + vector median) to
+  /// every per-pair flow field.
+  bool robust = false;
+  /// Particles to carry through the sequence (empty = none).
+  std::vector<std::pair<double, double>> seeds;
+};
+
+struct SequenceResult {
+  std::vector<imaging::FlowField> flows;  ///< one per consecutive pair
+  std::vector<TrackTimings> timings;      ///< matching `flows`
+  std::vector<Trajectory> trajectories;   ///< one per seed (may be empty)
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& tt : timings) t += tt.total;
+    return t;
+  }
+};
+
+/// Tracks every consecutive pair of `frames` (monocular mode).  Throws
+/// std::invalid_argument on fewer than two frames.
+SequenceResult track_sequence(const std::vector<imaging::ImageF>& frames,
+                              const SequenceOptions& options);
+
+}  // namespace sma::core

@@ -1,0 +1,28 @@
+// sma.hpp — umbrella header for the Semi-fluid Motion Analysis library.
+//
+// Typical use:
+//
+//   #include "core/sma.hpp"
+//
+//   sma::core::SmaConfig cfg = sma::core::goes9_scaled_config();
+//   auto result = sma::core::track_pair_monocular(frame0, frame1, cfg,
+//       {.policy = sma::core::ExecutionPolicy::kParallel});
+//   double rms = sma::imaging::rms_endpoint_error(result.flow, truth);
+//
+// See examples/quickstart.cpp for a complete program.
+#pragma once
+
+#include "core/autotune.hpp"
+#include "core/config.hpp"
+#include "core/continuous_model.hpp"
+#include "core/hierarchical.hpp"
+#include "core/multispectral.hpp"
+#include "core/postprocess.hpp"
+#include "core/semifluid.hpp"
+#include "core/sequence.hpp"
+#include "core/tracker.hpp"
+#include "core/trajectory.hpp"
+#include "core/workload.hpp"
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+#include "surface/geometry.hpp"

@@ -1,0 +1,326 @@
+#include "core/tracker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/semifluid.hpp"
+#include "imaging/stats.hpp"
+
+namespace sma::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Hypothesis tie-break shared with the semi-fluid argmin: prefer strictly
+// smaller error; on exact ties prefer the smaller displacement, then
+// raster order.  Deterministic and independent of segmentation.
+bool hypothesis_improves(const PixelBest& best, double error, int hx,
+                         int hy) {
+  if (!best.any_ok) return true;
+  if (error < best.error) return true;
+  if (error > best.error) return false;
+  const int m_old = std::abs(best.hx) + std::abs(best.hy);
+  const int m_new = std::abs(hx) + std::abs(hy);
+  if (m_new != m_old) return m_new < m_old;
+  if (hy != best.hy) return hy < best.hy;
+  return hx < best.hx;
+}
+
+}  // namespace
+
+// Evaluates ONE hypothesis (hx, hy) at pixel (x, y): builds the template
+// mapping (continuous or semi-fluid), solves the 6x6 system and returns
+// the Eq. (3) residual.  Shared by the search loop and the sub-pixel
+// refinement pass.
+double evaluate_pixel_hypothesis(const surface::GeometricField& before,
+                                 const surface::GeometricField& after,
+                                 const imaging::ImageF* disc_before,
+                                 const imaging::ImageF* disc_after,
+                                 const SemiFluidCostField* cost_field, int x,
+                                 int y, int hx, int hy,
+                                 const SmaConfig& config,
+                                 MotionParams& params_out, bool& ok_out) {
+  const int nzt_x = config.z_template_radius;
+  const int nzt_y = config.z_template_ry();
+  const int nss = config.effective_nss();
+  const int nst = config.semifluid_template_radius;
+  const int stride = config.template_stride;
+  const bool semifluid = config.model == MotionModel::kSemiFluid && nss > 0;
+  const int w = before.width();
+  const int h = before.height();
+
+  linalg::NormalEquations6 ne;
+  for (int v = -nzt_y; v <= nzt_y; v += stride) {
+    for (int u = -nzt_x; u <= nzt_x; u += stride) {
+      // Clamp template coordinates up front so the precomputed and
+      // naive semi-fluid paths see identical border semantics.
+      const int px = std::clamp(x + u, 0, w - 1);
+      const int py = std::clamp(y + v, 0, h - 1);
+      int qx = px + hx;
+      int qy = py + hy;
+      if (semifluid) {
+        if (cost_field != nullptr) {
+          const auto [ox, oy] = cost_field->best_offset(px, py, hx, hy, nss);
+          qx = px + ox;
+          qy = py + oy;
+        } else {
+          const auto [sx, sy] = semifluid_match(*disc_before, *disc_after,
+                                                px, py, qx, qy, nss, nst);
+          qx = sx;
+          qy = sy;
+        }
+      }
+      add_normal_rows(before, after, px, py, qx, qy, ne);
+    }
+  }
+  linalg::Vec6 theta;
+  if (ne.solve(theta) == linalg::SolveStatus::kOk) {
+    params_out = MotionParams::from_vec(theta);
+    ok_out = true;
+    return ne.residual(theta);
+  }
+  params_out = MotionParams{};
+  ok_out = false;
+  return ne.residual(linalg::Vec6{});
+}
+
+void scan_hypotheses(const surface::GeometricField& before,
+                     const surface::GeometricField& after,
+                     const imaging::ImageF* disc_before,
+                     const imaging::ImageF* disc_after,
+                     const SemiFluidCostField* cost_field, int x, int y,
+                     int hy_min, int hy_max, const SmaConfig& config,
+                     PixelBest& best) {
+  const int nzs_x = config.z_search_radius;
+  const int nss = config.effective_nss();
+  const int nst = config.semifluid_template_radius;
+  const bool semifluid = config.model == MotionModel::kSemiFluid && nss > 0;
+
+  for (int hy = hy_min; hy <= hy_max; ++hy) {
+    for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
+      MotionParams params;
+      bool ok = false;
+      const double error =
+          evaluate_pixel_hypothesis(before, after, disc_before, disc_after,
+                                    cost_field, x, y, hx, hy, config, params,
+                                    ok);
+      if (hypothesis_improves(best, error, hx, hy)) {
+        best.solved = ok;
+        best.hx = hx;
+        best.hy = hy;
+        // Flow vector: the center pixel's own correspondence (Eq. 9).
+        best.ux = hx;
+        best.uy = hy;
+        if (semifluid) {
+          if (cost_field != nullptr) {
+            const auto [ox, oy] = cost_field->best_offset(x, y, hx, hy, nss);
+            best.ux = ox;
+            best.uy = oy;
+          } else {
+            const auto [sx, sy] = semifluid_match(*disc_before, *disc_after,
+                                                  x, y, x + hx, y + hy, nss,
+                                                  nst);
+            best.ux = sx - x;
+            best.uy = sy - y;
+          }
+        }
+        best.error = error;
+        best.params = params;
+        best.any_ok = true;
+      }
+    }
+  }
+}
+
+TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
+                       const TrackOptions& options) {
+  config.validate();
+  if (input.intensity_before == nullptr || input.intensity_after == nullptr ||
+      input.surface_before == nullptr || input.surface_after == nullptr)
+    throw std::invalid_argument("track_pair: null input image");
+  const imaging::ImageF& surf0 = *input.surface_before;
+  const imaging::ImageF& surf1 = *input.surface_after;
+  const imaging::ImageF& int0 = *input.intensity_before;
+  const imaging::ImageF& int1 = *input.intensity_after;
+  if (!surf0.same_shape(surf1) || !int0.same_shape(int1) ||
+      !surf0.same_shape(int0))
+    throw std::invalid_argument("track_pair: image shape mismatch");
+  if (imaging::has_nonfinite(int0) || imaging::has_nonfinite(int1) ||
+      imaging::has_nonfinite(surf0) || imaging::has_nonfinite(surf1))
+    throw std::invalid_argument(
+        "track_pair: non-finite pixel values (sensor dropout?)");
+
+  const bool parallel = options.policy == ExecutionPolicy::kParallel;
+  const bool semifluid =
+      config.model == MotionModel::kSemiFluid && config.semifluid_search_radius > 0;
+
+  TrackResult result;
+  const auto t_start = Clock::now();
+
+  // --- Phase 1: "Surface fit" — quadratic patch fits over every image.
+  surface::GeometryOptions gopts;
+  gopts.patch_radius = config.surface_fit_radius;
+  gopts.parallel = parallel;
+  auto t0 = Clock::now();
+  const surface::DerivativeField d0 = surface::fit_derivatives(surf0, gopts);
+  const surface::DerivativeField d1 = surface::fit_derivatives(surf1, gopts);
+  // The semi-fluid discriminant uses the *intensity* surface (Sec. 2.3);
+  // in monocular mode the intensity aliases the surface, so skip refits.
+  const bool intensity_is_surface =
+      input.intensity_before == input.surface_before &&
+      input.intensity_after == input.surface_after;
+  surface::DerivativeField di0, di1;
+  if (semifluid && !intensity_is_surface) {
+    di0 = surface::fit_derivatives(int0, gopts);
+    di1 = surface::fit_derivatives(int1, gopts);
+  }
+  result.timings.surface_fit = seconds_since(t0);
+
+  // --- Phase 2: "Compute geometric variables".
+  t0 = Clock::now();
+  const surface::GeometricField g0 = surface::derive_geometry(d0, parallel);
+  const surface::GeometricField g1 = surface::derive_geometry(d1, parallel);
+  imaging::ImageF disc0, disc1;
+  if (semifluid) {
+    if (intensity_is_surface) {
+      disc0 = g0.disc;
+      disc1 = g1.disc;
+    } else {
+      disc0 = surface::derive_geometry(di0, parallel).disc;
+      disc1 = surface::derive_geometry(di1, parallel).disc;
+    }
+  }
+  result.timings.geometric_vars = seconds_since(t0);
+
+  // --- Phases 3+4: semi-fluid mapping precompute + hypothesis matching,
+  // interleaved per hypothesis-row segment (Sec. 4.3).
+  const int w = surf0.width();
+  const int h = surf0.height();
+  const int nzs_x = config.z_search_radius;
+  const int nzs_y = config.z_search_ry();
+  const int nss = config.effective_nss();
+  const int zseg = config.effective_segment_rows();
+
+  std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
+
+  for (int hy_min = -nzs_y; hy_min <= nzs_y; hy_min += zseg) {
+    const int hy_max = std::min(hy_min + zseg - 1, nzs_y);
+
+    std::optional<SemiFluidCostField> field;
+    if (semifluid && config.use_precomputed_mapping) {
+      t0 = Clock::now();
+      field.emplace(disc0, disc1, nzs_x + nss, hy_min - nss, hy_max + nss,
+                    config.semifluid_template_radius);
+      result.timings.semifluid_mapping += seconds_since(t0);
+      result.peak_mapping_bytes =
+          std::max(result.peak_mapping_bytes, field->bytes());
+    }
+
+    t0 = Clock::now();
+    const SemiFluidCostField* field_ptr = field ? &*field : nullptr;
+    const imaging::ImageF* db = semifluid ? &disc0 : nullptr;
+    const imaging::ImageF* da = semifluid ? &disc1 : nullptr;
+#pragma omp parallel for schedule(dynamic, 1) if (parallel)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        scan_hypotheses(g0, g1, db, da, field_ptr, x, y, hy_min, hy_max,
+                        config, best[static_cast<std::size_t>(y) * w + x]);
+    result.timings.hypothesis_matching += seconds_since(t0);
+  }
+
+  // --- Optional sub-pixel refinement: probe the Eq. (3) residual at the
+  // four axis neighbors of each winner and interpolate the parabola
+  // minimum.  The semi-fluid path uses the direct (naive) matcher here —
+  // bit-identical to the precomputed cost field by construction.
+  if (options.subpixel) {
+    t0 = Clock::now();
+    const imaging::ImageF* db = semifluid ? &disc0 : nullptr;
+    const imaging::ImageF* da = semifluid ? &disc1 : nullptr;
+#pragma omp parallel for schedule(dynamic, 1) if (parallel)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) {
+        PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+        if (!b.any_ok) continue;
+        MotionParams unused;
+        bool ok = false;
+        const double e0 = b.error;
+        const double exm = evaluate_pixel_hypothesis(
+            g0, g1, db, da, nullptr, x, y, b.hx - 1, b.hy, config, unused, ok);
+        const double exp_ = evaluate_pixel_hypothesis(
+            g0, g1, db, da, nullptr, x, y, b.hx + 1, b.hy, config, unused, ok);
+        const double eym = evaluate_pixel_hypothesis(
+            g0, g1, db, da, nullptr, x, y, b.hx, b.hy - 1, config, unused, ok);
+        const double eyp = evaluate_pixel_hypothesis(
+            g0, g1, db, da, nullptr, x, y, b.hx, b.hy + 1, config, unused, ok);
+        // A near-zero center residual means the integer hypothesis is an
+        // (essentially) exact match; the parabola is then degenerate and
+        // neighbor asymmetry would inject spurious fractions.
+        const double dx_denom = exm - 2.0 * e0 + exp_;
+        if (dx_denom > 1e-12 && e0 <= exm && e0 <= exp_ &&
+            e0 > 1e-4 * std::min(exm, exp_))
+          b.sub_u = static_cast<float>(
+              std::clamp(0.5 * (exm - exp_) / dx_denom, -0.5, 0.5));
+        const double dy_denom = eym - 2.0 * e0 + eyp;
+        if (dy_denom > 1e-12 && e0 <= eym && e0 <= eyp &&
+            e0 > 1e-4 * std::min(eym, eyp))
+          b.sub_v = static_cast<float>(
+              std::clamp(0.5 * (eym - eyp) / dy_denom, -0.5, 0.5));
+      }
+    result.timings.hypothesis_matching += seconds_since(t0);
+  }
+
+  // --- Collect outputs.
+  result.flow = imaging::FlowField(w, h);
+  if (options.keep_params) {
+    ParamsField pf;
+    pf.ai = imaging::ImageF(w, h);
+    pf.bi = imaging::ImageF(w, h);
+    pf.aj = imaging::ImageF(w, h);
+    pf.bj = imaging::ImageF(w, h);
+    pf.ak = imaging::ImageF(w, h);
+    pf.bk = imaging::ImageF(w, h);
+    result.params = std::move(pf);
+  }
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+      imaging::FlowVector f;
+      f.u = static_cast<float>(b.ux) + b.sub_u;
+      f.v = static_cast<float>(b.uy) + b.sub_v;
+      f.error = static_cast<float>(b.error);
+      f.valid = (b.any_ok && b.solved) ? 1 : 0;
+      result.flow.set(x, y, f);
+      if (result.params) {
+        result.params->ai.at(x, y) = static_cast<float>(b.params.ai);
+        result.params->bi.at(x, y) = static_cast<float>(b.params.bi);
+        result.params->aj.at(x, y) = static_cast<float>(b.params.aj);
+        result.params->bj.at(x, y) = static_cast<float>(b.params.bj);
+        result.params->ak.at(x, y) = static_cast<float>(b.params.ak);
+        result.params->bk.at(x, y) = static_cast<float>(b.params.bk);
+      }
+    }
+
+  result.timings.total = seconds_since(t_start);
+  return result;
+}
+
+TrackResult track_pair_monocular(const imaging::ImageF& before,
+                                 const imaging::ImageF& after,
+                                 const SmaConfig& config,
+                                 const TrackOptions& options) {
+  TrackerInput in;
+  in.intensity_before = &before;
+  in.intensity_after = &after;
+  in.surface_before = &before;
+  in.surface_after = &after;
+  return track_pair(in, config, options);
+}
+
+}  // namespace sma::core

@@ -1,0 +1,133 @@
+// tracker.hpp — dense semi-fluid / continuous motion tracking.
+//
+// The top-level SMA entry points.  Given intensity images (and optionally
+// surface maps from the ASA stereo stage) at two time steps, the tracker
+// estimates a dense non-rigid motion field: for every pixel, every
+// hypothesis in the (2N_zs+1)^2 search area is evaluated by establishing a
+// template mapping (F_cont or F_semi), solving the 6x6 motion-parameter
+// system and scoring the Eq. (3) residual; the minimum-error hypothesis
+// wins (Eq. 7).
+//
+// Execution variants:
+//  * kSequential — the paper's "sequential (un-optimized) version ...
+//    used to form a baseline for comparing the correctness of the
+//    parallel algorithm results" (Sec. 4).
+//  * kParallel   — OpenMP over image rows; bit-identical output.
+// The MasPar SIMD executor (maspar/sma_simd.hpp) is a third variant that
+// reuses the same per-pixel kernels layer by layer.
+//
+// Timing is reported in the paper's Table 2 / Table 4 phase buckets:
+// surface fit, compute geometric variables, semi-fluid mapping and
+// hypothesis matching.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/continuous_model.hpp"
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+#include "surface/geometry.hpp"
+
+namespace sma::core {
+
+enum class ExecutionPolicy {
+  kSequential,  ///< single-threaded reference implementation
+  kParallel,    ///< OpenMP host-parallel, identical results
+};
+
+struct TrackOptions {
+  ExecutionPolicy policy = ExecutionPolicy::kSequential;
+  bool keep_params = false;  ///< retain the six motion parameters per pixel
+  /// Parabolic sub-pixel refinement of the winning hypothesis: after the
+  /// integer search, the Eq. (3) residuals of the four axis neighbors of
+  /// the winner are fitted with 1-D parabolas and the flow vector moves
+  /// to the analytic minimum (clamped to +/- 0.5 px).  The same
+  /// peak-interpolation ASA applies to its correlation surface
+  /// (Sec. 2.1), here as a motion-field extension.
+  bool subpixel = false;
+};
+
+/// Phase timings in seconds, matching the paper's Table 2 / 4 rows.
+struct TrackTimings {
+  double surface_fit = 0.0;
+  double geometric_vars = 0.0;
+  double semifluid_mapping = 0.0;
+  double hypothesis_matching = 0.0;
+  double total = 0.0;
+};
+
+/// Dense per-pixel motion parameters (optional output).
+struct ParamsField {
+  imaging::ImageF ai, bi, aj, bj, ak, bk;
+};
+
+struct TrackResult {
+  imaging::FlowField flow;
+  TrackTimings timings;
+  std::optional<ParamsField> params;
+  /// Peak bytes held by precomputed semi-fluid cost layers (whole image);
+  /// feeds the Sec. 4.3 PE-memory accounting in the benches.
+  std::size_t peak_mapping_bytes = 0;
+};
+
+/// Inputs to one tracking step.  In stereo mode `surface_*` are the
+/// cloud-top height maps z(t) from the ASA stage and `intensity_*` the
+/// (left) intensity images used by the semi-fluid discriminant.  In
+/// monocular mode "the intensity data [is treated] as a digital surface"
+/// (Sec. 2): pass the same image for both.
+struct TrackerInput {
+  const imaging::ImageF* intensity_before = nullptr;
+  const imaging::ImageF* intensity_after = nullptr;
+  const imaging::ImageF* surface_before = nullptr;
+  const imaging::ImageF* surface_after = nullptr;
+};
+
+/// Runs the full SMA pipeline on one pair of time steps.
+TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
+                       const TrackOptions& options = {});
+
+/// Monocular convenience wrapper: intensity doubles as the surface.
+TrackResult track_pair_monocular(const imaging::ImageF& before,
+                                 const imaging::ImageF& after,
+                                 const SmaConfig& config,
+                                 const TrackOptions& options = {});
+
+/// Evaluates all hypotheses for a single pixel given precomputed geometry
+/// and (for the semi-fluid model) discriminant images.  Exposed so the
+/// MasPar executor can drive the identical kernel per memory layer.
+///
+/// The reported motion vector is the *center pixel's correspondence*
+/// under the winning hypothesis: (hx, hy) for F_cont, and the semi-fluid
+/// refinement (ux, uy) of the center pixel for F_semi — Eq. (9) defines
+/// the estimated correspondences per pixel, and under F_semi hypotheses
+/// within N_ss of the truth are near-ties whose center refinement all
+/// point at the same true correspondent.
+struct PixelBest {
+  int hx = 0, hy = 0;    ///< winning search hypothesis
+  int ux = 0, uy = 0;    ///< center-pixel correspondence (the flow vector)
+  float sub_u = 0.0f, sub_v = 0.0f;  ///< parabolic sub-pixel offsets
+  double error = 0.0;
+  MotionParams params;
+  bool any_ok = false;
+  /// True when the winning hypothesis produced a non-singular 6x6
+  /// system.  A singular winner means the patch carries no geometric
+  /// information (flat/textureless); such pixels are reported invalid.
+  bool solved = false;
+};
+
+class SemiFluidCostField;  // fwd (semifluid.hpp)
+
+/// Scans hypothesis rows [hy_min, hy_max] for pixel (x, y), refining
+/// `best` in place.  `cost_field` may be null for the continuous model or
+/// the naive (non-precomputed) semi-fluid path.
+void scan_hypotheses(const surface::GeometricField& before,
+                     const surface::GeometricField& after,
+                     const imaging::ImageF* disc_before,
+                     const imaging::ImageF* disc_after,
+                     const SemiFluidCostField* cost_field, int x, int y,
+                     int hy_min, int hy_max, const SmaConfig& config,
+                     PixelBest& best);
+
+}  // namespace sma::core

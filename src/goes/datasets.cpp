@@ -1,0 +1,188 @@
+#include "goes/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/convolve.hpp"
+#include "imaging/warp.hpp"
+
+namespace sma::goes {
+
+namespace {
+
+// Renders the rectified right view from the left view and a disparity
+// map: right(x, y) = left(x - d(x, y), y), so matching left(x) against
+// right at x + d recovers d — the convention match_level searches with.
+imaging::ImageF render_right(const imaging::ImageF& left,
+                             const imaging::ImageF& disparity) {
+  imaging::ImageF out(left.width(), left.height());
+  for (int y = 0; y < left.height(); ++y)
+    for (int x = 0; x < left.width(); ++x)
+      out.at(x, y) = static_cast<float>(
+          imaging::bilinear(left, x - disparity.at(x, y), y));
+  return out;
+}
+
+}  // namespace
+
+FredericDataset make_frederic_analog(int size, std::uint32_t seed,
+                                     double max_speed_px, int track_count) {
+  FredericDataset d;
+
+  // Cloud-top height deck: smooth fractal field, 2..12 km, with the
+  // high deck concentrated near the vortex eye wall.
+  imaging::ImageF h = fractal_clouds(size, size, seed, 5, size / 3.0);
+  h = imaging::gaussian_blur(h, 1.5);
+  d.height0 = imaging::ImageF(size, size);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x)
+      d.height0.at(x, y) = static_cast<float>(2.0 + 10.0 * h.at(x, y) / 255.0);
+
+  // Visible-channel intensity: brightness increases with cloud height
+  // (colder, thicker tops) plus fine fractal texture for the correlator.
+  const imaging::ImageF texture =
+      fractal_clouds(size, size, seed + 17, 5, size / 4.0);
+  d.left0 = imaging::ImageF(size, size);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x)
+      d.left0.at(x, y) = static_cast<float>(
+          0.6 * (d.height0.at(x, y) - 2.0) / 10.0 * 255.0 +
+          0.4 * texture.at(x, y));
+
+  // Hurricane wind: Rankine vortex centered on the image.
+  const double c = size / 2.0;
+  const WindModel wind = rankine_vortex(c, c, size / 5.0, max_speed_px);
+  d.truth = wind_to_flow(size, size, wind);
+
+  d.left1 = advect_frame(d.left0, wind);
+  d.height1 = advect_frame(d.height0, wind);
+
+  // Stereo: exact disparity from height via the GOES-6/7 geometry.
+  d.geometry = SatelliteGeometry{};
+  d.disparity0 = disparity_from_heights(d.height0, d.geometry);
+  d.disparity1 = disparity_from_heights(d.height1, d.geometry);
+  d.right0 = render_right(d.left0, d.disparity0);
+  d.right1 = render_right(d.left1, d.disparity1);
+
+  const int margin = std::max(4, size / 8);
+  d.tracks = manual_tracks(d.left0, d.truth, track_count, seed + 29, margin);
+  return d;
+}
+
+RapidScanDataset make_florida_analog(int size, int frames, std::uint32_t seed,
+                                     double max_speed_px) {
+  RapidScanDataset d;
+  const double c = size / 2.0;
+  // Anvil outflow over a weak easterly sheared background.
+  const WindModel outflow =
+      divergent_outflow(c, c, size / 4.0, max_speed_px);
+  const WindModel background = uniform_shear(-0.3, 0.1, 0.2 / size);
+  const WindModel wind = [outflow, background](double x, double y) {
+    const auto [u1, v1] = outflow(x, y);
+    const auto [u2, v2] = background(x, y);
+    return std::pair<double, double>{u1 + u2, v1 + v2};
+  };
+  const imaging::ImageF base =
+      fractal_clouds(size, size, seed, 5, size / 3.0);
+  d.frames = advect_sequence(base, wind, frames);
+  d.truth = wind_to_flow(size, size, wind);
+  const int margin = std::max(4, size / 8);
+  d.tracks = manual_tracks(base, d.truth, 32, seed + 7, margin);
+  return d;
+}
+
+RapidScanDataset make_luis_analog(int size, int frames, std::uint32_t seed,
+                                  double max_speed_px) {
+  RapidScanDataset d;
+  const double c = size / 2.0;
+  // Translating vortex: rotation plus steering flow.
+  const WindModel vortex =
+      rankine_vortex(c, c, size / 5.0, 0.8 * max_speed_px);
+  const WindModel wind = [vortex, max_speed_px](double x, double y) {
+    const auto [u, v] = vortex(x, y);
+    return std::pair<double, double>{u + 0.2 * max_speed_px,
+                                     v + 0.1 * max_speed_px};
+  };
+  const imaging::ImageF base =
+      fractal_clouds(size, size, seed, 5, size / 3.0);
+  d.frames = advect_sequence(base, wind, frames);
+  d.truth = wind_to_flow(size, size, wind);
+  const int margin = std::max(4, size / 8);
+  d.tracks = manual_tracks(base, d.truth, 32, seed + 11, margin);
+  return d;
+}
+
+FredericSequence make_frederic_sequence(int size, int steps,
+                                        std::uint32_t seed,
+                                        double max_speed_px) {
+  FredericSequence seq;
+  // Reuse the two-step builder for the scene and geometry, then advect
+  // onward for the remaining steps.
+  FredericDataset base = make_frederic_analog(size, seed, max_speed_px);
+  seq.geometry = base.geometry;
+  seq.truth = base.truth;
+  seq.tracks = base.tracks;
+  const double c = size / 2.0;
+  const WindModel wind = rankine_vortex(c, c, size / 5.0, max_speed_px);
+
+  seq.left.push_back(std::move(base.left0));
+  seq.height.push_back(std::move(base.height0));
+  seq.right.push_back(std::move(base.right0));
+  for (int t = 1; t < steps; ++t) {
+    seq.left.push_back(advect_frame(seq.left.back(), wind));
+    seq.height.push_back(advect_frame(seq.height.back(), wind));
+    const imaging::ImageF disparity =
+        disparity_from_heights(seq.height.back(), seq.geometry);
+    seq.right.push_back(render_right(seq.left.back(), disparity));
+  }
+  return seq;
+}
+
+MultispectralDataset make_multispectral_analog(int size, int frames,
+                                               std::uint32_t seed,
+                                               double max_speed_px) {
+  MultispectralDataset d;
+  const double c = size / 2.0;
+  const WindModel wind = [vortex = rankine_vortex(c, c, size / 5.0,
+                                                  0.7 * max_speed_px),
+                          drift = 0.3 * max_speed_px](double x, double y) {
+    const auto [u, v] = vortex(x, y);
+    return std::pair<double, double>{u + drift, v};
+  };
+  d.truth = wind_to_flow(size, size, wind);
+
+  // Complementary texture masks: VIS textured on the west ~half, IR on
+  // the east ~half, with a narrow textured overlap in the middle.
+  const imaging::ImageF tex_vis =
+      fractal_clouds(size, size, seed, 5, size / 3.0);
+  const imaging::ImageF tex_ir =
+      fractal_clouds(size, size, seed + 101, 5, size / 3.0);
+  imaging::ImageF vis0(size, size), ir0(size, size);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x) {
+      const double fx = static_cast<double>(x) / size;
+      // Smooth ramps avoid introducing artificial step edges that would
+      // themselves be trackable.
+      const double wv = std::clamp((0.45 - fx) / 0.1 + 1.0, 0.0, 1.0);
+      const double wi = std::clamp((fx - 0.45) / 0.1, 0.0, 1.0);
+      vis0.at(x, y) = static_cast<float>(128.0 +
+                                         wv * (tex_vis.at(x, y) - 128.0));
+      ir0.at(x, y) = static_cast<float>(128.0 +
+                                        wi * (tex_ir.at(x, y) - 128.0));
+    }
+  d.vis = advect_sequence(vis0, wind, frames);
+  d.ir = advect_sequence(ir0, wind, frames);
+
+  // Reference tracks drawn from the union of textured areas: texture
+  // score evaluated on the per-pixel max of both channels.
+  imaging::ImageF combined(size, size);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x)
+      combined.at(x, y) = std::max(
+          std::abs(vis0.at(x, y) - 128.0f), std::abs(ir0.at(x, y) - 128.0f));
+  const int margin = std::max(4, size / 8);
+  d.tracks = manual_tracks(combined, d.truth, 32, seed + 7, margin);
+  return d;
+}
+
+}  // namespace sma::goes

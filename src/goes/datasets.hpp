@@ -1,0 +1,92 @@
+// datasets.hpp — synthetic analogs of the paper's three GOES datasets.
+//
+// Sec. 5 evaluates on (1) Hurricane Frederic GOES-6/7 stereo time
+// sequences, (2) Hurricane Luis GOES-9 rapid-scan (monocular, 490
+// frames), and (3) a Florida thunderstorm GOES-9 rapid-scan (monocular,
+// 49 frames, ~1 minute interval).  These builders produce deterministic
+// synthetic equivalents with exact ground-truth motion and, for Frederic,
+// exact ground-truth disparity/height (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "goes/geometry.hpp"
+#include "goes/synth.hpp"
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::goes {
+
+/// Hurricane Frederic analog: stereo pairs at two time steps.
+struct FredericDataset {
+  imaging::ImageF left0, right0;   ///< rectified stereo pair at t_m
+  imaging::ImageF left1, right1;   ///< rectified stereo pair at t_{m+1}
+  imaging::ImageF height0, height1;///< true cloud-top heights (km)
+  imaging::ImageF disparity0, disparity1;  ///< true disparities (px)
+  imaging::FlowField truth;        ///< true motion field t_m -> t_{m+1}
+  std::vector<imaging::ReferenceTrack> tracks;  ///< 32 "manual" wind barbs
+  SatelliteGeometry geometry;
+};
+
+/// Builds a `size` x `size` Frederic analog: fractal multi-level cloud
+/// deck, Rankine-vortex wind (hurricane), stereo rendered from the height
+/// field via the linear disparity model.  `max_speed_px` bounds the
+/// per-frame displacement (keep it <= the intended z-search radius).
+FredericDataset make_frederic_analog(int size, std::uint32_t seed,
+                                     double max_speed_px = 3.0,
+                                     int track_count = 32);
+
+/// Monocular rapid-scan analog (Florida thunderstorm or Hurricane Luis).
+struct RapidScanDataset {
+  std::vector<imaging::ImageF> frames;
+  imaging::FlowField truth;  ///< per-interval motion (stationary wind)
+  std::vector<imaging::ReferenceTrack> tracks;
+};
+
+/// Florida thunderstorm analog: divergent outflow (anvil spreading) over
+/// a sheared background flow; `frames` images at a fixed interval
+/// (the paper used 49 images at ~1 minute).
+RapidScanDataset make_florida_analog(int size, int frames, std::uint32_t seed,
+                                     double max_speed_px = 2.0);
+
+/// Hurricane Luis analog: translating Rankine vortex; the paper processed
+/// a dense sequence of 490 frames with the continuous model.
+RapidScanDataset make_luis_analog(int size, int frames, std::uint32_t seed,
+                                  double max_speed_px = 2.0);
+
+/// Two-channel (visible + infrared) analog for the multispectral
+/// extension (paper Sec. 6 future work).  The channels share the same
+/// wind field but are textured in complementary regions: VIS carries
+/// structure on the west side, IR on the east, with a textured overlap
+/// band in the middle — the "cirrus visible only in IR" situation that
+/// motivates multispectral tracking.
+struct MultispectralDataset {
+  std::vector<imaging::ImageF> vis;
+  std::vector<imaging::ImageF> ir;
+  imaging::FlowField truth;
+  std::vector<imaging::ReferenceTrack> tracks;
+};
+
+MultispectralDataset make_multispectral_analog(int size, int frames,
+                                               std::uint32_t seed,
+                                               double max_speed_px = 1.5);
+
+/// Frederic analog extended to T time steps ("Four time sequential
+/// 512x512 pixel image pairs (T = 4) ... were processed", Sec. 5.1):
+/// stereo pairs, true heights/disparities and the dense truth flow for
+/// every consecutive interval (stationary vortex wind).
+struct FredericSequence {
+  std::vector<imaging::ImageF> left;    ///< T rectified left views
+  std::vector<imaging::ImageF> right;   ///< T rectified right views
+  std::vector<imaging::ImageF> height;  ///< T true height maps (km)
+  imaging::FlowField truth;             ///< per-interval motion
+  std::vector<imaging::ReferenceTrack> tracks;
+  SatelliteGeometry geometry;
+};
+
+FredericSequence make_frederic_sequence(int size, int steps,
+                                        std::uint32_t seed,
+                                        double max_speed_px = 2.0);
+
+}  // namespace sma::goes

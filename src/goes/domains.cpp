@@ -1,0 +1,122 @@
+#include "goes/domains.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "imaging/convolve.hpp"
+
+namespace sma::goes {
+
+OceanEddyDataset make_ocean_eddy_analog(int size, std::uint32_t seed,
+                                        double max_speed_px) {
+  OceanEddyDataset d;
+  // Counter-rotating eddy pair (positive west, negative east) over a
+  // weak eastward current — a classic mesoscale dipole.
+  const double cy = size / 2.0;
+  const WindModel eddy_w =
+      rankine_vortex(size * 0.32, cy, size / 6.0, 0.8 * max_speed_px);
+  const WindModel eddy_e =
+      rankine_vortex(size * 0.68, cy, size / 6.0, -0.8 * max_speed_px);
+  const WindModel current = uniform_shear(0.2 * max_speed_px, 0.0, 0.0);
+  const WindModel flow = [=](double x, double y) {
+    const auto [u1, v1] = eddy_w(x, y);
+    const auto [u2, v2] = eddy_e(x, y);
+    const auto [u3, v3] = current(x, y);
+    return std::pair<double, double>{u1 + u2 + u3, v1 + v2 + v3};
+  };
+
+  // SST-like tracer: smooth large-scale gradient plus mesoscale texture.
+  const imaging::ImageF texture = fractal_clouds(size, size, seed, 5,
+                                                 size / 3.0);
+  d.sst0 = imaging::ImageF(size, size);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x)
+      d.sst0.at(x, y) = static_cast<float>(
+          120.0 + 60.0 * y / size + 0.5 * (texture.at(x, y) - 128.0));
+  d.sst1 = advect_frame(d.sst0, flow);
+  d.truth = wind_to_flow(size, size, flow);
+  d.tracks = manual_tracks(d.sst0, d.truth, 32, seed + 3,
+                           std::max(4, size / 8));
+  return d;
+}
+
+namespace {
+
+// Soft-edged Gaussian blob with internal speckle so the correlator has
+// structure to latch onto.
+void splat_cell(imaging::ImageF& img, double cx, double cy, double radius,
+                double amplitude, std::uint32_t speckle_seed) {
+  std::mt19937 rng(speckle_seed);
+  std::uniform_real_distribution<double> jitter(0.7, 1.3);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const double r2 = ((x - cx) * (x - cx) + (y - cy) * (y - cy)) /
+                        (radius * radius);
+      if (r2 > 4.0) continue;
+      // Deterministic per-pixel speckle keyed off the lattice hash used
+      // by the cloud generator would be cleaner; a seeded modulation of
+      // the envelope suffices for matching structure.
+      const double speckle =
+          0.85 + 0.3 * std::sin(1.7 * x + 2.3 * y + speckle_seed);
+      img.at(x, y) += static_cast<float>(amplitude * speckle *
+                                         std::exp(-1.5 * r2) * jitter(rng));
+    }
+}
+
+}  // namespace
+
+CellDataset make_cell_analog(int size, int cell_count, std::uint32_t seed,
+                             double fission_speed) {
+  CellDataset d;
+  d.frame0 = imaging::ImageF(size, size, 12.0f);  // dark medium
+  d.frame1 = imaging::ImageF(size, size, 12.0f);
+  d.truth = imaging::FlowField(size, size);  // valid only on cells
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> pos(size * 0.2, size * 0.8);
+  std::uniform_real_distribution<double> vel(-1.5, 1.5);
+
+  for (int c = 0; c < cell_count; ++c) {
+    const double cx = pos(rng);
+    const double cy = pos(rng);
+    const double radius = size / 14.0;
+    const double u = vel(rng);
+    const double v = vel(rng);
+    const std::uint32_t sseed = seed * 31u + static_cast<std::uint32_t>(c);
+
+    if (c == 0) {
+      // Fission: the mother splits into daughters separating along x.
+      splat_cell(d.frame0, cx, cy, radius, 180.0, sseed);
+      splat_cell(d.frame1, cx + u - fission_speed, cy + v, radius * 0.8,
+                 170.0, sseed);
+      splat_cell(d.frame1, cx + u + fission_speed, cy + v, radius * 0.8,
+                 170.0, sseed + 7);
+      // Reference points sit one radius off-center so each belongs
+      // unambiguously to one daughter's intensity pattern.
+      d.tracks.push_back(
+          imaging::ReferenceTrack{static_cast<int>(cx - radius),
+                                  static_cast<int>(cy),
+                                  u - fission_speed, v});
+      d.tracks.push_back(
+          imaging::ReferenceTrack{static_cast<int>(cx + radius),
+                                  static_cast<int>(cy),
+                                  u + fission_speed, v});
+    } else {
+      splat_cell(d.frame0, cx, cy, radius, 180.0, sseed);
+      splat_cell(d.frame1, cx + u, cy + v, radius, 180.0, sseed);
+      d.tracks.push_back(imaging::ReferenceTrack{
+          static_cast<int>(cx), static_cast<int>(cy), u, v});
+      // Dense truth over the cell footprint.
+      for (int y = 0; y < size; ++y)
+        for (int x = 0; x < size; ++x)
+          if ((x - cx) * (x - cx) + (y - cy) * (y - cy) <
+              radius * radius * 2.25)
+            d.truth.set(x, y,
+                        imaging::FlowVector{static_cast<float>(u),
+                                            static_cast<float>(v), 0, 1});
+    }
+  }
+  return d;
+}
+
+}  // namespace sma::goes

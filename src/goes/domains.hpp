@@ -1,0 +1,53 @@
+// domains.hpp — the paper's non-meteorological application domains.
+//
+// Sec. 1 motivates the SMA algorithm beyond clouds: "Deformable motion
+// tracking of non-rigid biological objects and remotely sensed objects
+// such as clouds, atmospheric aerosols and gases, polar sea ice, or
+// ocean currents are important application domains", with semi-fluid
+// motion "exhibited frequently in nature such as ... ocean eddies and
+// currents that maintain identifiable features in multispectral
+// imagery, fission and fusion in biological microorganisms."
+//
+// Two synthetic analogs exercise those domains with exact ground truth:
+//
+//  * ocean eddy field — counter-rotating eddy pair over a background
+//    current acting on a sea-surface-temperature-like tracer field;
+//  * dividing microorganisms — soft-edged "cells" that translate and
+//    deform, one undergoing fission (splitting into two daughters moving
+//    apart) — a genuinely non-continuous motion only the semi-fluid
+//    mapping can represent inside one template.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "goes/synth.hpp"
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::goes {
+
+/// Ocean eddy analog: two counter-rotating Rankine eddies plus a uniform
+/// current, advecting a smooth SST-like tracer field.
+struct OceanEddyDataset {
+  imaging::ImageF sst0, sst1;       ///< tracer field at two times
+  imaging::FlowField truth;
+  std::vector<imaging::ReferenceTrack> tracks;
+};
+
+OceanEddyDataset make_ocean_eddy_analog(int size, std::uint32_t seed,
+                                        double max_speed_px = 2.0);
+
+/// Biological cell analog: `cell_count` soft blobs on a dark background;
+/// each translates with its own velocity and the first one splits into
+/// two daughters separating by `fission_speed` px/frame.
+struct CellDataset {
+  imaging::ImageF frame0, frame1;
+  imaging::FlowField truth;  ///< per-pixel motion of the dominant blob
+  std::vector<imaging::ReferenceTrack> tracks;  ///< one per cell/daughter
+};
+
+CellDataset make_cell_analog(int size, int cell_count, std::uint32_t seed,
+                             double fission_speed = 2.0);
+
+}  // namespace sma::goes

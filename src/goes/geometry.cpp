@@ -1,0 +1,25 @@
+#include "goes/geometry.hpp"
+
+namespace sma::goes {
+
+imaging::ImageF heights_from_disparity(const imaging::ImageF& disparity,
+                                       const SatelliteGeometry& geom) {
+  const double inv = 1.0 / geom.disparity_per_km();
+  imaging::ImageF out(disparity.width(), disparity.height());
+  for (int y = 0; y < disparity.height(); ++y)
+    for (int x = 0; x < disparity.width(); ++x)
+      out.at(x, y) = static_cast<float>(disparity.at(x, y) * inv);
+  return out;
+}
+
+imaging::ImageF disparity_from_heights(const imaging::ImageF& heights,
+                                       const SatelliteGeometry& geom) {
+  const double gain = geom.disparity_per_km();
+  imaging::ImageF out(heights.width(), heights.height());
+  for (int y = 0; y < heights.height(); ++y)
+    for (int x = 0; x < heights.width(); ++x)
+      out.at(x, y) = static_cast<float>(heights.at(x, y) * gain);
+  return out;
+}
+
+}  // namespace sma::goes

@@ -1,0 +1,54 @@
+// geometry.hpp — stereo satellite viewing geometry.
+//
+// "The estimated disparity or depth maps can be transformed into surface
+// maps z(t) of cloud-top heights ... using satellite and sensor geometry
+// information" (Sec. 2.1).  For two geostationary satellites subtending
+// angle theta at the imaged point (135 degrees for the GOES-6/7 Frederic
+// pair, Sec. 5.1), a cloud at height h above the reference surface shows
+// an epipolar parallax of approximately
+//
+//   disparity [km] = 2 h tan(theta / 2) * foreshortening
+//
+// which we fold into a single linear gain; sub-satellite pixels resolve
+// ~1 km (paper: "pixels in the center of the image span approximately
+// 1 sq-km").  The linearized model is exact for the synthetic datasets,
+// which generate disparity from height with the same gain.
+#pragma once
+
+#include <cmath>
+
+#include "imaging/image.hpp"
+
+namespace sma::goes {
+
+struct SatelliteGeometry {
+  double subtended_angle_deg = 135.0;  ///< GOES-6/7 Frederic baseline
+  double pixel_km = 1.0;               ///< ground sample distance at center
+  double foreshortening = 0.18;        ///< oblique-view parallax efficiency
+
+  /// Pixels of disparity per km of cloud height.
+  double disparity_per_km() const {
+    const double theta = subtended_angle_deg * M_PI / 180.0;
+    return 2.0 * std::tan(theta / 2.0) * foreshortening / pixel_km;
+  }
+
+  /// Cloud-top height (km) from disparity (pixels).
+  double height_from_disparity(double disparity_px) const {
+    return disparity_px / disparity_per_km();
+  }
+
+  /// Disparity (pixels) from cloud-top height (km).
+  double disparity_from_height(double height_km) const {
+    return height_km * disparity_per_km();
+  }
+};
+
+/// Element-wise conversion of a disparity map to a height map (km).
+imaging::ImageF heights_from_disparity(const imaging::ImageF& disparity,
+                                       const SatelliteGeometry& geom);
+
+/// Element-wise conversion of a height map (km) to a disparity map.
+imaging::ImageF disparity_from_heights(const imaging::ImageF& heights,
+                                       const SatelliteGeometry& geom);
+
+}  // namespace sma::goes

@@ -1,0 +1,68 @@
+#include "goes/storm_track.hpp"
+
+#include <cmath>
+
+namespace sma::goes {
+
+imaging::ImageF vorticity(const imaging::FlowField& flow) {
+  const int w = flow.width();
+  const int h = flow.height();
+  imaging::ImageF out(w, h, 0.0f);
+  for (int y = 1; y < h - 1; ++y)
+    for (int x = 1; x < w - 1; ++x) {
+      if (!flow.at(x, y).valid || !flow.at(x + 1, y).valid ||
+          !flow.at(x - 1, y).valid || !flow.at(x, y + 1).valid ||
+          !flow.at(x, y - 1).valid)
+        continue;
+      const double dvdx = 0.5 * (flow.at(x + 1, y).v - flow.at(x - 1, y).v);
+      const double dudy = 0.5 * (flow.at(x, y + 1).u - flow.at(x, y - 1).u);
+      out.at(x, y) = static_cast<float>(dvdx - dudy);
+    }
+  return out;
+}
+
+std::optional<VortexFix> locate_vortex(const imaging::FlowField& flow,
+                                       double fraction, double min_peak,
+                                       int margin) {
+  const imaging::ImageF vort = vorticity(flow);
+  // Dominant rotation sign: the larger of |max| and |min| (border margin
+  // excluded — clamped templates fabricate curl there).
+  float peak_pos = 0.0f, peak_neg = 0.0f;
+  for (int y = margin; y < vort.height() - margin; ++y)
+    for (int x = margin; x < vort.width() - margin; ++x) {
+      peak_pos = std::max(peak_pos, vort.at(x, y));
+      peak_neg = std::min(peak_neg, vort.at(x, y));
+    }
+  const bool positive = peak_pos >= -peak_neg;
+  const double peak = positive ? peak_pos : -peak_neg;
+  if (peak < min_peak) return std::nullopt;
+
+  const double cut = fraction * peak;
+  double sx = 0.0, sy = 0.0, sw = 0.0;
+  for (int y = margin; y < vort.height() - margin; ++y)
+    for (int x = margin; x < vort.width() - margin; ++x) {
+      const double v = positive ? vort.at(x, y) : -vort.at(x, y);
+      if (v < cut) continue;
+      sx += v * x;
+      sy += v * y;
+      sw += v;
+    }
+  if (sw <= 0.0) return std::nullopt;
+  VortexFix fix;
+  fix.x = sx / sw;
+  fix.y = sy / sw;
+  fix.circulation = positive ? sw : -sw;
+  return fix;
+}
+
+std::vector<std::optional<VortexFix>> storm_track(
+    const std::vector<imaging::FlowField>& flows, double fraction,
+    double min_peak, int margin) {
+  std::vector<std::optional<VortexFix>> fixes;
+  fixes.reserve(flows.size());
+  for (const auto& flow : flows)
+    fixes.push_back(locate_vortex(flow, fraction, min_peak, margin));
+  return fixes;
+}
+
+}  // namespace sma::goes

@@ -1,0 +1,43 @@
+// storm_track.hpp — vortex center estimation and storm-track products.
+//
+// The Hurricane Luis sequence (Sec. 5) is a translating vortex: a
+// natural derived product is the storm center position per frame and
+// its track over the sequence.  The center is located as the
+// circulation-weighted centroid of vorticity (the curl of the estimated
+// motion field concentrates at the vortex core), a standard technique
+// in satellite cyclone tracking.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "imaging/flow.hpp"
+
+namespace sma::goes {
+
+/// Discrete curl (vorticity) of the flow field via central differences;
+/// border pixels and pixels with invalid neighbors hold 0.
+imaging::ImageF vorticity(const imaging::FlowField& flow);
+
+struct VortexFix {
+  double x = 0.0, y = 0.0;   ///< estimated center (pixels)
+  double circulation = 0.0;  ///< summed vorticity in the core sign
+};
+
+/// Estimates the vortex center as the centroid of same-signed vorticity
+/// above `fraction` of the peak magnitude, ignoring a border `margin`
+/// (template clamping near image edges fabricates spurious curl).
+/// Returns nullopt if the flow carries no rotation (peak |vorticity|
+/// below `min_peak`).
+std::optional<VortexFix> locate_vortex(const imaging::FlowField& flow,
+                                       double fraction = 0.5,
+                                       double min_peak = 1e-3,
+                                       int margin = 2);
+
+/// Per-frame fixes for a tracked sequence; entries may be nullopt where
+/// no vortex was detectable.
+std::vector<std::optional<VortexFix>> storm_track(
+    const std::vector<imaging::FlowField>& flows, double fraction = 0.5,
+    double min_peak = 1e-3, int margin = 2);
+
+}  // namespace sma::goes

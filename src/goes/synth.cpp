@@ -1,0 +1,187 @@
+#include "goes/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "imaging/stats.hpp"
+
+namespace sma::goes {
+
+namespace {
+
+// Deterministic integer hash -> [0, 1).  Lattice noise must be a pure
+// function of (ix, iy, seed) so cloud fields are reproducible across
+// platforms and runs.
+double lattice_value(std::int32_t ix, std::int32_t iy, std::uint32_t seed) {
+  std::uint32_t h = seed;
+  h ^= static_cast<std::uint32_t>(ix) * 0x85ebca6bu;
+  h = (h << 13) | (h >> 19);
+  h ^= static_cast<std::uint32_t>(iy) * 0xc2b2ae35u;
+  h *= 0x27d4eb2fu;
+  h ^= h >> 15;
+  h *= 0x165667b1u;
+  h ^= h >> 13;
+  return static_cast<double>(h) / 4294967296.0;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+// One octave of value noise at the given wavelength.
+double value_noise(double x, double y, double wavelength, std::uint32_t seed) {
+  const double gx = x / wavelength;
+  const double gy = y / wavelength;
+  const auto ix = static_cast<std::int32_t>(std::floor(gx));
+  const auto iy = static_cast<std::int32_t>(std::floor(gy));
+  const double fx = smoothstep(gx - ix);
+  const double fy = smoothstep(gy - iy);
+  const double v00 = lattice_value(ix, iy, seed);
+  const double v10 = lattice_value(ix + 1, iy, seed);
+  const double v01 = lattice_value(ix, iy + 1, seed);
+  const double v11 = lattice_value(ix + 1, iy + 1, seed);
+  return (1 - fy) * ((1 - fx) * v00 + fx * v10) +
+         fy * ((1 - fx) * v01 + fx * v11);
+}
+
+}  // namespace
+
+imaging::ImageF fractal_clouds(int width, int height, std::uint32_t seed,
+                               int octaves, double base_wavelength) {
+  imaging::ImageF img(width, height);
+  double total_amp = 0.0;
+  {
+    double amp = 1.0;
+    for (int o = 0; o < octaves; ++o, amp *= 0.5) total_amp += amp;
+  }
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) {
+      double v = 0.0;
+      double amp = 1.0;
+      double wl = base_wavelength;
+      for (int o = 0; o < octaves; ++o) {
+        v += amp * value_noise(x, y, wl, seed + static_cast<std::uint32_t>(o));
+        amp *= 0.5;
+        wl *= 0.5;
+      }
+      img.at(x, y) = static_cast<float>(255.0 * v / total_amp);
+    }
+  return img;
+}
+
+WindModel rankine_vortex(double cx, double cy, double core_radius,
+                         double peak_speed) {
+  return [=](double x, double y) -> std::pair<double, double> {
+    const double dx = x - cx;
+    const double dy = y - cy;
+    const double r = std::sqrt(dx * dx + dy * dy);
+    if (r < 1e-9) return {0.0, 0.0};
+    const double speed = (r <= core_radius)
+                             ? peak_speed * (r / core_radius)
+                             : peak_speed * (core_radius / r);
+    // Tangential (counterclockwise): perpendicular to the radius vector.
+    return {-speed * dy / r, speed * dx / r};
+  };
+}
+
+WindModel divergent_outflow(double cx, double cy, double radius,
+                            double peak_speed) {
+  return [=](double x, double y) -> std::pair<double, double> {
+    const double dx = x - cx;
+    const double dy = y - cy;
+    const double r = std::sqrt(dx * dx + dy * dy);
+    if (r < 1e-9) return {0.0, 0.0};
+    const double speed =
+        (r <= radius) ? peak_speed * (r / radius) : peak_speed * (radius / r);
+    return {speed * dx / r, speed * dy / r};
+  };
+}
+
+WindModel uniform_shear(double u0, double v0, double shear) {
+  return [=](double /*x*/, double y) -> std::pair<double, double> {
+    return {u0 + shear * y, v0};
+  };
+}
+
+WindModel two_layer(const imaging::ImageF& mask, float threshold,
+                    WindModel upper, WindModel lower) {
+  // Capture the mask by value: generators outlive their inputs.
+  return [mask, threshold, upper = std::move(upper),
+          lower = std::move(lower)](double x, double y) {
+    const int ix = static_cast<int>(std::lround(x));
+    const int iy = static_cast<int>(std::lround(y));
+    return mask.at_clamped(ix, iy) >= threshold ? upper(x, y) : lower(x, y);
+  };
+}
+
+imaging::FlowField wind_to_flow(int width, int height, const WindModel& wind) {
+  imaging::FlowField flow(width, height);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) {
+      const auto [u, v] = wind(x, y);
+      flow.set(x, y, imaging::FlowVector{static_cast<float>(u),
+                                         static_cast<float>(v), 0.0f, 1});
+    }
+  return flow;
+}
+
+imaging::ImageF advect_frame(const imaging::ImageF& frame0,
+                             const WindModel& wind) {
+  imaging::ImageF out(frame0.width(), frame0.height());
+  for (int y = 0; y < frame0.height(); ++y)
+    for (int x = 0; x < frame0.width(); ++x) {
+      const auto [u, v] = wind(x, y);
+      out.at(x, y) = static_cast<float>(imaging::bilinear(frame0, x - u, y - v));
+    }
+  return out;
+}
+
+std::vector<imaging::ImageF> advect_sequence(const imaging::ImageF& base,
+                                             const WindModel& wind,
+                                             int count) {
+  std::vector<imaging::ImageF> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  frames.push_back(base);
+  for (int i = 1; i < count; ++i)
+    frames.push_back(advect_frame(frames.back(), wind));
+  return frames;
+}
+
+std::vector<imaging::ReferenceTrack> manual_tracks(
+    const imaging::ImageF& frame, const imaging::FlowField& truth, int count,
+    std::uint32_t seed, int margin) {
+  // Texture score: local 5x5 standard deviation.
+  const int w = frame.width();
+  const int h = frame.height();
+  imaging::ImageF texture(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      double s = 0.0, s2 = 0.0;
+      for (int v = -2; v <= 2; ++v)
+        for (int u = -2; u <= 2; ++u) {
+          const double p = frame.at_clamped(x + u, y + v);
+          s += p;
+          s2 += p * p;
+        }
+      const double mean = s / 25.0;
+      const double var = s2 / 25.0 - mean * mean;
+      texture.at(x, y) = static_cast<float>(var > 0 ? std::sqrt(var) : 0.0);
+    }
+  const imaging::Summary ts = imaging::summarize(texture);
+
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dx(margin, w - 1 - margin);
+  std::uniform_int_distribution<int> dy(margin, h - 1 - margin);
+  std::vector<imaging::ReferenceTrack> tracks;
+  int attempts = 0;
+  while (static_cast<int>(tracks.size()) < count && attempts < 100 * count) {
+    ++attempts;
+    const int x = dx(rng);
+    const int y = dy(rng);
+    if (texture.at(x, y) < ts.mean) continue;  // reject flat sky/ocean
+    const imaging::FlowVector t = truth.at(x, y);
+    tracks.push_back(imaging::ReferenceTrack{x, y, t.u, t.v});
+  }
+  return tracks;
+}
+
+}  // namespace sma::goes

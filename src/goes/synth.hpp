@@ -1,0 +1,81 @@
+// synth.hpp — synthetic GOES-like cloud imagery and wind fields.
+//
+// The paper evaluates on GOES-6/7 Hurricane Frederic stereo imagery and
+// GOES-9 Hurricane Luis / Florida thunderstorm rapid-scan sequences.
+// Those datasets are not distributable, so this module synthesizes
+// analogs with *known ground truth* (see DESIGN.md, substitution notes):
+//
+//  * fractal (spectral fBm) cloud fields — multiscale texture with the
+//    broadband spatial structure correlation trackers need;
+//  * analytic wind models — a Rankine vortex (hurricane analog), a
+//    divergent outflow (thunderstorm anvil analog), uniform advection
+//    with shear, and a two-layer composite (the multi-layer cloud case
+//    the semi-fluid model is designed for);
+//  * frame synthesis by backward warping, so the true per-pixel motion
+//    is exactly the analytic wind field evaluated at each pixel;
+//  * sparse "manual" reference tracks standing in for the paper's 32
+//    expert-tracked wind barbs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::goes {
+
+/// A wind model maps pixel coordinates to displacement in pixels per
+/// frame interval.
+using WindModel = std::function<std::pair<double, double>(double x, double y)>;
+
+/// Deterministic value-noise fBm cloud field in [0, 255].
+/// `octaves` layers of smoothed lattice noise, each halving wavelength
+/// and amplitude; `base_wavelength` is the coarsest lattice spacing.
+imaging::ImageF fractal_clouds(int width, int height, std::uint32_t seed,
+                               int octaves = 5, double base_wavelength = 32.0);
+
+/// Rankine vortex centered at (cx, cy): solid-body rotation inside
+/// `core_radius`, circulation decaying as 1/r outside.  `peak_speed` is
+/// the tangential speed (pixels/frame) at the core radius.
+WindModel rankine_vortex(double cx, double cy, double core_radius,
+                         double peak_speed);
+
+/// Divergent outflow from (cx, cy): radial speed grows linearly to
+/// `peak_speed` at `radius`, then decays as 1/r — a thunderstorm anvil
+/// spreading aloft.
+WindModel divergent_outflow(double cx, double cy, double radius,
+                            double peak_speed);
+
+/// Uniform advection (u0, v0) plus linear shear du/dy = `shear`.
+WindModel uniform_shear(double u0, double v0, double shear);
+
+/// Two-layer composite: `upper` wind where mask >= threshold, `lower`
+/// elsewhere — multilayer clouds whose layers move independently
+/// (the motivating case for semi-fluid motion, Sec. 1).
+WindModel two_layer(const imaging::ImageF& mask, float threshold,
+                    WindModel upper, WindModel lower);
+
+/// Samples the wind model into a dense flow field (u, v valid everywhere).
+imaging::FlowField wind_to_flow(int width, int height, const WindModel& wind);
+
+/// Synthesizes the next frame: frame1(x, y) = frame0(x - u, y - v), so
+/// features at (x, y) in frame0 appear at (x + u, y + v) in frame1 —
+/// i.e. the true forward motion at (x, y) is exactly (u, v) = wind(x, y)
+/// for slowly varying wind.
+imaging::ImageF advect_frame(const imaging::ImageF& frame0,
+                             const WindModel& wind);
+
+/// A sequence of `count` frames advected by `wind`, starting from `base`.
+std::vector<imaging::ImageF> advect_sequence(const imaging::ImageF& base,
+                                             const WindModel& wind, int count);
+
+/// Picks `count` well-textured reference pixels (local stddev above the
+/// image median) and records the true motion — the analog of the paper's
+/// "32 particles (pixels)" tracked manually by an expert meteorologist.
+std::vector<imaging::ReferenceTrack> manual_tracks(
+    const imaging::ImageF& frame, const imaging::FlowField& truth, int count,
+    std::uint32_t seed, int margin);
+
+}  // namespace sma::goes

@@ -1,0 +1,63 @@
+#include "goes/winds.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace sma::goes {
+
+WindVector wind_from_flow(double u_px, double v_px,
+                          const WindSampling& sampling) {
+  WindVector w;
+  const double meters_per_pixel = sampling.pixel_km * 1000.0;
+  const double east = u_px * meters_per_pixel / sampling.interval_s;
+  const double north = -v_px * meters_per_pixel / sampling.interval_s;
+  w.speed_ms = std::hypot(east, north);
+  w.speed_knots = w.speed_ms * 1.94384;
+  if (w.speed_ms > 1e-12) {
+    // Compass bearing the wind blows FROM: northerly -> 0, westerly -> 270.
+    double dir = 270.0 - std::atan2(north, east) * 180.0 / M_PI;
+    dir = std::fmod(dir, 360.0);
+    if (dir < 0.0) dir += 360.0;
+    w.direction_deg = dir;
+  }
+  return w;
+}
+
+std::vector<WindBarb> make_wind_barbs(const imaging::FlowField& flow,
+                                      const WindSampling& sampling,
+                                      int stride, const ClassMap* classes) {
+  if (stride < 1)
+    throw std::invalid_argument("make_wind_barbs: stride >= 1 required");
+  std::vector<WindBarb> barbs;
+  for (int y = 0; y < flow.height(); y += stride)
+    for (int x = 0; x < flow.width(); x += stride) {
+      const imaging::FlowVector f = flow.at(x, y);
+      if (!f.valid) continue;
+      CloudClass cls = CloudClass::kClear;
+      if (classes != nullptr) {
+        cls = static_cast<CloudClass>(classes->at(x, y));
+        if (cls == CloudClass::kClear) continue;  // winds need tracers
+      }
+      WindBarb b;
+      b.x = x;
+      b.y = y;
+      b.wind = wind_from_flow(f.u, f.v, sampling);
+      b.cloud_class = cls;
+      barbs.push_back(b);
+    }
+  return barbs;
+}
+
+void write_wind_barbs(const std::vector<WindBarb>& barbs,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_wind_barbs: cannot open " + path);
+  out << "# x y speed_ms speed_knots direction_deg class\n";
+  for (const WindBarb& b : barbs)
+    out << b.x << ' ' << b.y << ' ' << b.wind.speed_ms << ' '
+        << b.wind.speed_knots << ' ' << b.wind.direction_deg << ' '
+        << static_cast<int>(b.cloud_class) << "\n";
+}
+
+}  // namespace sma::goes

@@ -1,0 +1,59 @@
+// winds.hpp — meteorological wind products from motion fields.
+//
+// "Cloud motion vectors from the SMA algorithm can be used to estimate
+// the wind field that would be useful in a variety of meteorological
+// applications" (Abstract); the paper compares against expert wind
+// barbs (Sec. 5.1).  This module converts pixel-displacement flow into
+// physical winds (m/s, meteorological direction) using the sensor
+// ground sample distance and frame interval, and emits sparse wind-barb
+// records like the 32 the paper visualizes.
+//
+// Conventions: image +x is east, image +y is SOUTH (row index grows
+// downward), so the northward wind component is -v.  Meteorological
+// direction is the compass bearing the wind blows FROM (0 = northerly,
+// 90 = easterly, 270 = westerly).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "goes/classify.hpp"
+#include "imaging/flow.hpp"
+
+namespace sma::goes {
+
+struct WindSampling {
+  double pixel_km = 1.0;      ///< ground sample distance (paper: ~1 km)
+  double interval_s = 450.0;  ///< frame interval (Frederic: ~7.5 min)
+};
+
+struct WindVector {
+  double speed_ms = 0.0;
+  double speed_knots = 0.0;
+  double direction_deg = 0.0;  ///< meteorological (blowing FROM)
+};
+
+/// Converts one flow vector (pixels/frame) into a physical wind.
+WindVector wind_from_flow(double u_px, double v_px,
+                          const WindSampling& sampling);
+
+/// A sparse wind-barb record (the paper's manual-comparison product).
+struct WindBarb {
+  int x = 0, y = 0;
+  WindVector wind;
+  CloudClass cloud_class = CloudClass::kClear;
+};
+
+/// Samples every `stride`-th valid flow vector into barbs; when
+/// `classes` is non-null, clear pixels are skipped and cloudy barbs
+/// carry their deck class.
+std::vector<WindBarb> make_wind_barbs(const imaging::FlowField& flow,
+                                      const WindSampling& sampling,
+                                      int stride,
+                                      const ClassMap* classes = nullptr);
+
+/// Writes barbs as "x y speed_ms speed_knots direction_deg class" rows.
+void write_wind_barbs(const std::vector<WindBarb>& barbs,
+                      const std::string& path);
+
+}  // namespace sma::goes

@@ -1,0 +1,98 @@
+#include "imaging/flow.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sma::imaging {
+
+double rms_endpoint_error(const FlowField& flow,
+                          const std::vector<ReferenceTrack>& refs) {
+  if (refs.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : refs) {
+    if (!flow.u().contains(r.x, r.y)) continue;
+    const FlowVector f = flow.at(r.x, r.y);
+    const double du = f.u - r.u;
+    const double dv = f.v - r.v;
+    sum += du * du + dv * dv;
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::sqrt(sum / static_cast<double>(n));
+}
+
+double rms_endpoint_error(const FlowField& flow, const FlowField& truth,
+                          int margin) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (int y = margin; y < flow.height() - margin; ++y)
+    for (int x = margin; x < flow.width() - margin; ++x) {
+      const FlowVector f = flow.at(x, y);
+      if (!f.valid) continue;
+      const FlowVector t = truth.at(x, y);
+      const double du = f.u - t.u;
+      const double dv = f.v - t.v;
+      sum += du * du + dv * dv;
+      ++n;
+    }
+  return n == 0 ? 0.0 : std::sqrt(sum / static_cast<double>(n));
+}
+
+double mean_angular_error_deg(const FlowField& flow, const FlowField& truth,
+                              int margin) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (int y = margin; y < flow.height() - margin; ++y)
+    for (int x = margin; x < flow.width() - margin; ++x) {
+      const FlowVector f = flow.at(x, y);
+      if (!f.valid) continue;
+      const FlowVector t = truth.at(x, y);
+      const double num = f.u * t.u + f.v * t.v + 1.0;
+      const double den = std::sqrt((f.u * f.u + f.v * f.v + 1.0) *
+                                   (t.u * t.u + t.v * t.v + 1.0));
+      double c = num / den;
+      c = std::min(1.0, std::max(-1.0, c));
+      sum += std::acos(c) * 180.0 / M_PI;
+      ++n;
+    }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void write_flow_text(const FlowField& flow, const std::string& path,
+                     int stride) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_flow_text: cannot open " + path);
+  out << "# width " << flow.width() << " height " << flow.height()
+      << " stride " << stride << "\n";
+  for (int y = 0; y < flow.height(); y += stride)
+    for (int x = 0; x < flow.width(); x += stride) {
+      const FlowVector f = flow.at(x, y);
+      out << x << ' ' << y << ' ' << f.u << ' ' << f.v << ' ' << f.error
+          << ' ' << static_cast<int>(f.valid) << "\n";
+    }
+}
+
+FlowField read_flow_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_flow_text: cannot open " + path);
+  std::string header;
+  std::getline(in, header);
+  std::istringstream hs(header);
+  std::string hash, wtok, htok, stok;
+  int w = 0, h = 0, stride = 1;
+  hs >> hash >> wtok >> w >> htok >> h >> stok >> stride;
+  if (hash != "#" || w <= 0 || h <= 0 || stride != 1)
+    throw std::runtime_error("read_flow_text: bad header in " + path);
+  FlowField flow(w, h);
+  int x, y, valid;
+  FlowVector f;
+  while (in >> x >> y >> f.u >> f.v >> f.error >> valid) {
+    f.valid = static_cast<std::uint8_t>(valid);
+    flow.set(x, y, f);
+  }
+  return flow;
+}
+
+}  // namespace sma::imaging

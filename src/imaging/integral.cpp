@@ -1,0 +1,47 @@
+#include "imaging/integral.hpp"
+
+#include <algorithm>
+
+namespace sma::imaging {
+
+IntegralImage::IntegralImage(const ImageF& src)
+    : width_(src.width()), height_(src.height()),
+      table_(static_cast<std::size_t>(src.width() + 1) *
+                 static_cast<std::size_t>(src.height() + 1),
+             0.0) {
+  for (int y = 0; y < height_; ++y) {
+    double row = 0.0;
+    for (int x = 0; x < width_; ++x) {
+      row += src.at(x, y);
+      table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          at(x + 1, y) + row;
+    }
+  }
+}
+
+double IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const {
+  x0 = std::clamp(x0, 0, width_ - 1);
+  x1 = std::clamp(x1, 0, width_ - 1);
+  y0 = std::clamp(y0, 0, height_ - 1);
+  y1 = std::clamp(y1, 0, height_ - 1);
+  return at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0);
+}
+
+int IntegralImage::window_area(int x, int y, int radius, int width,
+                               int height) {
+  const int x0 = std::clamp(x - radius, 0, width - 1);
+  const int x1 = std::clamp(x + radius, 0, width - 1);
+  const int y0 = std::clamp(y - radius, 0, height - 1);
+  const int y1 = std::clamp(y + radius, 0, height - 1);
+  return (x1 - x0 + 1) * (y1 - y0 + 1);
+}
+
+ImageF shifted_product(const ImageF& a, const ImageF& b, int dx, int dy) {
+  ImageF out(a.width(), a.height());
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x)
+      out.at(x, y) = a.at(x, y) * b.at_clamped(x + dx, y + dy);
+  return out;
+}
+
+}  // namespace sma::imaging

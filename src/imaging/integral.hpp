@@ -1,0 +1,51 @@
+// integral.hpp — summed-area tables (integral images).
+//
+// O(1) rectangle sums after an O(WH) prefix pass — the standard
+// machinery for turning windowed correlation (the ASA inner loop) from
+// O(T^2) per candidate into O(1).  Sums are kept in double precision:
+// 512x512 images of squared 8-bit values reach ~10^10, beyond float.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace sma::imaging {
+
+class IntegralImage {
+ public:
+  IntegralImage() = default;
+  explicit IntegralImage(const ImageF& src);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Sum of src over the inclusive rectangle [x0, x1] x [y0, y1].
+  /// Coordinates are clamped into the image.
+  double rect_sum(int x0, int y0, int x1, int y1) const;
+
+  /// Sum over the (2*radius+1)^2 window centered at (x, y), clamped.
+  double window_sum(int x, int y, int radius) const {
+    return rect_sum(x - radius, y - radius, x + radius, y + radius);
+  }
+
+  /// Number of source pixels inside the clamped window (needed for means
+  /// near borders, where clamping shrinks the support).
+  static int window_area(int x, int y, int radius, int width, int height);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  // (width+1) x (height+1) exclusive prefix sums.
+  std::vector<double> table_;
+
+  double at(int x, int y) const {
+    return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+  }
+};
+
+/// Product image a(x, y) * b(x + dx, y + dy) with clamped b reads — the
+/// per-candidate input of the fast NCC.
+ImageF shifted_product(const ImageF& a, const ImageF& b, int dx, int dy);
+
+}  // namespace sma::imaging

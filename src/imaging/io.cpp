@@ -1,0 +1,131 @@
+#include "imaging/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sma::imaging {
+
+namespace {
+
+// Skips PNM whitespace and '#' comments.
+void skip_pnm_space(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_pnm_int(std::istream& in) {
+  skip_pnm_space(in);
+  int v = 0;
+  if (!(in >> v)) throw std::runtime_error("PNM: malformed integer field");
+  return v;
+}
+
+}  // namespace
+
+void write_pgm(const ImageF& img, const std::string& path, double lo,
+               double hi) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  const double scale = (hi > lo) ? 255.0 / (hi - lo) : 1.0;
+  std::vector<unsigned char> row(static_cast<std::size_t>(img.width()));
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double v = (img.at(x, y) - lo) * scale;
+      row[static_cast<std::size_t>(x)] =
+          static_cast<unsigned char>(std::clamp(v, 0.0, 255.0));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+}
+
+ImageF read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5" && magic != "P2")
+    throw std::runtime_error("read_pgm: not a PGM: " + path);
+  const int w = read_pnm_int(in);
+  const int h = read_pnm_int(in);
+  const int maxval = read_pnm_int(in);
+  if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 65535)
+    throw std::runtime_error("read_pgm: bad header in " + path);
+  ImageF img(w, h);
+  if (magic == "P2") {
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        img.at(x, y) = static_cast<float>(read_pnm_int(in));
+    return img;
+  }
+  in.get();  // single whitespace after maxval
+  if (maxval < 256) {
+    std::vector<unsigned char> row(static_cast<std::size_t>(w));
+    for (int y = 0; y < h; ++y) {
+      in.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+      if (!in) throw std::runtime_error("read_pgm: truncated " + path);
+      for (int x = 0; x < w; ++x)
+        img.at(x, y) = static_cast<float>(row[static_cast<std::size_t>(x)]);
+    }
+  } else {
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 2);
+    for (int y = 0; y < h; ++y) {
+      in.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+      if (!in) throw std::runtime_error("read_pgm: truncated " + path);
+      for (int x = 0; x < w; ++x)
+        img.at(x, y) = static_cast<float>(
+            (row[static_cast<std::size_t>(2 * x)] << 8) |
+            row[static_cast<std::size_t>(2 * x + 1)]);
+    }
+  }
+  return img;
+}
+
+void write_pfm(const ImageF& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pfm: cannot open " + path);
+  out << "Pf\n" << img.width() << ' ' << img.height() << "\n-1.0\n";
+  // PFM stores rows bottom-to-top.
+  for (int y = img.height() - 1; y >= 0; --y)
+    out.write(reinterpret_cast<const char*>(img.row(y)),
+              static_cast<std::streamsize>(sizeof(float)) * img.width());
+}
+
+ImageF read_pfm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pfm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "Pf") throw std::runtime_error("read_pfm: not grayscale PFM");
+  int w = 0, h = 0;
+  double scale = 0.0;
+  in >> w >> h >> scale;
+  in.get();
+  if (w <= 0 || h <= 0 || scale >= 0.0)
+    throw std::runtime_error("read_pfm: unsupported header (big-endian?)");
+  ImageF img(w, h);
+  for (int y = h - 1; y >= 0; --y) {
+    in.read(reinterpret_cast<char*>(img.row(y)),
+            static_cast<std::streamsize>(sizeof(float)) * w);
+    if (!in) throw std::runtime_error("read_pfm: truncated " + path);
+  }
+  return img;
+}
+
+}  // namespace sma::imaging

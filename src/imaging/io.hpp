@@ -1,0 +1,28 @@
+// io.hpp — PGM (P5) and PFM raster I/O.
+//
+// The GOES datasets the paper processes are plain 8-bit rasters; we read
+// and write binary PGM for intensity images and PFM (portable float map)
+// for surface/disparity maps so example programs can persist every
+// intermediate product.
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace sma::imaging {
+
+/// Writes a binary (P5) 8-bit PGM.  Values are clamped to [0, 255].
+void write_pgm(const ImageF& img, const std::string& path,
+               double lo = 0.0, double hi = 255.0);
+
+/// Reads a binary (P5) or ASCII (P2) PGM into floats in [0, 255].
+ImageF read_pgm(const std::string& path);
+
+/// Writes a little-endian single-channel PFM (grayscale, scale -1.0).
+void write_pfm(const ImageF& img, const std::string& path);
+
+/// Reads a little-endian single-channel PFM.
+ImageF read_pfm(const std::string& path);
+
+}  // namespace sma::imaging

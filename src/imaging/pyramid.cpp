@@ -1,0 +1,39 @@
+#include "imaging/pyramid.hpp"
+
+#include "imaging/convolve.hpp"
+
+namespace sma::imaging {
+
+ImageF downsample2(const ImageF& src) {
+  // 5-tap binomial [1 4 6 4 1]/16 prefilter, then decimate.
+  const ImageF blurred =
+      convolve_separable(src, {1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16});
+  const int w = (src.width() + 1) / 2;
+  const int h = (src.height() + 1) / 2;
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) out.at(x, y) = blurred.at_clamped(2 * x, 2 * y);
+  return out;
+}
+
+ImageF upsample_to(const ImageF& src, int width, int height, double value_gain) {
+  ImageF out(width, height);
+  const double sx = width > 1 ? static_cast<double>(src.width() - 1) / (width - 1) : 0.0;
+  const double sy = height > 1 ? static_cast<double>(src.height() - 1) / (height - 1) : 0.0;
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      out.at(x, y) = static_cast<float>(value_gain * bilinear(src, x * sx, y * sy));
+  return out;
+}
+
+Pyramid::Pyramid(const ImageF& base, int levels, int min_size) {
+  levels_.push_back(base);
+  for (int i = 1; i < levels; ++i) {
+    const ImageF& prev = levels_.back();
+    if ((prev.width() + 1) / 2 < min_size || (prev.height() + 1) / 2 < min_size)
+      break;
+    levels_.push_back(downsample2(prev));
+  }
+}
+
+}  // namespace sma::imaging

@@ -1,0 +1,43 @@
+// pyramid.hpp — Gaussian image pyramid for coarse-to-fine matching.
+//
+// The ASA stereo algorithm "uses the coarse disparity estimates to warp or
+// transform one view into the other thereby successively estimating smaller
+// disparities at finer resolutions of the hierarchy ... typically four
+// levels" (paper, Sec. 2.1).
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace sma::imaging {
+
+/// Level 0 is full resolution; each level halves both dimensions
+/// (rounded up) after a Gaussian prefilter.
+class Pyramid {
+ public:
+  Pyramid() = default;
+
+  /// Builds `levels` levels (>= 1).  Construction stops early if a level
+  /// would fall below `min_size` pixels on either side.
+  Pyramid(const ImageF& base, int levels, int min_size = 8);
+
+  int levels() const { return static_cast<int>(levels_.size()); }
+  const ImageF& level(int i) const { return levels_[static_cast<std::size_t>(i)]; }
+
+  /// Scale factor mapping level-i coordinates to level-0 coordinates (2^i).
+  static double scale(int i) { return static_cast<double>(1 << i); }
+
+ private:
+  std::vector<ImageF> levels_;
+};
+
+/// Downsample by two with a 5-tap binomial prefilter.
+ImageF downsample2(const ImageF& src);
+
+/// Upsample to an explicit size with bilinear interpolation; values are
+/// scaled by `value_gain` (disparity doubles when resolution doubles).
+ImageF upsample_to(const ImageF& src, int width, int height,
+                   double value_gain = 1.0);
+
+}  // namespace sma::imaging

@@ -1,0 +1,70 @@
+#include "imaging/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace sma::imaging {
+
+void write_flow_svg(const FlowField& flow, const std::string& path,
+                    const SvgQuiverOptions& options) {
+  if (options.background != nullptr &&
+      (options.background->width() != flow.width() ||
+       options.background->height() != flow.height()))
+    throw std::invalid_argument("write_flow_svg: background shape mismatch");
+
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_flow_svg: cannot open " + path);
+
+  const double ps = options.pixel_size;
+  const double wpx = flow.width() * ps;
+  const double hpx = flow.height() * ps;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << wpx
+      << "\" height=\"" << hpx << "\" viewBox=\"0 0 " << wpx << ' ' << hpx
+      << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (options.background != nullptr) {
+    // Coarse rectangles (one per stride cell) keep the file small while
+    // giving the Fig. 6 cloud-context backdrop.
+    const ImageF& bg = *options.background;
+    for (int y = 0; y < flow.height(); y += options.stride)
+      for (int x = 0; x < flow.width(); x += options.stride) {
+        const int v = static_cast<int>(
+            std::clamp(static_cast<double>(bg.at(x, y)), 0.0, 255.0));
+        out << "<rect x=\"" << x * ps << "\" y=\"" << y * ps << "\" width=\""
+            << options.stride * ps << "\" height=\"" << options.stride * ps
+            << "\" fill=\"rgb(" << v << ',' << v << ',' << v
+            << ")\" fill-opacity=\"0.5\"/>\n";
+      }
+  }
+
+  // Arrowhead marker.
+  out << "<defs><marker id=\"a\" markerWidth=\"6\" markerHeight=\"6\" "
+         "refX=\"5\" refY=\"3\" orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\" "
+         "fill=\""
+      << options.arrow_color << "\"/></marker></defs>\n";
+
+  for (int y = 0; y < flow.height(); y += options.stride)
+    for (int x = 0; x < flow.width(); x += options.stride) {
+      const FlowVector f = flow.at(x, y);
+      if (!f.valid) continue;
+      const double x0 = (x + 0.5) * ps;
+      const double y0 = (y + 0.5) * ps;
+      const double x1 = x0 + f.u * options.scale;
+      const double y1 = y0 + f.v * options.scale;
+      if (std::hypot(f.u, f.v) < 1e-3) {
+        out << "<circle cx=\"" << x0 << "\" cy=\"" << y0
+            << "\" r=\"1\" fill=\"" << options.arrow_color << "\"/>\n";
+      } else {
+        out << "<line x1=\"" << x0 << "\" y1=\"" << y0 << "\" x2=\"" << x1
+            << "\" y2=\"" << y1 << "\" stroke=\"" << options.arrow_color
+            << "\" stroke-width=\"1.2\" marker-end=\"url(#a)\"/>\n";
+      }
+    }
+  out << "</svg>\n";
+  if (!out) throw std::runtime_error("write_flow_svg: write failed " + path);
+}
+
+}  // namespace sma::imaging

@@ -1,0 +1,30 @@
+// svg.hpp — quiver (vector-arrow) rendering of flow fields to SVG.
+//
+// The paper's Fig. 6 shows motion vectors "for every 10th pixel" drawn
+// over the cloud imagery.  write_flow_svg regenerates that figure style
+// without any plotting dependency: an SVG with one arrow per sampled
+// valid vector, optionally over an embedded grayscale background.
+#pragma once
+
+#include <string>
+
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::imaging {
+
+struct SvgQuiverOptions {
+  int stride = 10;        ///< sample every n-th pixel (paper: 10)
+  double scale = 4.0;     ///< arrow length per pixel of displacement
+  double pixel_size = 8.0;///< SVG units per image pixel
+  std::string arrow_color = "#d62728";
+  /// Optional background image (same dimensions as the flow); nullptr
+  /// draws arrows on white.
+  const ImageF* background = nullptr;
+};
+
+/// Writes the quiver plot; throws std::runtime_error on I/O failure.
+void write_flow_svg(const FlowField& flow, const std::string& path,
+                    const SvgQuiverOptions& options = {});
+
+}  // namespace sma::imaging

@@ -1,0 +1,81 @@
+// least_squares.hpp — normal-equation accumulation for small LSQ problems.
+//
+// Both stages of the SMA algorithm are linear least squares with six
+// unknowns: the quadratic surface-patch fit (Sec. 2.2, Step 2 of the
+// paper) and the motion-parameter estimate obtained by "differentiating
+// with respect to the six unknown motion parameters and setting the six
+// first partial derivatives to zero".  NormalEquations6 accumulates the
+// rank-one updates A^T A and A^T b row by row so callers never materialize
+// the (possibly 14641-row) design matrix.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/gaussian_elimination.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sma::linalg {
+
+/// Accumulator for a 6-unknown least-squares problem min ||A x - b||^2.
+/// Rows are streamed in via `add_row`; `solve` performs the 6x6 Gaussian
+/// elimination on the normal equations.
+class NormalEquations6 {
+ public:
+  NormalEquations6() = default;
+
+  /// Adds one observation row `a` with target `b` and weight `w >= 0`.
+  /// Weighting implements the paper's E,G first-fundamental-form scaling.
+  void add_row(const Vec6& a, double b, double w = 1.0) {
+    for (std::size_t r = 0; r < 6; ++r) {
+      const double war = w * a[r];
+      if (war == 0.0) continue;
+      for (std::size_t c = r; c < 6; ++c) ata_(r, c) += war * a[c];
+      atb_[r] += war * b;
+    }
+    btb_ += w * b * b;
+    ++rows_;
+  }
+
+  /// Number of rows accumulated so far.
+  std::uint64_t rows() const { return rows_; }
+
+  /// Solves the normal equations; on kSingular `x` is untouched.
+  SolveStatus solve(Vec6& x, double eps = 1e-12) const {
+    Mat6 full;
+    for (std::size_t r = 0; r < 6; ++r)
+      for (std::size_t c = 0; c < 6; ++c)
+        full(r, c) = (c >= r) ? ata_(r, c) : ata_(c, r);
+    return solve6(full, atb_, x, eps);
+  }
+
+  /// Residual sum of squares ||A x - b||^2 for a candidate solution,
+  /// computed from the accumulated moments (no second pass over rows):
+  /// r = x^T (A^T A) x - 2 x^T (A^T b) + b^T b.
+  double residual(const Vec6& x) const {
+    double quad = 0.0;
+    for (std::size_t r = 0; r < 6; ++r)
+      for (std::size_t c = 0; c < 6; ++c) {
+        const double a = (c >= r) ? ata_(r, c) : ata_(c, r);
+        quad += x[r] * a * x[c];
+      }
+    const double lin = dot(x, atb_);
+    // Clamp tiny negative values caused by cancellation.
+    const double res = quad - 2.0 * lin + btb_;
+    return res > 0.0 ? res : 0.0;
+  }
+
+  void reset() {
+    ata_ = Mat6{};
+    atb_ = Vec6{};
+    btb_ = 0.0;
+    rows_ = 0;
+  }
+
+ private:
+  Mat6 ata_;          // upper triangle used
+  Vec6 atb_;
+  double btb_ = 0.0;  // Σ w b², for closed-form residuals
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace sma::linalg

@@ -1,0 +1,154 @@
+// matrix.hpp — small fixed-size dense matrices and vectors.
+//
+// The SMA algorithm (Palaniappan et al., IPPS 1996) is dominated by small
+// dense linear algebra: every quadratic surface-patch fit and every motion
+// parameter estimate reduces to a 6x6 linear system solved by Gaussian
+// elimination (paper, Sec. 2.2).  These types are deliberately simple —
+// stack-allocated, no heap, no virtual dispatch — so the per-pixel inner
+// loops stay allocation-free and vectorizable.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+
+namespace sma::linalg {
+
+/// Fixed-size column vector of doubles.
+template <std::size_t N>
+class Vec {
+ public:
+  constexpr Vec() : data_{} {}
+  constexpr Vec(std::initializer_list<double> init) : data_{} {
+    std::size_t i = 0;
+    for (double v : init) {
+      if (i >= N) break;
+      data_[i++] = v;
+    }
+  }
+
+  constexpr double& operator[](std::size_t i) { return data_[i]; }
+  constexpr double operator[](std::size_t i) const { return data_[i]; }
+  static constexpr std::size_t size() { return N; }
+
+  constexpr Vec& operator+=(const Vec& o) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  constexpr Vec& operator-=(const Vec& o) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  constexpr Vec& operator*=(double s) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] *= s;
+    return *this;
+  }
+
+  friend constexpr Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend constexpr Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend constexpr Vec operator*(Vec a, double s) { return a *= s; }
+  friend constexpr Vec operator*(double s, Vec a) { return a *= s; }
+
+  /// Euclidean inner product.
+  friend constexpr double dot(const Vec& a, const Vec& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < N; ++i) s += a.data_[i] * b.data_[i];
+    return s;
+  }
+
+  double norm() const { return std::sqrt(dot(*this, *this)); }
+
+  /// Max-norm distance, used by tests for approximate equality.
+  friend double max_abs_diff(const Vec& a, const Vec& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < N; ++i)
+      m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+    return m;
+  }
+
+ private:
+  std::array<double, N> data_;
+};
+
+/// 3-vector with cross product, used for surface normals.
+using Vec3 = Vec<3>;
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return Vec3{a[1] * b[2] - a[2] * b[1],
+              a[2] * b[0] - a[0] * b[2],
+              a[0] * b[1] - a[1] * b[0]};
+}
+
+/// Returns a/|a|; throws std::domain_error on (near-)zero input.
+inline Vec3 normalized(const Vec3& a) {
+  const double n = a.norm();
+  if (n < 1e-300) throw std::domain_error("normalized(): zero vector");
+  return a * (1.0 / n);
+}
+
+/// Fixed-size row-major dense matrix of doubles.
+template <std::size_t R, std::size_t C>
+class Mat {
+ public:
+  constexpr Mat() : data_{} {}
+
+  constexpr double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * C + c];
+  }
+  constexpr double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * C + c];
+  }
+
+  static constexpr std::size_t rows() { return R; }
+  static constexpr std::size_t cols() { return C; }
+
+  static constexpr Mat identity() {
+    static_assert(R == C, "identity() requires a square matrix");
+    Mat m;
+    for (std::size_t i = 0; i < R; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  constexpr Mat& operator+=(const Mat& o) {
+    for (std::size_t i = 0; i < R * C; ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  constexpr Mat& operator*=(double s) {
+    for (std::size_t i = 0; i < R * C; ++i) data_[i] *= s;
+    return *this;
+  }
+  friend constexpr Mat operator+(Mat a, const Mat& b) { return a += b; }
+  friend constexpr Mat operator*(Mat a, double s) { return a *= s; }
+
+  friend constexpr Vec<R> operator*(const Mat& m, const Vec<C>& v) {
+    Vec<R> out;
+    for (std::size_t r = 0; r < R; ++r) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < C; ++c) s += m(r, c) * v[c];
+      out[r] = s;
+    }
+    return out;
+  }
+
+  template <std::size_t K>
+  friend constexpr Mat<R, K> operator*(const Mat& a, const Mat<C, K>& b) {
+    Mat<R, K> out;
+    for (std::size_t r = 0; r < R; ++r)
+      for (std::size_t k = 0; k < K; ++k) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < C; ++c) s += a(r, c) * b(c, k);
+        out(r, k) = s;
+      }
+    return out;
+  }
+
+ private:
+  std::array<double, R * C> data_;
+};
+
+using Mat6 = Mat<6, 6>;
+using Vec6 = Vec<6>;
+
+}  // namespace sma::linalg

@@ -1,0 +1,78 @@
+#include "maspar/acu.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sma::maspar {
+
+template <typename Fold>
+double Acu::reduce(const PluralScalar& v, double init, Fold fold) {
+  // A tree reduction combines pairs over ceil(log2 P) X-net steps; each
+  // step moves one word per (still participating) PE.
+  const int pe_count = spec_.pe_count();
+  const auto steps = static_cast<std::uint64_t>(
+      std::bit_width(static_cast<unsigned>(pe_count - 1)));
+  reduction_steps_ += steps;
+  counters_.xnet_shifts += steps;
+  counters_.xnet_words += static_cast<std::uint64_t>(v.active_count());
+
+  double acc = init;
+  for (std::size_t i = 0; i < v.values_.size(); ++i)
+    if (v.active_[i]) acc = fold(acc, static_cast<double>(v.values_[i]));
+  return acc;
+}
+
+double Acu::reduce_add(const PluralScalar& v) {
+  return reduce(v, 0.0, [](double a, double b) { return a + b; });
+}
+
+double Acu::reduce_min(const PluralScalar& v) {
+  return reduce(v, std::numeric_limits<double>::infinity(),
+                [](double a, double b) { return a < b ? a : b; });
+}
+
+double Acu::reduce_max(const PluralScalar& v) {
+  return reduce(v, -std::numeric_limits<double>::infinity(),
+                [](double a, double b) { return a > b ? a : b; });
+}
+
+bool Acu::global_or(const PluralScalar& v) {
+  return reduce(v, 0.0, [](double a, double b) {
+           return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+         }) != 0.0;
+}
+
+void Acu::router_permute(PluralScalar& v, const std::vector<int>& dest) {
+  const int pe_count = spec_.pe_count();
+  if (dest.size() != static_cast<std::size_t>(pe_count))
+    throw std::invalid_argument("router_permute: one destination per PE");
+
+  std::vector<float> next = v.values_;
+  std::vector<unsigned char> written(static_cast<std::size_t>(pe_count), 0);
+  std::uint64_t collisions = 0;
+  for (int src = 0; src < pe_count; ++src) {
+    if (!v.active_[static_cast<std::size_t>(src)]) continue;
+    const int d = dest[static_cast<std::size_t>(src)];
+    if (d < 0 || d >= pe_count)
+      throw std::out_of_range("router_permute: destination out of range");
+    if (written[static_cast<std::size_t>(d)]) ++collisions;
+    next[static_cast<std::size_t>(d)] =
+        v.values_[static_cast<std::size_t>(src)];
+    written[static_cast<std::size_t>(d)] = 1;
+    ++counters_.router_words;
+  }
+  // Colliding sends serialize through the router: account them again.
+  counters_.router_words += collisions;
+  v.values_ = std::move(next);
+}
+
+double Acu::modeled_seconds() const {
+  constexpr double kWord = sizeof(float);
+  return static_cast<double>(counters_.xnet_words) * kWord / spec_.xnet_bw +
+         static_cast<double>(counters_.router_words) * kWord /
+             spec_.router_bw;
+}
+
+}  // namespace sma::maspar

@@ -1,0 +1,112 @@
+// acu.hpp — Array Control Unit operations and global communication.
+//
+// The MP-2's PEs operate "under the control of an Array Control Unit"
+// (Sec. 3.1).  Beyond broadcasting instructions, the ACU provides the
+// global primitives MPL exposes: reductions over all active PEs
+// (reduceAdd/reduceMin/globalor), an activity mask (the `if` statement
+// on plural values disables PEs), and router-based permutations
+// (`router[dest].var = var`).  The SMA implementation uses reductions
+// for convergence/statistics and the activity mask for the boundary
+// PEs whose pixels fall outside the image.
+//
+// Every operation is metered: reductions cost ceil(log2(P)) X-net
+// combine steps; router permutations move one word per active PE
+// through the 1.3 GB/s crossbar (Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "maspar/plural.hpp"
+
+namespace sma::maspar {
+
+/// One float per PE (a plural scalar register) plus the activity mask.
+class PluralScalar {
+ public:
+  explicit PluralScalar(const MachineSpec& spec, float fill = 0.0f)
+      : spec_(spec),
+        values_(static_cast<std::size_t>(spec.pe_count()), fill),
+        active_(static_cast<std::size_t>(spec.pe_count()), 1) {}
+
+  const MachineSpec& spec() const { return spec_; }
+
+  float& at(int ixproc, int iyproc) {
+    return values_[index(ixproc, iyproc)];
+  }
+  float at(int ixproc, int iyproc) const {
+    return values_[index(ixproc, iyproc)];
+  }
+
+  bool active(int ixproc, int iyproc) const {
+    return active_[index(ixproc, iyproc)] != 0;
+  }
+  void set_active(int ixproc, int iyproc, bool a) {
+    active_[index(ixproc, iyproc)] = a ? 1 : 0;
+  }
+
+  /// Enables exactly the PEs where `pred` holds (MPL's plural if).
+  void activate_where(const std::function<bool(float)>& pred) {
+    for (std::size_t i = 0; i < values_.size(); ++i)
+      active_[i] = pred(values_[i]) ? 1 : 0;
+  }
+
+  /// All PEs re-enabled (MPL's `all`).
+  void activate_all() { active_.assign(active_.size(), 1); }
+
+  std::size_t active_count() const {
+    std::size_t n = 0;
+    for (unsigned char a : active_) n += a;
+    return n;
+  }
+
+ private:
+  friend class Acu;
+  std::size_t index(int ixproc, int iyproc) const {
+    return static_cast<std::size_t>(iyproc) * spec_.nxproc + ixproc;
+  }
+
+  MachineSpec spec_;
+  std::vector<float> values_;
+  std::vector<unsigned char> active_;
+};
+
+/// ACU-side global operations with cycle/traffic accounting.
+class Acu {
+ public:
+  explicit Acu(MachineSpec spec) : spec_(spec) {}
+
+  /// Sum over active PEs (MPL reduceAddf).
+  double reduce_add(const PluralScalar& v);
+  /// Minimum over active PEs; +inf when none are active.
+  double reduce_min(const PluralScalar& v);
+  /// Maximum over active PEs; -inf when none are active.
+  double reduce_max(const PluralScalar& v);
+  /// True if any active PE holds a nonzero value (MPL globalor).
+  bool global_or(const PluralScalar& v);
+
+  /// Router permutation: dest_pe[i] receives the value of PE i
+  /// (MPL `router[dest].x = x`).  Destinations are linear PE indices;
+  /// inactive PEs send nothing (their destination slot keeps its old
+  /// value).  Collisions are resolved last-writer-wins in PE order,
+  /// matching the router's serialization; the collision count is
+  /// reported in the counters as extra router words.
+  void router_permute(PluralScalar& v, const std::vector<int>& dest);
+
+  /// Modeled seconds spent on the operations so far.
+  double modeled_seconds() const;
+
+  const CommCounters& counters() const { return counters_; }
+  std::uint64_t reduction_steps() const { return reduction_steps_; }
+
+ private:
+  template <typename Fold>
+  double reduce(const PluralScalar& v, double init, Fold fold);
+
+  MachineSpec spec_;
+  CommCounters counters_;
+  std::uint64_t reduction_steps_ = 0;
+};
+
+}  // namespace sma::maspar

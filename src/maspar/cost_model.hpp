@@ -1,0 +1,111 @@
+// cost_model.hpp — analytic wall-clock model for paper-scale runs.
+//
+// Full paper-scale SMA (512x512, 121x121 templates) is ~10^4..10^5
+// machine-seconds even on the MP-2, so the benches execute *scaled*
+// problems and this model extrapolates to paper scale (DESIGN.md,
+// "Scaled-size policy").  The model is flop counting over the Workload
+// op counts at the machines' sustained rates (Sec. 3.1 constants), with
+// per-operation flop weights calibrated ONCE against the paper's own
+// numbers and then reused unchanged across every experiment:
+//
+//   * kErrTermFlopsPar = 75: evaluating the Eq. (4)-(5) error pair for
+//     one template pixel in optimized MPL.  Check: Table 2 hypothesis
+//     matching = P*169*(14641*75 + 160)/1.44e9 = 3.38e4 s (paper 3.34e4).
+//   * kErrTermFlopsSeq = 150: the same in the *un-optimized* scalar
+//     baseline (recomputed subexpressions, pointer chasing; Sec. 4 calls
+//     the sequential version un-optimized).  Check: Table 4 sequential =
+//     2 * P*225*(225*150+160)/1.44e7 flops/s = 1.4e5 s (paper 1.49e5 s).
+//   * kPatchFitFlopsPerWinPx = 130 (+kSolve6 = 160): Table 2 surface fit
+//     = 4*P*(25*130+160)/1.44e9 = 2.48 s (paper 2.50 s).
+//   * kGeomFlops = 50 (normals need rsqrt): Table 2 geometric variables
+//     = 4*P*50/1.44e9 = 0.036 s (paper 0.037 s).
+//   * kDiscParamFlops = 60: computing one Eq. (11) discriminant
+//     parameter during the precomputed semi-fluid mapping phase.  Check:
+//     Table 2 semi-fluid mapping = P*(15^2 * 25 * 60)/1.44e9 = 61 s
+//     (paper 67 s).
+//   * kDiscTermFlops = 3: one cached-discriminant squared difference in
+//     the sequential naive path.
+//
+// Machine rates: MP-2 sustained double precision = 2.4 GFlops * 60%
+// (Sec. 3.1); SGI R8000/90 sustained = 360 MFlops * 4% — the single
+// calibrated fraction that makes the Fig. 4 / Table 2 sequential
+// projection come out at the paper's 397 days (the paper itself reports
+// Fig. 4 underestimates it at 313 days, so a few-percent sustained rate
+// is what their own numbers imply).
+//
+// With these constants fixed, the model *derives* the paper's headline
+// results rather than hard-coding them: Frederic speedup ~1100 (paper
+// 1025), GOES-9 speedup ~200 (paper 193), Luis >150, and the Fig. 4
+// superlinear template curve — including the structural explanation that
+// the semi-fluid precompute optimization (absent from the sequential
+// code) is why the semi-fluid dataset gains 5x more than the continuous
+// one.
+#pragma once
+
+#include "core/workload.hpp"
+#include "maspar/machine.hpp"
+
+namespace sma::maspar {
+
+/// Phase wall-clock estimates in seconds (Table 2 / Table 4 rows).
+struct PhaseTimes {
+  double surface_fit = 0.0;
+  double geometric_vars = 0.0;
+  double semifluid_mapping = 0.0;
+  double hypothesis_matching = 0.0;
+
+  double total() const {
+    return surface_fit + geometric_vars + semifluid_mapping +
+           hypothesis_matching;
+  }
+};
+
+class CostModel {
+ public:
+  // Calibrated flop weights (see file header).
+  static constexpr double kErrTermFlopsPar = 75.0;
+  static constexpr double kErrTermFlopsSeq = 150.0;
+  static constexpr double kSolve6Flops = 160.0;
+  static constexpr double kPatchFitFlopsPerWinPx = 130.0;
+  static constexpr double kGeomFlops = 50.0;
+  static constexpr double kDiscParamFlops = 60.0;
+  static constexpr double kDiscTermFlops = 3.0;
+
+  explicit CostModel(MachineSpec mp2 = {}, SgiSpec sgi = {})
+      : mp2_(mp2), sgi_(sgi) {}
+
+  const MachineSpec& mp2() const { return mp2_; }
+  const SgiSpec& sgi() const { return sgi_; }
+
+  /// MP-2 (optimized parallel) phase times for one image pair.
+  /// `image_count` is the number of patch-fitted images (4 when both
+  /// intensity and surface are processed at both steps, Sec. 3).
+  PhaseTimes mp2_times(const core::Workload& w, int image_count = 4) const;
+
+  /// SGI (un-optimized sequential) phase times for one image pair.  The
+  /// sequential code evaluates the semi-fluid search naively inside the
+  /// hypothesis loop (no precomputed template mappings).
+  PhaseTimes sgi_times(const core::Workload& w, int image_count = 4) const;
+
+  /// Fig. 4: sequential seconds to evaluate ONE pixel correspondence
+  /// (one hypothesis) for a given z-template radius.  Multiply by search
+  /// window and image pixels to project a full run, as the paper does.
+  double sgi_seconds_per_correspondence(const core::SmaConfig& config) const;
+
+  /// Projected speedup (SGI total / MP-2 total).
+  double speedup(const core::Workload& w, int image_count = 4) const;
+
+  /// MPDA streaming time for a frame sequence (Sec. 3.1: >30 MB/s).
+  double mpda_seconds(std::uint64_t total_bytes) const {
+    return static_cast<double>(total_bytes) / mp2_.mpda_bw;
+  }
+
+ private:
+  double mp2_rate() const { return mp2_.sustained_dp_flops(); }
+  double sgi_rate() const { return sgi_.sustained_flops(); }
+
+  MachineSpec mp2_;
+  SgiSpec sgi_;
+};
+
+}  // namespace sma::maspar

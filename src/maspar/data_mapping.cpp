@@ -1,0 +1,73 @@
+#include "maspar/data_mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sma::maspar {
+
+PixelLocation HierarchicalMap::to_pe(int x, int y) const {
+  PixelLocation loc;
+  loc.ixproc = x / xvr_;
+  loc.iyproc = y / yvr_;
+  loc.mem = (x % xvr_) + xvr_ * (y % yvr_);
+  return loc;
+}
+
+void HierarchicalMap::to_xy(const PixelLocation& loc, int& x, int& y) const {
+  // Eq. (13): x = ixproc*xvr + (mem mod xvr), y = iyproc*yvr + (mem div xvr).
+  x = loc.ixproc * xvr_ + loc.mem % xvr_;
+  y = loc.iyproc * yvr_ + loc.mem / xvr_;
+  if (x >= width_) x = -1;
+  if (y >= height_) y = -1;
+}
+
+PixelLocation CutAndStackMap::to_pe(int x, int y) const {
+  const std::int64_t k =
+      static_cast<std::int64_t>(y) * width_ + x;  // raster index
+  const int p = static_cast<int>(k % spec_.pe_count());
+  PixelLocation loc;
+  loc.ixproc = p % spec_.nxproc;
+  loc.iyproc = p / spec_.nxproc;
+  loc.mem = static_cast<int>(k / spec_.pe_count());
+  return loc;
+}
+
+void CutAndStackMap::to_xy(const PixelLocation& loc, int& x, int& y) const {
+  const std::int64_t p =
+      static_cast<std::int64_t>(loc.iyproc) * spec_.nxproc + loc.ixproc;
+  const std::int64_t k =
+      static_cast<std::int64_t>(loc.mem) * spec_.pe_count() + p;
+  if (k >= static_cast<std::int64_t>(width_) * height_) {
+    x = y = -1;
+    return;
+  }
+  x = static_cast<int>(k % width_);
+  y = static_cast<int>(k / width_);
+}
+
+int mesh_hops(const DataMapping& map, int x0, int y0, int x1, int y1) {
+  const PixelLocation a = map.to_pe(x0, y0);
+  const PixelLocation b = map.to_pe(x1, y1);
+  const int nx = map.spec().nxproc;
+  const int ny = map.spec().nyproc;
+  // Toroidal Chebyshev distance (Fig. 1 notes toroidal connections).
+  int dx = std::abs(a.ixproc - b.ixproc);
+  int dy = std::abs(a.iyproc - b.iyproc);
+  dx = std::min(dx, nx - dx);
+  dy = std::min(dy, ny - dy);
+  return std::max(dx, dy);
+}
+
+std::uint64_t neighborhood_hops(const DataMapping& map, int x, int y,
+                                int radius) {
+  std::uint64_t total = 0;
+  for (int v = -radius; v <= radius; ++v)
+    for (int u = -radius; u <= radius; ++u) {
+      const int sx = std::clamp(x + u, 0, map.width() - 1);
+      const int sy = std::clamp(y + v, 0, map.height() - 1);
+      total += static_cast<std::uint64_t>(mesh_hops(map, x, y, sx, sy));
+    }
+  return total;
+}
+
+}  // namespace sma::maspar

@@ -1,0 +1,94 @@
+// data_mapping.hpp — folding 2-D images onto the PE array (Sec. 3.2).
+//
+// A 512 x 512 image cannot be stored one pixel per PE on a 128 x 128
+// grid; each PE stores yvr x xvr = ceil(M/nyproc) x ceil(N/nxproc)
+// pixels.  The paper chooses a *2-D hierarchical* mapping — contiguous
+// xvr x yvr pixel blocks per PE, "since neighboring pixels are stored on
+// neighboring processors" (Eq. 12):
+//
+//   iyproc = y div yvr,   ixproc = x div xvr,
+//   mem    = (x mod xvr) + xvr * (y mod yvr)
+//
+// with the inverse of Eq. (13).  The rejected alternative is the
+// *cut-and-stack* mapping, which deals pixels round-robin across the PE
+// array in raster order; it balances load but scatters neighborhoods
+// across the whole machine.  `mesh_hops` quantifies the difference: the
+// number of 8-way X-net hops between the PEs holding two pixels — the
+// quantity bench_datamap_ablation sums over SMA neighborhood accesses.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "maspar/machine.hpp"
+
+namespace sma::maspar {
+
+/// A pixel's storage location: PE grid coordinates plus the memory slot
+/// ("layer") inside that PE.
+struct PixelLocation {
+  int ixproc = 0;
+  int iyproc = 0;
+  int mem = 0;
+
+  friend bool operator==(const PixelLocation&, const PixelLocation&) = default;
+};
+
+/// Shared geometry for both mappings.
+class DataMapping {
+ public:
+  DataMapping(int image_width, int image_height, const MachineSpec& spec)
+      : width_(image_width), height_(image_height), spec_(spec),
+        xvr_((image_width + spec.nxproc - 1) / spec.nxproc),
+        yvr_((image_height + spec.nyproc - 1) / spec.nyproc) {
+    if (image_width <= 0 || image_height <= 0)
+      throw std::invalid_argument("DataMapping: empty image");
+  }
+  virtual ~DataMapping() = default;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int xvr() const { return xvr_; }              ///< pixels per PE in x
+  int yvr() const { return yvr_; }              ///< pixels per PE in y
+  int layers() const { return xvr_ * yvr_; }    ///< memory slots per PE
+  const MachineSpec& spec() const { return spec_; }
+
+  virtual PixelLocation to_pe(int x, int y) const = 0;
+  /// Inverse; out-of-image slots (padding when M,N are not multiples of
+  /// the grid) return x or y == -1.
+  virtual void to_xy(const PixelLocation& loc, int& x, int& y) const = 0;
+
+ protected:
+  int width_, height_;
+  MachineSpec spec_;
+  int xvr_, yvr_;
+};
+
+/// Eq. (12)/(13): contiguous blocks, neighbors stay near.
+class HierarchicalMap final : public DataMapping {
+ public:
+  using DataMapping::DataMapping;
+  PixelLocation to_pe(int x, int y) const override;
+  void to_xy(const PixelLocation& loc, int& x, int& y) const override;
+};
+
+/// Round-robin raster dealing: pixel k of the raster goes to PE
+/// (k mod P), layer (k div P).  Load-balanced but locality-destroying.
+class CutAndStackMap final : public DataMapping {
+ public:
+  using DataMapping::DataMapping;
+  PixelLocation to_pe(int x, int y) const override;
+  void to_xy(const PixelLocation& loc, int& x, int& y) const override;
+};
+
+/// 8-way mesh hop count between the PEs holding two pixels: Chebyshev
+/// distance on the PE grid (diagonal X-net links count one hop), with
+/// toroidal wraparound.
+int mesh_hops(const DataMapping& map, int x0, int y0, int x1, int y1);
+
+/// Total mesh hops to gather a full (2*radius+1)^2 neighborhood into the
+/// PE holding (x, y) — the ablation metric of Sec. 3.2.
+std::uint64_t neighborhood_hops(const DataMapping& map, int x, int y,
+                                int radius);
+
+}  // namespace sma::maspar

@@ -1,0 +1,54 @@
+#include "maspar/instruction_model.hpp"
+
+namespace sma::maspar {
+
+InstructionTally InstructionModel::tally_hypothesis_matching(
+    const core::Workload& w) const {
+  // Pixels resident on one PE (2-D hierarchical mapping).
+  const std::uint64_t px_per_pe =
+      (w.pixels() + static_cast<std::uint64_t>(spec_.pe_count()) - 1) /
+      static_cast<std::uint64_t>(spec_.pe_count());
+
+  // One Eq. (4)-(5) error-term evaluation: the two epsilon expressions
+  // and their normal-equation contribution (~40 dp flops), loop/index
+  // arithmetic (~10 ALU ops), reads of the before-geometry variables and
+  // the observed normal (~16 direct plural words), and the
+  // template-mapping lookup, which is pointer-addressed (~4 indirect
+  // words).
+  InstructionTally per_term;
+  per_term.dp_flops = 40;
+  per_term.alu_ops = 10;
+  per_term.direct_loads = 16;
+  per_term.indirect_loads = 4;
+
+  // One 6x6 elimination per hypothesis.
+  InstructionTally per_solve;
+  per_solve.dp_flops = 160;
+  per_solve.alu_ops = 40;
+  per_solve.direct_loads = 36;
+
+  const std::uint64_t terms = px_per_pe * w.hypotheses_per_pixel() *
+                              w.error_terms_per_hypothesis();
+  const std::uint64_t solves = px_per_pe * w.hypotheses_per_pixel();
+
+  InstructionTally total;
+  total.dp_flops = terms * per_term.dp_flops + solves * per_solve.dp_flops;
+  total.alu_ops = terms * per_term.alu_ops + solves * per_solve.alu_ops;
+  total.direct_loads =
+      terms * per_term.direct_loads + solves * per_solve.direct_loads;
+  total.indirect_loads = terms * per_term.indirect_loads;
+  return total;
+}
+
+double InstructionModel::seconds(const InstructionTally& t) const {
+  const double cycles =
+      static_cast<double>(t.dp_flops) * cycles_per_dp_flop() +
+      static_cast<double>(t.alu_ops) * 1.0 +
+      static_cast<double>(t.direct_loads) * cycles_per_direct_load() +
+      static_cast<double>(t.indirect_loads) * cycles_per_indirect_load();
+  // SIMD lockstep: all PEs execute the same stream, so wall-clock is one
+  // PE's cycle count, derated by the sustained-issue fraction.
+  return cycles / spec_.clock_hz / spec_.sustained_fraction;
+}
+
+}  // namespace sma::maspar

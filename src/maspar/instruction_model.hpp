@@ -1,0 +1,78 @@
+// instruction_model.hpp — PE instruction-level timing cross-check.
+//
+// The flop-based CostModel (cost_model.hpp) prices work at the machine's
+// sustained aggregate rate.  This second model prices the SAME workload
+// bottom-up from per-instruction cycle counts on the 12.5 MHz PE
+// (Sec. 3.1 / [11]):
+//
+//   * a 32-bit register ALU op retires in ~1 cycle;
+//   * a double-precision flop costs ~86 cycles — implied by the
+//     machine's 2.4 GFlops dp peak: 12.5 MHz * 16384 PEs / 2.4e9;
+//   * direct plural loads sustain 22.4 GB/s: a 4-byte word costs
+//     ~12.5e6 * 16384 * 4 / 22.4e9 ≈ 36.6 cycles; indirect (pointer)
+//     plural accesses at 10.6 GB/s cost ~2.1x that.
+//
+// Two independently-derived estimates that agree within a small factor
+// make the Table 2 / Table 4 projections much harder to have gotten
+// right by accident; `test_instruction_model` asserts the agreement.
+#pragma once
+
+#include <cstdint>
+
+#include "core/workload.hpp"
+#include "maspar/machine.hpp"
+
+namespace sma::maspar {
+
+/// Per-PE instruction tallies for a workload.
+struct InstructionTally {
+  std::uint64_t dp_flops = 0;       ///< double-precision arithmetic
+  std::uint64_t alu_ops = 0;        ///< 32-bit integer/register ops
+  std::uint64_t direct_loads = 0;   ///< direct plural 4-byte accesses
+  std::uint64_t indirect_loads = 0; ///< pointer-addressed accesses
+
+  InstructionTally& operator+=(const InstructionTally& o) {
+    dp_flops += o.dp_flops;
+    alu_ops += o.alu_ops;
+    direct_loads += o.direct_loads;
+    indirect_loads += o.indirect_loads;
+    return *this;
+  }
+};
+
+class InstructionModel {
+ public:
+  explicit InstructionModel(MachineSpec spec = {}) : spec_(spec) {}
+
+  /// Cycle price of one dp flop implied by the dp peak.
+  double cycles_per_dp_flop() const {
+    return spec_.clock_hz * spec_.pe_count() / spec_.peak_dp_flops;
+  }
+  /// Cycle price of one direct plural 4-byte access.
+  double cycles_per_direct_load() const {
+    return spec_.clock_hz * spec_.pe_count() * 4.0 / spec_.mem_direct_bw;
+  }
+  /// Cycle price of one indirect plural 4-byte access.
+  double cycles_per_indirect_load() const {
+    return spec_.clock_hz * spec_.pe_count() * 4.0 / spec_.mem_indirect_bw;
+  }
+
+  /// Instruction tally of the hypothesis-matching phase for one PE's
+  /// share of the workload (SIMD: every PE executes the same stream over
+  /// its resident pixels).
+  InstructionTally tally_hypothesis_matching(const core::Workload& w) const;
+
+  /// Seconds for a tally, derated by `sustained_fraction` for issue
+  /// stalls and ACU overhead (the same 60% the paper quotes).
+  double seconds(const InstructionTally& t) const;
+
+  /// Bottom-up estimate of the Table 2/4 "Hypothesis matching" row.
+  double hypothesis_matching_seconds(const core::Workload& w) const {
+    return seconds(tally_hypothesis_matching(w));
+  }
+
+ private:
+  MachineSpec spec_;
+};
+
+}  // namespace sma::maspar

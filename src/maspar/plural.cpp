@@ -1,0 +1,64 @@
+#include "maspar/plural.hpp"
+
+#include <stdexcept>
+
+namespace sma::maspar {
+
+PluralImage::PluralImage(const imaging::ImageF& img, const DataMapping& map)
+    : map_(&map) {
+  if (img.width() != map.width() || img.height() != map.height())
+    throw std::invalid_argument("PluralImage: image/mapping size mismatch");
+  data_.assign(static_cast<std::size_t>(map.spec().pe_count()) *
+                   static_cast<std::size_t>(map.layers()),
+               0.0f);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const PixelLocation loc = map.to_pe(x, y);
+      data_[slot(loc.ixproc, loc.iyproc, loc.mem)] = img.at(x, y);
+    }
+}
+
+float PluralImage::read_pixel(int x, int y) const {
+  const PixelLocation loc = map_->to_pe(x, y);
+  return data_[slot(loc.ixproc, loc.iyproc, loc.mem)];
+}
+
+imaging::ImageF PluralImage::gather() const {
+  imaging::ImageF img(map_->width(), map_->height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) img.at(x, y) = read_pixel(x, y);
+  return img;
+}
+
+void PluralImage::pixel_shift(int dx, int dy, CommCounters& counters) {
+  if (dx < -1 || dx > 1 || dy < -1 || dy > 1)
+    throw std::invalid_argument("pixel_shift: one-pixel steps only");
+  if (dx == 0 && dy == 0) return;
+
+  const int w = map_->width();
+  const int h = map_->height();
+  std::vector<float> next(data_.size(), 0.0f);
+  ++counters.xnet_shifts;
+
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const int nx = ((x + dx) % w + w) % w;  // toroidal (Fig. 1)
+      const int ny = ((y + dy) % h + h) % h;
+      const PixelLocation src = map_->to_pe(x, y);
+      const PixelLocation dst = map_->to_pe(nx, ny);
+      next[slot(dst.ixproc, dst.iyproc, dst.mem)] =
+          data_[slot(src.ixproc, src.iyproc, src.mem)];
+      if (src.ixproc == dst.ixproc && src.iyproc == dst.iyproc) {
+        ++counters.intra_pe_moves;
+      } else {
+        ++counters.xnet_words;
+        counters.xnet_word_hops += static_cast<std::uint64_t>(
+            mesh_hops(*map_, x, y, nx, ny));
+      }
+    }
+  data_ = std::move(next);
+  shift_x_ += dx;
+  shift_y_ += dy;
+}
+
+}  // namespace sma::maspar

@@ -1,0 +1,91 @@
+// plural.hpp — plural (parallel) variables distributed over the PE array.
+//
+// In MPL a "plural" variable has one instance per PE; an image is a
+// plural array of xvr * yvr pixels per PE (Sec. 3.2).  PluralImage stores
+// the pixels physically indexed by (PE, mem) so scatter/gather through a
+// DataMapping, X-net shifts and the snake/raster read-out schemes operate
+// on the same layout the MP-2 used, and every data movement is metered by
+// CommCounters for the cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "maspar/data_mapping.hpp"
+
+namespace sma::maspar {
+
+/// Meters for simulated communication and memory traffic.
+struct CommCounters {
+  std::uint64_t xnet_shifts = 0;      ///< full-array one-hop mesh shifts
+  std::uint64_t xnet_words = 0;       ///< words crossing PE boundaries
+  std::uint64_t xnet_word_hops = 0;   ///< words x hops (multi-hop fetches)
+  std::uint64_t router_words = 0;     ///< words through the global router
+  std::uint64_t intra_pe_moves = 0;   ///< intra-PE memory rotations
+
+  CommCounters& operator+=(const CommCounters& o) {
+    xnet_shifts += o.xnet_shifts;
+    xnet_words += o.xnet_words;
+    xnet_word_hops += o.xnet_word_hops;
+    router_words += o.router_words;
+    intra_pe_moves += o.intra_pe_moves;
+    return *this;
+  }
+};
+
+/// A float image folded onto the PE array.
+class PluralImage {
+ public:
+  /// Distributes `img` across PEs through `map` (which must outlive the
+  /// PluralImage).  Padding slots (images not multiples of the grid) hold
+  /// zero.
+  PluralImage(const imaging::ImageF& img, const DataMapping& map);
+
+  const DataMapping& mapping() const { return *map_; }
+
+  /// Value stored at (PE, mem).
+  float read(int ixproc, int iyproc, int mem) const {
+    return data_[slot(ixproc, iyproc, mem)];
+  }
+  void write(int ixproc, int iyproc, int mem, float v) {
+    data_[slot(ixproc, iyproc, mem)] = v;
+  }
+
+  /// Value of image pixel (x, y) via the mapping (for tests).
+  float read_pixel(int x, int y) const;
+
+  /// Reassembles the image (inverse of scatter).
+  imaging::ImageF gather() const;
+
+  /// One-PIXEL toroidal shift of the whole distributed array by
+  /// (dx, dy) in {-1, 0, 1}^2 — the primitive of the snake read-out
+  /// (Fig. 3): boundary pixels cross PE edges over the X-net, interior
+  /// pixels rotate within PE memory.  Works for the hierarchical mapping
+  /// (block-local shifts); counters record the traffic.
+  void pixel_shift(int dx, int dy, CommCounters& counters);
+
+ private:
+  std::size_t slot(int ixproc, int iyproc, int mem) const {
+    const std::size_t pe = static_cast<std::size_t>(iyproc) *
+                               map_->spec().nxproc +
+                           ixproc;
+    return pe * static_cast<std::size_t>(map_->layers()) +
+           static_cast<std::size_t>(mem);
+  }
+
+  const DataMapping* map_;
+  std::vector<float> data_;
+  // Logical pixel origin offset accumulated by pixel_shift: after k
+  // shifts by (dx, dy), the pixel stored in slot of (x, y) is the
+  // original image's ((x - k*dx) mod N, (y - k*dy) mod M).
+  int shift_x_ = 0;
+  int shift_y_ = 0;
+
+ public:
+  int shift_x() const { return shift_x_; }
+  int shift_y() const { return shift_y_; }
+};
+
+}  // namespace sma::maspar

@@ -1,0 +1,161 @@
+#include "maspar/plural_kernels.hpp"
+
+#include <stdexcept>
+
+#include "linalg/least_squares.hpp"
+#include "surface/patch_fit.hpp"
+
+namespace sma::maspar {
+
+PluralFitResult plural_fit_derivatives(const imaging::ImageF& img,
+                                       const DataMapping& map, int radius) {
+  PluralFitResult result;
+  const int w = img.width();
+  const int h = img.height();
+
+  // Stage all window offsets over the X-net (raster scheme, Sec. 4.2).
+  const ReadoutResult staged = raster_readout(img, map, radius);
+  result.comm = staged.counters;
+  result.modeled_seconds = modeled_seconds(staged.counters, map.spec());
+
+  // Each PE now fits its resident pixels, layer by layer, from the
+  // staged planes only — no direct access to the source image.
+  result.derivatives.zx = imaging::ImageF(w, h);
+  result.derivatives.zy = imaging::ImageF(w, h);
+  result.derivatives.zxx = imaging::ImageF(w, h);
+  result.derivatives.zxy = imaging::ImageF(w, h);
+  result.derivatives.zyy = imaging::ImageF(w, h);
+
+  const surface::PatchFitter fitter(radius);
+  const int edge = 2 * radius + 1;
+  imaging::ImageF window(edge, edge);
+  for (int mem = 0; mem < map.layers(); ++mem) {
+    for (int iy = 0; iy < map.spec().nyproc; ++iy) {
+      for (int ix = 0; ix < map.spec().nxproc; ++ix) {
+        int x, y;
+        map.to_xy(PixelLocation{ix, iy, mem}, x, y);
+        if (x < 0 || y < 0) continue;  // padding slot
+        // Assemble the window from staged planes: plane k holds
+        // img(x + ox_k, y + oy_k) at (x, y).
+        for (std::size_t k = 0; k < staged.offsets.size(); ++k) {
+          const auto [ox, oy] = staged.offsets[k];
+          window.at(ox + radius, oy + radius) = staged.planes[k].at(x, y);
+        }
+        const surface::QuadraticPatch p = fitter.fit(window, radius, radius);
+        result.derivatives.zx.at(x, y) = static_cast<float>(p.zx());
+        result.derivatives.zy.at(x, y) = static_cast<float>(p.zy());
+        result.derivatives.zxx.at(x, y) = static_cast<float>(p.zxx());
+        result.derivatives.zxy.at(x, y) = static_cast<float>(p.zxy());
+        result.derivatives.zyy.at(x, y) = static_cast<float>(p.zyy());
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Fills a (2R+1)^2 window of one staged field at pixel (x, y).
+void fill_window(const ReadoutResult& staged, int radius, int x, int y,
+                 imaging::ImageF& window) {
+  for (std::size_t k = 0; k < staged.offsets.size(); ++k) {
+    const auto [ox, oy] = staged.offsets[k];
+    window.at(ox + radius, oy + radius) = staged.planes[k].at(x, y);
+  }
+}
+
+}  // namespace
+
+PluralSearchResult plural_hypothesis_search(const imaging::ImageF& img,
+                                            const DataMapping& map,
+                                            const imaging::ImageF& img_after,
+                                            const core::SmaConfig& config) {
+  config.validate();
+  if (config.model != core::MotionModel::kContinuous)
+    throw std::invalid_argument(
+        "plural_hypothesis_search: continuous model only (the semi-fluid "
+        "cost layers are staged by the SIMD executor instead)");
+
+  const int w = img.width();
+  const int h = img.height();
+  const int nzt = std::max(config.z_template_radius, config.z_template_ry());
+  const int nzs = std::max(config.z_search_radius, config.z_search_ry());
+  const int ext = nzt + nzs;
+
+  // Geometry on both frames (the surface-fit phase has its own plural
+  // kernel; here we stage its OUTPUT planes for the matching phase).
+  surface::GeometryOptions gopts;
+  gopts.patch_radius = config.surface_fit_radius;
+  const surface::GeometricField g0 = surface::compute_geometry(img, gopts);
+  const surface::GeometricField g1 =
+      surface::compute_geometry(img_after, gopts);
+
+  PluralSearchResult result;
+  auto stage = [&](const imaging::ImageF& field) {
+    ReadoutResult r = raster_readout(field, map, ext);
+    result.comm += r.counters;
+    return r;
+  };
+  // Before-frame geometric variables used by add_normal_rows.
+  const ReadoutResult s_zx = stage(g0.zx);
+  const ReadoutResult s_zy = stage(g0.zy);
+  const ReadoutResult s_ee = stage(g0.ee);
+  const ReadoutResult s_gg = stage(g0.gg);
+  const ReadoutResult s_ni = stage(g0.ni);
+  const ReadoutResult s_nj = stage(g0.nj);
+  const ReadoutResult s_nk = stage(g0.nk);
+  // After-frame observed normals.
+  const ReadoutResult s_oi = stage(g1.ni);
+  const ReadoutResult s_oj = stage(g1.nj);
+  const ReadoutResult s_ok = stage(g1.nk);
+  result.modeled_seconds = modeled_seconds(result.comm, map.spec());
+
+  // Window-sized geometric fields, reused per pixel.
+  const int edge = 2 * ext + 1;
+  surface::GeometricField before, after;
+  before.zx = imaging::ImageF(edge, edge);
+  before.zy = imaging::ImageF(edge, edge);
+  before.ee = imaging::ImageF(edge, edge);
+  before.gg = imaging::ImageF(edge, edge);
+  before.ni = imaging::ImageF(edge, edge);
+  before.nj = imaging::ImageF(edge, edge);
+  before.nk = imaging::ImageF(edge, edge);
+  before.disc = imaging::ImageF(edge, edge);
+  after = before;
+
+  result.flow = imaging::FlowField(w, h);
+  for (int mem = 0; mem < map.layers(); ++mem) {
+    for (int iy = 0; iy < map.spec().nyproc; ++iy) {
+      for (int ix = 0; ix < map.spec().nxproc; ++ix) {
+        int x, y;
+        map.to_xy(PixelLocation{ix, iy, mem}, x, y);
+        if (x < 0 || y < 0) continue;
+        fill_window(s_zx, ext, x, y, before.zx);
+        fill_window(s_zy, ext, x, y, before.zy);
+        fill_window(s_ee, ext, x, y, before.ee);
+        fill_window(s_gg, ext, x, y, before.gg);
+        fill_window(s_ni, ext, x, y, before.ni);
+        fill_window(s_nj, ext, x, y, before.nj);
+        fill_window(s_nk, ext, x, y, before.nk);
+        fill_window(s_oi, ext, x, y, after.ni);
+        fill_window(s_oj, ext, x, y, after.nj);
+        fill_window(s_ok, ext, x, y, after.nk);
+
+        core::PixelBest best;
+        core::scan_hypotheses(before, after, nullptr, nullptr, nullptr, ext,
+                              ext, -config.z_search_ry(),
+                              config.z_search_ry(), config, best);
+        result.flow.set(
+            x, y,
+            imaging::FlowVector{
+                static_cast<float>(best.ux), static_cast<float>(best.uy),
+                static_cast<float>(best.error),
+                static_cast<std::uint8_t>((best.any_ok && best.solved) ? 1
+                                                                       : 0)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sma::maspar

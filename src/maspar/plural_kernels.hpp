@@ -1,0 +1,53 @@
+// plural_kernels.hpp — SMA phases executed through plural machinery.
+//
+// The SIMD executor (sma_simd.hpp) validates the algorithm in MP-2
+// layer order but reads pixels from host memory.  This kernel goes one
+// level deeper for the surface-fit phase: the image is scattered onto
+// the PE array, the (2N_z+1)^2 fitting neighborhoods are staged with the
+// raster read-out (the scheme the paper adopted, Sec. 4.2), and each PE
+// then fits its resident pixels from staged data only — every
+// inter-processor word is accounted by the CommCounters.  The result
+// must agree with the host-side fit on all interior pixels (the mesh is
+// toroidal, so border windows wrap instead of clamping; tests compare
+// the interior).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/tracker.hpp"
+#include "maspar/plural.hpp"
+#include "maspar/readout.hpp"
+#include "surface/geometry.hpp"
+
+namespace sma::maspar {
+
+struct PluralFitResult {
+  surface::DerivativeField derivatives;
+  CommCounters comm;          ///< raster read-out traffic
+  double modeled_seconds = 0; ///< staging time on the modeled X-net
+};
+
+/// Surface-fit phase ("Surface fit" row of Table 2) computed from
+/// plural-staged neighborhood data.
+PluralFitResult plural_fit_derivatives(const imaging::ImageF& img,
+                                       const DataMapping& map, int radius);
+
+struct PluralSearchResult {
+  imaging::FlowField flow;
+  CommCounters comm;           ///< geometry staging traffic
+  double modeled_seconds = 0;  ///< staging time on the modeled X-net
+};
+
+/// Hypothesis-matching phase (the dominant Table 2 row) for the
+/// CONTINUOUS model, computed from plural-staged geometry planes: the
+/// eight geometric variables are staged once for the full
+/// (N_zT + N_zs)-radius window (the Sec. 4.1 reuse argument — templates
+/// overlap, so staging is shared across pixels and hypotheses), then
+/// every PE scans its resident pixels' search areas from staged data.
+/// Functionally identical to the host tracker on interior pixels
+/// (toroidal staging vs clamped host borders; see plural_fit notes).
+PluralSearchResult plural_hypothesis_search(const imaging::ImageF& img,
+                                            const DataMapping& map,
+                                            const imaging::ImageF& img_after,
+                                            const core::SmaConfig& config);
+
+}  // namespace sma::maspar

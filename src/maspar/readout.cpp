@@ -1,0 +1,97 @@
+#include "maspar/readout.hpp"
+
+namespace sma::maspar {
+
+std::vector<std::pair<int, int>> snake_path(int radius) {
+  // Boustrophedon over rows -radius..radius; even rows sweep +x, odd -x.
+  std::vector<std::pair<int, int>> steps;
+  const int edge = 2 * radius + 1;
+  steps.reserve(static_cast<std::size_t>(edge) * edge - 1);
+  for (int row = 0; row < edge; ++row) {
+    if (row > 0) steps.emplace_back(0, 1);  // drop to the next row
+    for (int col = 0; col < edge - 1; ++col)
+      steps.emplace_back(row % 2 == 0 ? 1 : -1, 0);
+  }
+  return steps;
+}
+
+ReadoutResult snake_readout(const imaging::ImageF& img,
+                            const DataMapping& map, int radius) {
+  ReadoutResult out;
+  PluralImage plural(img, map);
+
+  // Shifting the data by (-ox, -oy) places img(x+ox, y+oy) in the slot of
+  // (x, y); the path below walks offsets, so data shifts run opposite.
+  int ox = -radius, oy = -radius;
+  // Stage to the initial corner offset.
+  for (int k = 0; k < radius; ++k) plural.pixel_shift(1, 0, out.counters);
+  for (int k = 0; k < radius; ++k) plural.pixel_shift(0, 1, out.counters);
+
+  auto record = [&] {
+    out.offsets.emplace_back(ox, oy);
+    out.planes.push_back(plural.gather());
+  };
+  record();
+  for (const auto& [dx, dy] : snake_path(radius)) {
+    plural.pixel_shift(-dx, -dy, out.counters);
+    ox += dx;
+    oy += dy;
+    record();
+  }
+  return out;
+}
+
+ReadoutResult raster_readout(const imaging::ImageF& img,
+                             const DataMapping& map, int radius) {
+  ReadoutResult out;
+  const int w = map.width();
+  const int h = map.height();
+
+  // Offsets in raster order.
+  for (int oy = -radius; oy <= radius; ++oy)
+    for (int ox = -radius; ox <= radius; ++ox) {
+      out.offsets.emplace_back(ox, oy);
+      imaging::ImageF plane(w, h);
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          const int sx = ((x + ox) % w + w) % w;
+          const int sy = ((y + oy) % h + h) % h;
+          plane.at(x, y) = img.at(sx, sy);
+          // Only pixels that live on another PE travel, each over the
+          // minimal multi-hop mesh route.
+          const int hops = mesh_hops(map, x, y, sx, sy);
+          if (hops > 0) {
+            ++out.counters.xnet_words;
+            out.counters.xnet_word_hops += static_cast<std::uint64_t>(hops);
+          }
+          // Local reads still cost a memory access but no mesh traffic.
+        }
+      out.planes.push_back(std::move(plane));
+    }
+  return out;
+}
+
+double modeled_seconds(const CommCounters& counters, const MachineSpec& spec) {
+  constexpr double kWord = sizeof(float);
+  // Mesh words are serialized per PE: total bytes spread over the array's
+  // aggregate X-net bandwidth; multi-hop words occupy one link per hop.
+  const double xnet_bytes =
+      static_cast<double>(counters.xnet_word_hops == 0
+                              ? counters.xnet_words
+                              : counters.xnet_word_hops) *
+      kWord;
+  const double intra_bytes = static_cast<double>(counters.intra_pe_moves) * kWord;
+  return xnet_bytes / spec.xnet_bw + intra_bytes / spec.mem_direct_bw;
+}
+
+double modeled_seconds_router(const CommCounters& counters,
+                              const MachineSpec& spec) {
+  constexpr double kWord = sizeof(float);
+  // Router transfers are distance-independent but share the 1.3 GB/s
+  // crossbar; intra-PE traffic is unchanged.
+  const double words = static_cast<double>(counters.xnet_words);
+  const double intra_bytes = static_cast<double>(counters.intra_pe_moves) * kWord;
+  return words * kWord / spec.router_bw + intra_bytes / spec.mem_direct_bw;
+}
+
+}  // namespace sma::maspar

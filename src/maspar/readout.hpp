@@ -1,0 +1,67 @@
+// readout.hpp — neighborhood read-out schemes (Sec. 4.2, Fig. 3).
+//
+// The SMA inner loops need, at every PE, the values of all pixels in a
+// square window around each stored pixel.  The paper evaluated two
+// schemes for staging that data over the X-net mesh:
+//
+//  * "Ordered memory-queued mesh transfer using snake read-out": the
+//    whole distributed data array is shifted one pixel at a time along a
+//    boustrophedon (snake) path covering the window (Fig. 3); after each
+//    shift every PE reads the centered value locally.  Every shift moves
+//    the *entire* array — boundary pixels over the X-net plus mem
+//    sequential intra-PE moves.
+//
+//  * "Unordered variable PE window mesh transfer using raster scan
+//    read-out": data is read one memory layer at a time; for each layer a
+//    PE bounding box is established and only the needed pixels are
+//    fetched, in raster order.  "This approach was found to be faster and
+//    was thus incorporated within the implementation."
+//
+// Both functions return the same functional result — one plane per window
+// offset, plane_o(x, y) = img((x + ox) mod N, (y + oy) mod M) — plus the
+// traffic counters that let `modeled_seconds` reproduce the paper's
+// finding that raster wins for multi-layer storage.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "maspar/data_mapping.hpp"
+#include "maspar/plural.hpp"
+
+namespace sma::maspar {
+
+/// Snake path over a (2*radius+1)^2 offset window: unit steps whose
+/// partial sums, starting from offset (-radius, -radius), visit every
+/// offset exactly once, alternating row direction (Fig. 3).
+std::vector<std::pair<int, int>> snake_path(int radius);
+
+struct ReadoutResult {
+  /// offsets[k] = (ox, oy) visited; planes[k](x, y) = img(x+ox, y+oy)
+  /// with toroidal wraparound (the X-net mesh is toroidal, Fig. 1).
+  std::vector<std::pair<int, int>> offsets;
+  std::vector<imaging::ImageF> planes;
+  CommCounters counters;
+};
+
+/// Snake read-out of a (2*radius+1)^2 neighborhood.
+ReadoutResult snake_readout(const imaging::ImageF& img,
+                            const DataMapping& map, int radius);
+
+/// Raster-scan read-out: fetches only the required pixels, layer by
+/// layer, with multi-hop X-net transfers.
+ReadoutResult raster_readout(const imaging::ImageF& img,
+                             const DataMapping& map, int radius);
+
+/// Modeled wall-clock for the metered traffic: X-net words at the per-PE
+/// X-net bandwidth (one hop per shift; multi-hop words scaled by hops)
+/// plus intra-PE moves at the per-PE direct memory bandwidth.
+double modeled_seconds(const CommCounters& counters, const MachineSpec& spec);
+
+/// Modeled wall-clock if the same words had used the global router
+/// instead of the mesh — the Sec. 3.1 comparison (18x slower per word).
+double modeled_seconds_router(const CommCounters& counters,
+                              const MachineSpec& spec);
+
+}  // namespace sma::maspar

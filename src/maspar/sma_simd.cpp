@@ -1,0 +1,139 @@
+#include "maspar/sma_simd.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "core/semifluid.hpp"
+#include "core/workload.hpp"
+
+namespace sma::maspar {
+
+SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
+                                  const core::SmaConfig& config,
+                                  int image_count) const {
+  config.validate();
+  if (input.surface_before == nullptr || input.surface_after == nullptr ||
+      input.intensity_before == nullptr || input.intensity_after == nullptr)
+    throw std::invalid_argument("MasParExecutor: null input image");
+
+  const auto t_start = std::chrono::steady_clock::now();
+  const imaging::ImageF& surf0 = *input.surface_before;
+  const imaging::ImageF& surf1 = *input.surface_after;
+  const int w = surf0.width();
+  const int h = surf0.height();
+
+  SimdRunReport report;
+
+  // --- Sec. 4.3 memory planning.
+  core::PeMemoryModel mem;
+  const HierarchicalMap map(w, h, spec_);
+  mem.xvr = map.xvr();
+  mem.yvr = map.yvr();
+  core::SmaConfig run_config = config;
+  if (run_config.segment_rows == 0) {
+    const std::uint64_t unseg =
+        mem.segmented_bytes(run_config, run_config.z_search_size_y());
+    if (unseg > spec_.pe_memory_bytes) {
+      const int z = mem.max_segment_rows(run_config, spec_.pe_memory_bytes);
+      run_config.segment_rows = std::max(z, 1);
+    }
+  }
+  report.segment_rows = run_config.effective_segment_rows();
+  report.pe_bytes = mem.segmented_bytes(run_config, report.segment_rows);
+  report.fits_pe_memory = report.pe_bytes <= spec_.pe_memory_bytes;
+  report.layers = map.layers();
+
+  // --- Geometry phases (identical arithmetic to core::track_pair).
+  const bool semifluid = run_config.model == core::MotionModel::kSemiFluid &&
+                         run_config.semifluid_search_radius > 0;
+  surface::GeometryOptions gopts;
+  gopts.patch_radius = run_config.surface_fit_radius;
+  const surface::GeometricField g0 = surface::compute_geometry(surf0, gopts);
+  const surface::GeometricField g1 = surface::compute_geometry(surf1, gopts);
+  imaging::ImageF disc0, disc1;
+  if (semifluid) {
+    const bool alias = input.intensity_before == input.surface_before &&
+                       input.intensity_after == input.surface_after;
+    if (alias) {
+      disc0 = g0.disc;
+      disc1 = g1.disc;
+    } else {
+      disc0 = surface::compute_geometry(*input.intensity_before, gopts).disc;
+      disc1 = surface::compute_geometry(*input.intensity_after, gopts).disc;
+    }
+  }
+
+  // --- SIMD schedule: hypothesis-row segments outermost (so the cost
+  // layers are built once per segment), then memory layers, then the PE
+  // array in lock step.
+  const int nzs_x = run_config.z_search_radius;
+  const int nzs_y = run_config.z_search_ry();
+  const int nss = run_config.effective_nss();
+  const int zseg = run_config.effective_segment_rows();
+  std::vector<core::PixelBest> best(static_cast<std::size_t>(w) * h);
+
+  for (int hy_min = -nzs_y; hy_min <= nzs_y; hy_min += zseg) {
+    const int hy_max = std::min(hy_min + zseg - 1, nzs_y);
+    std::optional<core::SemiFluidCostField> field;
+    if (semifluid && run_config.use_precomputed_mapping)
+      field.emplace(disc0, disc1, nzs_x + nss, hy_min - nss, hy_max + nss,
+                    run_config.semifluid_template_radius);
+    const core::SemiFluidCostField* fp = field ? &*field : nullptr;
+    const imaging::ImageF* db = semifluid ? &disc0 : nullptr;
+    const imaging::ImageF* da = semifluid ? &disc1 : nullptr;
+
+    for (int mem_layer = 0; mem_layer < map.layers(); ++mem_layer) {
+      for (int iy = 0; iy < spec_.nyproc; ++iy) {
+        for (int ix = 0; ix < spec_.nxproc; ++ix) {
+          int x, y;
+          map.to_xy(PixelLocation{ix, iy, mem_layer}, x, y);
+          if (x < 0 || y < 0) continue;  // padding slot, PE idles
+          core::scan_hypotheses(g0, g1, db, da, fp, x, y, hy_min, hy_max,
+                                run_config,
+                                best[static_cast<std::size_t>(y) * w + x]);
+        }
+      }
+    }
+  }
+
+  // --- Collect the flow field.
+  report.flow = imaging::FlowField(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const core::PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+      report.flow.set(x, y, imaging::FlowVector{
+                                static_cast<float>(b.ux),
+                                static_cast<float>(b.uy),
+                                static_cast<float>(b.error),
+                                static_cast<std::uint8_t>((b.any_ok && b.solved) ? 1 : 0)});
+    }
+
+  // --- Modeled wall-clock and mesh traffic.
+  core::Workload workload{w, h, run_config};
+  const CostModel model(spec_);
+  report.modeled = model.mp2_times(workload, image_count);
+  report.modeled_sgi_total = model.sgi_times(workload, image_count).total();
+  report.modeled_speedup =
+      report.modeled_sgi_total / report.modeled.total();
+
+  // Template-gather traffic: every tracked pixel touches geometry within
+  // N_zT + N_zs + N_ss of itself; meter the multi-hop mesh cost of one
+  // full gather per pixel under the hierarchical mapping.
+  const int ext = run_config.z_template_radius + nzs_x + nss;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const std::uint64_t hops = neighborhood_hops(map, x, y, ext);
+      report.comm.xnet_word_hops += hops;
+      report.comm.xnet_words +=
+          static_cast<std::uint64_t>(2 * ext + 1) * (2 * ext + 1);
+    }
+
+  report.host_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  return report;
+}
+
+}  // namespace sma::maspar

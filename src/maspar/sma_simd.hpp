@@ -1,0 +1,59 @@
+// sma_simd.hpp — the SMA algorithm executed in the MP-2's SIMD order.
+//
+// Sec. 4: "The parallel implementation was designed to track all pixels
+// in the mem-th memory layer in parallel and then repeat the process for
+// each layer."  MasParExecutor follows exactly that schedule: pixels are
+// visited layer by layer through the 2-D hierarchical mapping, with all
+// PEs (conceptually) advancing in lock step within a layer, and the
+// hypothesis search segmented by rows when the PE memory budget demands
+// it (Sec. 4.3).
+//
+// Functional contract (the paper's own validation, Sec. 5.1: "The
+// parallel algorithm obtained the same result as the sequential
+// implementation"): the flow field produced here is identical to
+// core::track_pair's.  On top of the functional run the executor
+// reports the modeled MP-2 wall-clock (cost_model.hpp), the PE memory
+// footprint and the mesh traffic of the neighborhood gathers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tracker.hpp"
+#include "maspar/cost_model.hpp"
+#include "maspar/data_mapping.hpp"
+#include "maspar/plural.hpp"
+
+namespace sma::maspar {
+
+struct SimdRunReport {
+  imaging::FlowField flow;          ///< identical to the sequential tracker
+  int layers = 0;                   ///< xvr * yvr memory layers executed
+  int segment_rows = 0;             ///< hypothesis-row chunk height used
+  bool fits_pe_memory = false;      ///< Sec. 4.3 budget check at this Z
+  std::uint64_t pe_bytes = 0;       ///< modeled bytes per PE
+  PhaseTimes modeled;               ///< modeled MP-2 phase times
+  double modeled_sgi_total = 0.0;   ///< modeled sequential comparator
+  double modeled_speedup = 0.0;
+  CommCounters comm;                ///< template-gather mesh traffic
+  double host_seconds = 0.0;        ///< actual time of the simulation
+};
+
+class MasParExecutor {
+ public:
+  explicit MasParExecutor(MachineSpec spec = {}) : spec_(spec) {}
+
+  /// Runs SMA on one pair in SIMD layer order.  If config.segment_rows
+  /// is 0 and the unsegmented footprint exceeds PE memory, the largest
+  /// fitting Z is chosen automatically (the Sec. 4.3 scheme); if even
+  /// Z=1 does not fit, the run proceeds and `fits_pe_memory` is false.
+  SimdRunReport run(const core::TrackerInput& input,
+                    const core::SmaConfig& config,
+                    int image_count = 4) const;
+
+  const MachineSpec& spec() const { return spec_; }
+
+ private:
+  MachineSpec spec_;
+};
+
+}  // namespace sma::maspar

@@ -1,0 +1,126 @@
+#include "stereo/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sma::stereo {
+
+namespace {
+
+double image_ncc(const imaging::ImageF& a, const imaging::ImageF& b, int dy) {
+  // Correlate a(x, y) with b(x, y - dy) over the valid overlap.
+  double sa = 0.0, sb = 0.0;
+  std::size_t n = 0;
+  const int y0 = std::max(0, dy);
+  const int y1 = std::min(a.height(), a.height() + dy);
+  for (int y = y0; y < y1; ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      sa += a.at(x, y);
+      sb += b.at(x, y - dy);
+      ++n;
+    }
+  if (n == 0) return 0.0;
+  const double ma = sa / static_cast<double>(n);
+  const double mb = sb / static_cast<double>(n);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (int y = y0; y < y1; ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      const double va = a.at(x, y) - ma;
+      const double vb = b.at(x, y - dy) - mb;
+      num += va * vb;
+      da += va * va;
+      db += vb * vb;
+    }
+  const double den = std::sqrt(da * db);
+  return den > 1e-12 ? num / den : 0.0;
+}
+
+float median_of_window(const DisparityMap& map, int x, int y, int radius,
+                       bool include_center, bool& found) {
+  std::vector<float> vals;
+  for (int v = -radius; v <= radius; ++v)
+    for (int u = -radius; u <= radius; ++u) {
+      const int sx = x + u;
+      const int sy = y + v;
+      if (sx < 0 || sx >= map.disparity.width() || sy < 0 ||
+          sy >= map.disparity.height())
+        continue;
+      if (!include_center && u == 0 && v == 0) continue;
+      if (!map.valid.at(sx, sy)) continue;
+      vals.push_back(map.disparity.at(sx, sy));
+    }
+  if (vals.empty()) {
+    found = false;
+    return 0.0f;
+  }
+  found = true;
+  const std::size_t mid = vals.size() / 2;
+  std::nth_element(vals.begin(), vals.begin() + mid, vals.end());
+  return vals[mid];
+}
+
+}  // namespace
+
+int estimate_vertical_offset(const imaging::ImageF& left,
+                             const imaging::ImageF& right, int max_offset) {
+  int best_dy = 0;
+  double best_c = -std::numeric_limits<double>::infinity();
+  for (int dy = -max_offset; dy <= max_offset; ++dy) {
+    const double c = image_ncc(left, right, dy);
+    if (c > best_c) {
+      best_c = c;
+      best_dy = dy;
+    }
+  }
+  return best_dy;
+}
+
+imaging::ImageF shift_vertical(const imaging::ImageF& src, int dy) {
+  imaging::ImageF out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y)
+    for (int x = 0; x < src.width(); ++x)
+      out.at(x, y) = src.at_clamped(x, y - dy);
+  return out;
+}
+
+DisparityMap median_filter_disparity(const DisparityMap& map, int radius) {
+  DisparityMap out = map;
+  for (int y = 0; y < map.disparity.height(); ++y)
+    for (int x = 0; x < map.disparity.width(); ++x) {
+      if (!map.valid.at(x, y)) continue;
+      bool found = false;
+      const float med = median_of_window(map, x, y, radius, true, found);
+      if (found) out.disparity.at(x, y) = med;
+    }
+  return out;
+}
+
+std::size_t fill_invalid_disparity(DisparityMap& map, int radius,
+                                   int max_iterations) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    DisparityMap next = map;
+    std::size_t filled = 0;
+    for (int y = 0; y < map.disparity.height(); ++y)
+      for (int x = 0; x < map.disparity.width(); ++x) {
+        if (map.valid.at(x, y)) continue;
+        bool found = false;
+        const float med = median_of_window(map, x, y, radius, false, found);
+        if (found) {
+          next.disparity.at(x, y) = med;
+          next.valid.at(x, y) = 1;
+          ++filled;
+        }
+      }
+    map = std::move(next);
+    if (filled == 0) break;
+  }
+  std::size_t remaining = 0;
+  for (int y = 0; y < map.disparity.height(); ++y)
+    for (int x = 0; x < map.disparity.width(); ++x)
+      remaining += map.valid.at(x, y) ? 0 : 1;
+  return remaining;
+}
+
+}  // namespace sma::stereo

@@ -1,0 +1,41 @@
+// refine.hpp — disparity post-processing and epipolar rectification.
+//
+// Paper, Sec. 2.2: "during stereo analysis the right images are
+// rectified and warped to align them with the left images such that
+// epipolar lines become parallel to scan lines."  For the already
+// row-aligned GOES geometry the residual misalignment is a global
+// vertical offset; `estimate_vertical_offset` recovers it by maximizing
+// whole-image correlation over integer row shifts and
+// `shift_vertical` removes it.
+//
+// The disparity post-processing utilities mirror the motion-field
+// recipes in core/postprocess.hpp: scalar median filtering over valid
+// pixels and hole filling from valid neighbors, the standard cleanup
+// between ASA and the height conversion.
+#pragma once
+
+#include "stereo/asa.hpp"
+
+namespace sma::stereo {
+
+/// Estimates the integer vertical offset dy in [-max_offset, max_offset]
+/// that best aligns `right` rows with `left` rows (right shifted DOWN by
+/// the returned dy matches left), by maximizing global NCC.
+int estimate_vertical_offset(const imaging::ImageF& left,
+                             const imaging::ImageF& right, int max_offset);
+
+/// Shifts an image vertically by dy pixels (clamped borders):
+/// out(x, y) = src(x, y - dy).
+imaging::ImageF shift_vertical(const imaging::ImageF& src, int dy);
+
+/// Median filter over valid disparities in a (2r+1)^2 window; invalid
+/// pixels pass through unchanged.  Returns the filtered map.
+DisparityMap median_filter_disparity(const DisparityMap& map, int radius);
+
+/// Fills invalid disparities with the median of valid neighbors within
+/// `radius`, repeating up to `max_iterations` sweeps; returns how many
+/// remain invalid.
+std::size_t fill_invalid_disparity(DisparityMap& map, int radius,
+                                   int max_iterations = 8);
+
+}  // namespace sma::stereo

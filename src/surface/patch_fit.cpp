@@ -1,0 +1,75 @@
+#include "surface/patch_fit.hpp"
+
+#include <stdexcept>
+
+#include "linalg/gaussian_elimination.hpp"
+#include "linalg/least_squares.hpp"
+
+namespace sma::surface {
+
+namespace {
+
+linalg::Vec6 basis_row(double u, double v) {
+  return linalg::Vec6{1.0, u, v, u * u, u * v, v * v};
+}
+
+QuadraticPatch patch_from_solution(const linalg::Vec6& c, bool ok) {
+  QuadraticPatch p;
+  p.c0 = c[0];
+  p.c1 = c[1];
+  p.c2 = c[2];
+  p.c3 = c[3];
+  p.c4 = c[4];
+  p.c5 = c[5];
+  p.ok = ok;
+  return p;
+}
+
+}  // namespace
+
+QuadraticPatch fit_patch(const imaging::ImageF& img, int x, int y,
+                         int radius) {
+  if (radius < 1) throw std::invalid_argument("fit_patch: radius must be >= 1");
+  linalg::NormalEquations6 ne;
+  for (int v = -radius; v <= radius; ++v)
+    for (int u = -radius; u <= radius; ++u)
+      ne.add_row(basis_row(u, v), img.at_clamped(x + u, y + v));
+  linalg::Vec6 c;
+  const bool ok = ne.solve(c) == linalg::SolveStatus::kOk;
+  return patch_from_solution(ok ? c : linalg::Vec6{}, ok);
+}
+
+PatchFitter::PatchFitter(int radius) : radius_(radius) {
+  if (radius < 1)
+    throw std::invalid_argument("PatchFitter: radius must be >= 1");
+  // Build A^T A for the fixed offset design and invert it column by column.
+  linalg::Mat6 ata;
+  for (int v = -radius; v <= radius; ++v)
+    for (int u = -radius; u <= radius; ++u) {
+      const linalg::Vec6 row = basis_row(u, v);
+      for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c) ata(r, c) += row[r] * row[c];
+    }
+  for (std::size_t col = 0; col < 6; ++col) {
+    linalg::Vec6 e;
+    e[col] = 1.0;
+    linalg::Vec6 x;
+    if (linalg::solve6(ata, e, x) != linalg::SolveStatus::kOk)
+      throw std::runtime_error("PatchFitter: singular normal matrix");
+    for (std::size_t r = 0; r < 6; ++r) inv_ata_(r, col) = x[r];
+  }
+}
+
+QuadraticPatch PatchFitter::fit(const imaging::ImageF& img, int x,
+                                int y) const {
+  linalg::Vec6 atb;
+  for (int v = -radius_; v <= radius_; ++v)
+    for (int u = -radius_; u <= radius_; ++u) {
+      const double z = img.at_clamped(x + u, y + v);
+      const linalg::Vec6 row = basis_row(u, v);
+      for (std::size_t r = 0; r < 6; ++r) atb[r] += row[r] * z;
+    }
+  return patch_from_solution(inv_ata_ * atb, true);
+}
+
+}  // namespace sma::surface

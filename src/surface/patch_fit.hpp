@@ -1,0 +1,70 @@
+// patch_fit.hpp — local quadratic surface-patch fitting.
+//
+// Paper, Sec. 2.2 (Step 2): "Each z(t_m) and z(t_{m+1}) pixel within the
+// neighborhoods ... is fitted with a continuous quadratic surface patch
+// centered at that pixel.  Least squares surface fitting using a
+// surface-patch neighborhood of (2Nz+1) x (2Nz+1) pixels centered around
+// the pixel of interest leads to solving a 6x6 matrix using the
+// Gaussian-elimination method."
+//
+// The fitted model is   z(u, v) = c0 + c1 u + c2 v + c3 u^2 + c4 uv + c5 v^2
+// in window-centered offsets (u, v); the coefficients give the first and
+// second partial derivatives at the center analytically.
+#pragma once
+
+#include "imaging/image.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sma::surface {
+
+/// Coefficients of the fitted quadratic patch (window-centered).
+struct QuadraticPatch {
+  double c0 = 0.0;  ///< value at center
+  double c1 = 0.0;  ///< dz/dx
+  double c2 = 0.0;  ///< dz/dy
+  double c3 = 0.0;  ///< (1/2) d2z/dx2
+  double c4 = 0.0;  ///< d2z/dxdy
+  double c5 = 0.0;  ///< (1/2) d2z/dy2
+  bool ok = false;  ///< false if the 6x6 system was singular
+
+  double value(double u, double v) const {
+    return c0 + c1 * u + c2 * v + c3 * u * u + c4 * u * v + c5 * v * v;
+  }
+  double zx() const { return c1; }
+  double zy() const { return c2; }
+  double zxx() const { return 2.0 * c3; }
+  double zxy() const { return c4; }
+  double zyy() const { return 2.0 * c5; }
+};
+
+/// Fits the quadratic patch around (x, y) over a (2*radius+1)^2 window with
+/// clamped borders, performing the paper's per-pixel 6x6 Gaussian
+/// elimination.  radius >= 1 is required (a 3x3 window already determines
+/// all six coefficients).
+QuadraticPatch fit_patch(const imaging::ImageF& img, int x, int y, int radius);
+
+/// Precomputed solver for fixed-radius patch fitting.
+///
+/// For interior pixels the normal matrix A^T A depends only on the window
+/// offsets, never the data, so its inverse can be computed once per radius
+/// and each fit becomes six dot products.  This is a modern optimization
+/// over the paper's per-pixel elimination; `bench_precompute_ablation`
+/// quantifies the gap and tests assert bit-consistent derivatives to
+/// within solver tolerance.
+class PatchFitter {
+ public:
+  explicit PatchFitter(int radius);
+
+  int radius() const { return radius_; }
+
+  /// Fit using the cached inverse normal matrix (clamped borders: the
+  /// clamped *values* are read but offsets remain window-centered, exactly
+  /// as in `fit_patch`).
+  QuadraticPatch fit(const imaging::ImageF& img, int x, int y) const;
+
+ private:
+  int radius_;
+  linalg::Mat6 inv_ata_;  // (A^T A)^{-1} for the offset design matrix
+};
+
+}  // namespace sma::surface

@@ -1,0 +1,75 @@
+// helpers.hpp — shared fixtures for the SMA test suite.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "imaging/flow.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::testing {
+
+/// Fills an image from an analytic function f(x, y).
+inline imaging::ImageF make_image(
+    int w, int h, const std::function<double(double, double)>& f) {
+  imaging::ImageF img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.at(x, y) = static_cast<float>(f(x, y));
+  return img;
+}
+
+/// Quadratic surface z = c0 + c1 x + c2 y + c3 x^2 + c4 xy + c5 y^2.
+inline imaging::ImageF quadratic_surface(int w, int h, double c0, double c1,
+                                         double c2, double c3, double c4,
+                                         double c5) {
+  return make_image(w, h, [=](double x, double y) {
+    return c0 + c1 * x + c2 * y + c3 * x * x + c4 * x * y + c5 * y * y;
+  });
+}
+
+/// Textured test pattern with broadband structure (sum of incommensurate
+/// sinusoids) — deterministic, mean ~128, good for correlation matching.
+inline imaging::ImageF textured_pattern(int w, int h, double phase = 0.0) {
+  return make_image(w, h, [=](double x, double y) {
+    return 128.0 + 40.0 * std::sin(0.35 * x + 0.1 * y + phase) +
+           30.0 * std::cos(0.23 * y - 0.07 * x + 2.0 * phase) +
+           20.0 * std::sin(0.11 * (x + y) + 0.5 + phase) +
+           10.0 * std::cos(0.53 * x - 0.29 * y + 1.3);
+  });
+}
+
+/// Shifts an image by an integer offset with clamped borders:
+/// out(x, y) = src(x - dx, y - dy), so features move by (+dx, +dy).
+inline imaging::ImageF shift_image(const imaging::ImageF& src, int dx,
+                                   int dy) {
+  imaging::ImageF out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y)
+    for (int x = 0; x < src.width(); ++x)
+      out.at(x, y) = src.at_clamped(x - dx, y - dy);
+  return out;
+}
+
+/// Constant dense flow field.
+inline imaging::FlowField constant_flow(int w, int h, float u, float v) {
+  imaging::FlowField f(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      f.set(x, y, imaging::FlowVector{u, v, 0.0f, 1});
+  return f;
+}
+
+/// Fraction of interior pixels whose integer flow equals (u, v).
+inline double flow_match_fraction(const imaging::FlowField& flow, int u,
+                                  int v, int margin) {
+  int total = 0, hit = 0;
+  for (int y = margin; y < flow.height() - margin; ++y)
+    for (int x = margin; x < flow.width() - margin; ++x) {
+      ++total;
+      const imaging::FlowVector f = flow.at(x, y);
+      if (static_cast<int>(f.u) == u && static_cast<int>(f.v) == v) ++hit;
+    }
+  return total > 0 ? static_cast<double>(hit) / total : 0.0;
+}
+
+}  // namespace sma::testing

@@ -1,0 +1,149 @@
+// Tests for maspar/acu.hpp — ACU reductions, activity masks and router
+// permutations.
+#include "maspar/acu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sma::maspar {
+namespace {
+
+MachineSpec small_spec(int n = 4) {
+  MachineSpec s;
+  s.nxproc = n;
+  s.nyproc = n;
+  return s;
+}
+
+PluralScalar iota_scalar(const MachineSpec& spec) {
+  PluralScalar v(spec);
+  int k = 0;
+  for (int y = 0; y < spec.nyproc; ++y)
+    for (int x = 0; x < spec.nxproc; ++x) v.at(x, y) = static_cast<float>(k++);
+  return v;
+}
+
+TEST(PluralScalar, FillAndAccess) {
+  PluralScalar v(small_spec(2), 3.5f);
+  EXPECT_EQ(v.at(1, 1), 3.5f);
+  v.at(0, 1) = -1.0f;
+  EXPECT_EQ(v.at(0, 1), -1.0f);
+  EXPECT_EQ(v.active_count(), 4u);
+}
+
+TEST(PluralScalar, ActivityMask) {
+  PluralScalar v = iota_scalar(small_spec(2));  // 0 1 2 3
+  v.activate_where([](float x) { return x >= 2.0f; });
+  EXPECT_EQ(v.active_count(), 2u);
+  EXPECT_FALSE(v.active(0, 0));
+  EXPECT_TRUE(v.active(0, 1));
+  v.activate_all();
+  EXPECT_EQ(v.active_count(), 4u);
+}
+
+TEST(Acu, ReduceAddAllActive) {
+  const MachineSpec spec = small_spec(4);
+  Acu acu(spec);
+  const PluralScalar v = iota_scalar(spec);  // 0..15
+  EXPECT_DOUBLE_EQ(acu.reduce_add(v), 120.0);
+}
+
+TEST(Acu, ReduceRespectsMask) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v = iota_scalar(spec);  // 0 1 2 3
+  v.activate_where([](float x) { return x > 0.5f; });
+  EXPECT_DOUBLE_EQ(acu.reduce_add(v), 6.0);
+  EXPECT_DOUBLE_EQ(acu.reduce_min(v), 1.0);
+  EXPECT_DOUBLE_EQ(acu.reduce_max(v), 3.0);
+}
+
+TEST(Acu, ReduceMinOfNoneIsInfinity) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v(spec, 1.0f);
+  v.activate_where([](float) { return false; });
+  EXPECT_TRUE(std::isinf(acu.reduce_min(v)));
+}
+
+TEST(Acu, GlobalOr) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v(spec, 0.0f);
+  EXPECT_FALSE(acu.global_or(v));
+  v.at(1, 0) = 2.0f;
+  EXPECT_TRUE(acu.global_or(v));
+  v.activate_where([](float x) { return x == 0.0f; });  // mask out the 2
+  EXPECT_FALSE(acu.global_or(v));
+}
+
+TEST(Acu, ReductionCostLogarithmic) {
+  const MachineSpec spec;  // 16384 PEs
+  Acu acu(spec);
+  PluralScalar v(spec, 1.0f);
+  acu.reduce_add(v);
+  EXPECT_EQ(acu.reduction_steps(), 14u);  // log2(16384)
+  EXPECT_EQ(acu.counters().xnet_words, 16384u);
+}
+
+TEST(Acu, RouterPermuteCyclicShift) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v = iota_scalar(spec);  // PE i holds i
+  std::vector<int> dest(4);
+  for (int i = 0; i < 4; ++i) dest[static_cast<std::size_t>(i)] = (i + 1) % 4;
+  acu.router_permute(v, dest);
+  // PE (i+1)%4 now holds i.
+  EXPECT_EQ(v.at(1, 0), 0.0f);
+  EXPECT_EQ(v.at(0, 1), 1.0f);
+  EXPECT_EQ(v.at(0, 0), 3.0f);
+  EXPECT_EQ(acu.counters().router_words, 4u);
+}
+
+TEST(Acu, RouterPermuteCollisionsSerialized) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v = iota_scalar(spec);
+  std::vector<int> dest = {0, 0, 0, 0};  // everyone sends to PE 0
+  acu.router_permute(v, dest);
+  EXPECT_EQ(v.at(0, 0), 3.0f);  // last writer (PE order) wins
+  // 4 sends + 3 serialized collisions.
+  EXPECT_EQ(acu.counters().router_words, 7u);
+}
+
+TEST(Acu, RouterPermuteInactiveSendsNothing) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v = iota_scalar(spec);
+  v.activate_where([](float x) { return x < 2.0f; });  // PEs 0,1 active
+  std::vector<int> dest = {3, 2, 1, 0};
+  acu.router_permute(v, dest);
+  EXPECT_EQ(v.at(1, 1), 0.0f);  // PE 3 received from PE 0
+  EXPECT_EQ(v.at(0, 1), 1.0f);  // PE 2 received from PE 1
+  EXPECT_EQ(v.at(1, 0), 1.0f);  // PE 1 kept its old value (PE 2 inactive)
+}
+
+TEST(Acu, RouterPermuteValidatesArguments) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v(spec, 0.0f);
+  EXPECT_THROW(acu.router_permute(v, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(acu.router_permute(v, {0, 1, 2, 9}), std::out_of_range);
+}
+
+TEST(Acu, ModeledSecondsReflectFabricRates) {
+  const MachineSpec spec = small_spec(2);
+  Acu acu(spec);
+  PluralScalar v(spec, 1.0f);
+  acu.reduce_add(v);  // X-net words
+  const double t_xnet = acu.modeled_seconds();
+  std::vector<int> dest = {0, 1, 2, 3};
+  acu.router_permute(v, dest);  // router words (same count)
+  const double t_total = acu.modeled_seconds();
+  // Router time per word is ~18x X-net time per word.
+  EXPECT_GT(t_total - t_xnet, 10.0 * t_xnet);
+}
+
+}  // namespace
+}  // namespace sma::maspar

@@ -1,0 +1,184 @@
+// Unit tests for stereo/asa.hpp — the correlation-based hierarchical
+// Automatic Stereo Analysis substrate.
+#include "stereo/asa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace sma::stereo {
+namespace {
+
+// Renders a right view with right(x, y) = left(x - d(x,y), y), so the
+// matcher should report disparity(x, y) = d (features shift by +d when
+// searching right at x + d... see render convention in goes/datasets).
+imaging::ImageF render_right(const imaging::ImageF& left,
+                             const imaging::ImageF& disp) {
+  imaging::ImageF out(left.width(), left.height());
+  for (int y = 0; y < left.height(); ++y)
+    for (int x = 0; x < left.width(); ++x)
+      out.at(x, y) = static_cast<float>(
+          imaging::bilinear(left, x - disp.at(x, y), y));
+  return out;
+}
+
+TEST(Ncc, SelfCorrelationIsOne) {
+  const imaging::ImageF img = testing::textured_pattern(24, 24);
+  EXPECT_NEAR(ncc(img, img, 12, 12, 0.0, 3), 1.0, 1e-9);
+}
+
+TEST(Ncc, BoundedByOne) {
+  const imaging::ImageF a = testing::textured_pattern(24, 24);
+  const imaging::ImageF b = testing::textured_pattern(24, 24, 2.0);
+  for (int d = -3; d <= 3; ++d) {
+    const double c = ncc(a, b, 12, 12, d, 3);
+    EXPECT_LE(c, 1.0 + 1e-9);
+    EXPECT_GE(c, -1.0 - 1e-9);
+  }
+}
+
+TEST(Ncc, InvariantToGainAndBias) {
+  const imaging::ImageF a = testing::textured_pattern(24, 24);
+  imaging::ImageF b(24, 24);
+  for (int y = 0; y < 24; ++y)
+    for (int x = 0; x < 24; ++x) b.at(x, y) = 3.0f * a.at(x, y) + 17.0f;
+  EXPECT_NEAR(ncc(a, b, 12, 12, 0.0, 3), 1.0, 1e-6);
+}
+
+TEST(Ncc, TexturelessReturnsZero) {
+  const imaging::ImageF flat(16, 16, 5.0f);
+  EXPECT_EQ(ncc(flat, flat, 8, 8, 0.0, 3), 0.0);
+}
+
+TEST(Ncc, AnticorrelatedIsNegative) {
+  const imaging::ImageF a = testing::textured_pattern(24, 24);
+  imaging::ImageF b(24, 24);
+  for (int y = 0; y < 24; ++y)
+    for (int x = 0; x < 24; ++x) b.at(x, y) = -a.at(x, y);
+  EXPECT_NEAR(ncc(a, b, 12, 12, 0.0, 3), -1.0, 1e-6);
+}
+
+TEST(MatchLevel, RecoversConstantDisparity) {
+  const imaging::ImageF left = testing::textured_pattern(48, 32);
+  const imaging::ImageF disp(48, 32, 3.0f);
+  const imaging::ImageF right = render_right(left, disp);
+  AsaOptions opts;
+  opts.template_radius = 3;
+  const imaging::ImageF prior(48, 32, 0.0f);
+  const DisparityMap d = match_level(left, right, prior, 5, opts);
+  int good = 0, total = 0;
+  for (int y = 6; y < 26; ++y)
+    for (int x = 10; x < 38; ++x) {
+      ++total;
+      if (std::abs(d.disparity.at(x, y) - 3.0f) < 0.5f) ++good;
+    }
+  EXPECT_GT(static_cast<double>(good) / total, 0.95);
+}
+
+TEST(MatchLevel, SubpixelRefinementBeatsInteger) {
+  const imaging::ImageF left = testing::textured_pattern(48, 32);
+  const imaging::ImageF disp(48, 32, 2.5f);  // half-pixel disparity
+  const imaging::ImageF right = render_right(left, disp);
+  const imaging::ImageF prior(48, 32, 0.0f);
+  AsaOptions sub;
+  sub.subpixel = true;
+  AsaOptions integer;
+  integer.subpixel = false;
+  const DisparityMap ds = match_level(left, right, prior, 5, sub);
+  const DisparityMap di = match_level(left, right, prior, 5, integer);
+  double es = 0.0, ei = 0.0;
+  int n = 0;
+  for (int y = 6; y < 26; ++y)
+    for (int x = 10; x < 38; ++x) {
+      es += std::abs(ds.disparity.at(x, y) - 2.5);
+      ei += std::abs(di.disparity.at(x, y) - 2.5);
+      ++n;
+    }
+  EXPECT_LT(es / n, ei / n);
+  EXPECT_LT(es / n, 0.3);
+}
+
+TEST(MatchLevel, PriorCentersSearch) {
+  const imaging::ImageF left = testing::textured_pattern(48, 32);
+  const imaging::ImageF disp(48, 32, 6.0f);
+  const imaging::ImageF right = render_right(left, disp);
+  // Range 2 cannot reach d=6 from a zero prior, but can from prior 5.
+  const imaging::ImageF prior(48, 32, 5.0f);
+  AsaOptions opts;
+  const DisparityMap d = match_level(left, right, prior, 2, opts);
+  EXPECT_NEAR(d.disparity.at(24, 16), 6.0f, 0.5f);
+}
+
+TEST(MatchLevel, FlatRegionsMarkedInvalid) {
+  imaging::ImageF left(32, 32, 10.0f);
+  // Texture only in the left half.
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 16; ++x)
+      left.at(x, y) = testing::textured_pattern(32, 32).at(x, y);
+  const imaging::ImageF right = left;
+  const imaging::ImageF prior(32, 32, 0.0f);
+  AsaOptions opts;
+  opts.min_correlation = 0.3;
+  const DisparityMap d = match_level(left, right, prior, 3, opts);
+  EXPECT_EQ(d.valid.at(28, 16), 0);  // flat zone
+  EXPECT_EQ(d.valid.at(8, 16), 1);   // textured zone
+}
+
+TEST(AsaDisparity, CoarseToFineRecoversLargeDisparity) {
+  // Disparity 11 px: far beyond the fine-level refine range (2), only
+  // reachable through the pyramid.
+  const imaging::ImageF left = testing::textured_pattern(96, 48);
+  const imaging::ImageF disp(96, 48, 11.0f);
+  const imaging::ImageF right = render_right(left, disp);
+  AsaOptions opts;
+  opts.levels = 4;
+  opts.max_disparity = 3;
+  opts.refine_range = 2;
+  const DisparityMap d = asa_disparity(left, right, opts);
+  int good = 0, total = 0;
+  for (int y = 10; y < 38; ++y)
+    for (int x = 20; x < 76; ++x) {
+      ++total;
+      if (std::abs(d.disparity.at(x, y) - 11.0f) < 1.0f) ++good;
+    }
+  EXPECT_GT(static_cast<double>(good) / total, 0.9);
+}
+
+TEST(AsaDisparity, RampDisparityTracked) {
+  const imaging::ImageF left = testing::textured_pattern(96, 48);
+  const imaging::ImageF disp = testing::make_image(
+      96, 48, [](double x, double /*y*/) { return 1.0 + 4.0 * x / 96.0; });
+  const imaging::ImageF right = render_right(left, disp);
+  AsaOptions opts;
+  opts.levels = 3;
+  const DisparityMap d = asa_disparity(left, right, opts);
+  double err = 0.0;
+  int n = 0;
+  for (int y = 10; y < 38; ++y)
+    for (int x = 16; x < 80; ++x) {
+      err += std::abs(d.disparity.at(x, y) - disp.at(x, y));
+      ++n;
+    }
+  EXPECT_LT(err / n, 0.5);
+}
+
+TEST(AsaDisparity, LrConsistencyKeepsGoodMatches) {
+  const imaging::ImageF left = testing::textured_pattern(64, 32);
+  const imaging::ImageF disp(64, 32, 2.0f);
+  const imaging::ImageF right = render_right(left, disp);
+  AsaOptions opts;
+  opts.levels = 2;
+  opts.lr_consistency = true;
+  const DisparityMap d = asa_disparity(left, right, opts);
+  // Consistent constant-disparity scene: most interior pixels survive.
+  int valid = 0, total = 0;
+  for (int y = 8; y < 24; ++y)
+    for (int x = 12; x < 52; ++x) {
+      ++total;
+      valid += d.valid.at(x, y) ? 1 : 0;
+    }
+  EXPECT_GT(static_cast<double>(valid) / total, 0.8);
+}
+
+}  // namespace
+}  // namespace sma::stereo

@@ -1,0 +1,156 @@
+// Unit and property tests for maspar/data_mapping.hpp (Eqs. 12-13).
+#include "maspar/data_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sma::maspar {
+namespace {
+
+MachineSpec small_spec(int n = 4) {
+  MachineSpec s;
+  s.nxproc = n;
+  s.nyproc = n;
+  return s;
+}
+
+TEST(HierarchicalMap, PaperExample512) {
+  // "to map a 512 x 512 image onto a 128 x 128 PE array would require
+  // storing 16 pixels per PE."
+  const HierarchicalMap m(512, 512, MachineSpec{});
+  EXPECT_EQ(m.xvr(), 4);
+  EXPECT_EQ(m.yvr(), 4);
+  EXPECT_EQ(m.layers(), 16);
+}
+
+TEST(HierarchicalMap, Figure2Example) {
+  // Fig. 2: nyproc = nxproc = 2 and M x N = 4 x 4 -> 2x2 block per PE.
+  const HierarchicalMap m(4, 4, small_spec(2));
+  EXPECT_EQ(m.layers(), 4);
+  // Pixel (0,0) -> PE (0,0) mem 0; (1,1) -> PE (0,0) mem 3.
+  EXPECT_EQ(m.to_pe(0, 0), (PixelLocation{0, 0, 0}));
+  EXPECT_EQ(m.to_pe(1, 1), (PixelLocation{0, 0, 3}));
+  // Pixel (2,0) -> PE (1,0) mem 0; (3,3) -> PE (1,1) mem 3.
+  EXPECT_EQ(m.to_pe(2, 0), (PixelLocation{1, 0, 0}));
+  EXPECT_EQ(m.to_pe(3, 3), (PixelLocation{1, 1, 3}));
+}
+
+TEST(HierarchicalMap, Eq12Formulas) {
+  const HierarchicalMap m(512, 512, MachineSpec{});
+  const PixelLocation loc = m.to_pe(137, 259);
+  EXPECT_EQ(loc.ixproc, 137 / 4);
+  EXPECT_EQ(loc.iyproc, 259 / 4);
+  EXPECT_EQ(loc.mem, (137 % 4) + 4 * (259 % 4));
+}
+
+// Property: to_pe / to_xy is a bijection for several image/grid shapes,
+// including ones where the image is not a multiple of the grid.
+struct MapCase {
+  int w, h, grid;
+};
+
+class MappingBijection : public ::testing::TestWithParam<MapCase> {};
+
+TEST_P(MappingBijection, HierarchicalRoundTrip) {
+  const auto [w, h, grid] = GetParam();
+  const HierarchicalMap m(w, h, small_spec(grid));
+  std::set<std::tuple<int, int, int>> seen;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const PixelLocation loc = m.to_pe(x, y);
+      EXPECT_GE(loc.ixproc, 0);
+      EXPECT_LT(loc.ixproc, grid);
+      EXPECT_GE(loc.iyproc, 0);
+      EXPECT_LT(loc.iyproc, grid);
+      EXPECT_GE(loc.mem, 0);
+      EXPECT_LT(loc.mem, m.layers());
+      int rx, ry;
+      m.to_xy(loc, rx, ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+      EXPECT_TRUE(seen.insert({loc.ixproc, loc.iyproc, loc.mem}).second)
+          << "slot collision at (" << x << "," << y << ")";
+    }
+}
+
+TEST_P(MappingBijection, CutAndStackRoundTrip) {
+  const auto [w, h, grid] = GetParam();
+  const CutAndStackMap m(w, h, small_spec(grid));
+  std::set<std::tuple<int, int, int>> seen;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const PixelLocation loc = m.to_pe(x, y);
+      int rx, ry;
+      m.to_xy(loc, rx, ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+      EXPECT_TRUE(seen.insert({loc.ixproc, loc.iyproc, loc.mem}).second);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MappingBijection,
+                         ::testing::Values(MapCase{8, 8, 4}, MapCase{16, 8, 4},
+                                           MapCase{7, 5, 4}, MapCase{9, 9, 2},
+                                           MapCase{12, 12, 4},
+                                           MapCase{5, 11, 2}));
+
+TEST(HierarchicalMap, PaddingSlotsReportInvalid) {
+  // 7x5 on a 4x4 grid: xvr = yvr = 2; slot for x = 7 does not exist.
+  const HierarchicalMap m(7, 5, small_spec(4));
+  int x, y;
+  m.to_xy(PixelLocation{3, 0, 1}, x, y);  // would be pixel x = 7
+  EXPECT_EQ(x, -1);
+}
+
+TEST(MeshHops, SamePeIsZero) {
+  const HierarchicalMap m(16, 16, small_spec(4));
+  EXPECT_EQ(mesh_hops(m, 0, 0, 1, 1), 0);  // same 4x4 block
+}
+
+TEST(MeshHops, AdjacentBlockIsOne) {
+  const HierarchicalMap m(16, 16, small_spec(4));
+  EXPECT_EQ(mesh_hops(m, 3, 0, 4, 0), 1);   // cross block edge in x
+  EXPECT_EQ(mesh_hops(m, 0, 3, 0, 4), 1);   // in y
+  EXPECT_EQ(mesh_hops(m, 3, 3, 4, 4), 1);   // diagonal: 8-way mesh, 1 hop
+}
+
+TEST(MeshHops, ToroidalWraparound) {
+  const HierarchicalMap m(16, 16, small_spec(4));
+  // PEs 0 and 3 in x are one toroidal hop apart (Fig. 1 torus).
+  EXPECT_EQ(mesh_hops(m, 0, 0, 15, 0), 1);
+}
+
+TEST(MeshHops, ChebyshevDistance) {
+  const HierarchicalMap m(16, 16, small_spec(4));
+  // (0,0) block to (2,1) block: dx=2, dy=1 -> 2 hops on an 8-way mesh.
+  EXPECT_EQ(mesh_hops(m, 0, 0, 9, 5), 2);
+}
+
+TEST(NeighborhoodHops, HierarchicalBeatsCutAndStack) {
+  // The Sec. 3.2 design rationale: the hierarchical mapping minimizes
+  // mesh transfers for window gathers.
+  const MachineSpec spec = small_spec(4);
+  const HierarchicalMap hier(32, 32, spec);
+  const CutAndStackMap cut(32, 32, spec);
+  std::uint64_t hier_total = 0, cut_total = 0;
+  for (int y = 4; y < 28; y += 4)
+    for (int x = 4; x < 28; x += 4) {
+      hier_total += neighborhood_hops(hier, x, y, 2);
+      cut_total += neighborhood_hops(cut, x, y, 2);
+    }
+  EXPECT_LT(hier_total, cut_total);
+}
+
+TEST(NeighborhoodHops, ZeroWhenWindowFitsInBlock) {
+  const HierarchicalMap m(32, 32, small_spec(4));  // 8x8 blocks
+  // A 3x3 window centered mid-block never leaves the PE.
+  EXPECT_EQ(neighborhood_hops(m, 4, 4, 1), 0u);
+}
+
+TEST(DataMapping, RejectsEmptyImage) {
+  EXPECT_THROW(HierarchicalMap(0, 4, small_spec(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sma::maspar

@@ -1,0 +1,133 @@
+// Unit tests for goes/datasets.hpp and goes/geometry.hpp.
+#include "goes/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/stats.hpp"
+
+namespace sma::goes {
+namespace {
+
+TEST(SatelliteGeometry, RoundTripConversion) {
+  const SatelliteGeometry g;
+  for (double h : {0.5, 2.0, 8.0, 12.0})
+    EXPECT_NEAR(g.height_from_disparity(g.disparity_from_height(h)), h,
+                1e-12);
+}
+
+TEST(SatelliteGeometry, FredericBaselineGain) {
+  // 135-degree baseline: tan(67.5 deg) ~ 2.414; with the default
+  // foreshortening 0.18 and 1 km pixels the gain is ~0.87 px/km.
+  const SatelliteGeometry g;
+  EXPECT_NEAR(g.disparity_per_km(), 2.0 * std::tan(67.5 * M_PI / 180.0) * 0.18,
+              1e-12);
+}
+
+TEST(SatelliteGeometry, WiderBaselineMoreParallax) {
+  SatelliteGeometry narrow;
+  narrow.subtended_angle_deg = 60.0;
+  SatelliteGeometry wide;
+  wide.subtended_angle_deg = 135.0;
+  EXPECT_GT(wide.disparity_per_km(), narrow.disparity_per_km());
+}
+
+TEST(HeightsFromDisparity, ElementwiseConversion) {
+  const SatelliteGeometry g;
+  imaging::ImageF disp(4, 4, 3.38f);
+  const imaging::ImageF h = heights_from_disparity(disp, g);
+  EXPECT_NEAR(h.at(2, 2), 3.38 / g.disparity_per_km(), 1e-5);
+  const imaging::ImageF back = disparity_from_heights(h, g);
+  EXPECT_LT(imaging::max_abs_difference(disp, back), 1e-5);
+}
+
+TEST(FredericAnalog, ShapesConsistent) {
+  const FredericDataset d = make_frederic_analog(48, 11);
+  EXPECT_EQ(d.left0.width(), 48);
+  EXPECT_TRUE(d.left0.same_shape(d.right0));
+  EXPECT_TRUE(d.left1.same_shape(d.right1));
+  EXPECT_TRUE(d.height0.same_shape(d.left0));
+  EXPECT_EQ(d.truth.width(), 48);
+}
+
+TEST(FredericAnalog, HeightsPhysical) {
+  const FredericDataset d = make_frederic_analog(48, 11);
+  const imaging::Summary s = imaging::summarize(d.height0);
+  EXPECT_GE(s.min, 1.9);   // cloud deck 2..12 km
+  EXPECT_LE(s.max, 12.1);
+}
+
+TEST(FredericAnalog, DisparityConsistentWithGeometry) {
+  const FredericDataset d = make_frederic_analog(48, 11);
+  const imaging::ImageF expected =
+      disparity_from_heights(d.height0, d.geometry);
+  EXPECT_LT(imaging::max_abs_difference(expected, d.disparity0), 1e-4);
+}
+
+TEST(FredericAnalog, TruthBoundedByMaxSpeed) {
+  const double vmax = 2.5;
+  const FredericDataset d = make_frederic_analog(48, 11, vmax);
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x) {
+      const imaging::FlowVector f = d.truth.at(x, y);
+      EXPECT_LE(std::hypot(f.u, f.v), vmax + 1e-4);
+    }
+}
+
+TEST(FredericAnalog, RequestedTrackCount) {
+  const FredericDataset d = make_frederic_analog(64, 3, 3.0, 32);
+  EXPECT_EQ(d.tracks.size(), 32u);  // the paper's 32 wind barbs
+}
+
+TEST(FredericAnalog, RightViewEncodesDisparity) {
+  // right(x, y) = left(x - d, y): along a row, the right view must match
+  // the left view sampled at x - disparity.
+  const FredericDataset d = make_frederic_analog(48, 11);
+  double err = 0.0;
+  int n = 0;
+  for (int y = 8; y < 40; ++y)
+    for (int x = 8; x < 40; ++x) {
+      err += std::abs(d.right0.at(x, y) -
+                      imaging::bilinear(d.left0, x - d.disparity0.at(x, y), y));
+      ++n;
+    }
+  EXPECT_LT(err / n, 1e-3);
+}
+
+TEST(FredericAnalog, Deterministic) {
+  const FredericDataset a = make_frederic_analog(32, 5);
+  const FredericDataset b = make_frederic_analog(32, 5);
+  EXPECT_TRUE(a.left0 == b.left0);
+  EXPECT_TRUE(a.right1 == b.right1);
+}
+
+TEST(FloridaAnalog, FrameCountAndTruth) {
+  const RapidScanDataset d = make_florida_analog(32, 6, 17);
+  EXPECT_EQ(d.frames.size(), 6u);
+  EXPECT_EQ(d.truth.width(), 32);
+  EXPECT_FALSE(d.tracks.empty());
+}
+
+TEST(FloridaAnalog, OutflowDivergesFromCenter) {
+  const RapidScanDataset d = make_florida_analog(64, 2, 17, 2.0);
+  // Radial component positive right of center, negative left (plus the
+  // weak background flow, so compare relative).
+  const imaging::FlowVector right = d.truth.at(48, 32);
+  const imaging::FlowVector left = d.truth.at(16, 32);
+  EXPECT_GT(right.u, left.u);
+}
+
+TEST(LuisAnalog, TranslatingVortex) {
+  const RapidScanDataset d = make_luis_analog(64, 3, 23, 2.0);
+  EXPECT_EQ(d.frames.size(), 3u);
+  // The steering flow gives a nonzero mean motion.
+  double mean_u = 0.0;
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) mean_u += d.truth.at(x, y).u;
+  mean_u /= 64.0 * 64.0;
+  EXPECT_GT(mean_u, 0.1);
+}
+
+}  // namespace
+}  // namespace sma::goes

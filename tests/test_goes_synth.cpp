@@ -1,0 +1,153 @@
+// Unit tests for goes/synth.hpp — synthetic clouds and wind models.
+#include "goes/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/stats.hpp"
+
+namespace sma::goes {
+namespace {
+
+TEST(FractalClouds, DeterministicForSeed) {
+  const imaging::ImageF a = fractal_clouds(32, 32, 42);
+  const imaging::ImageF b = fractal_clouds(32, 32, 42);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FractalClouds, DifferentSeedsDiffer) {
+  const imaging::ImageF a = fractal_clouds(32, 32, 1);
+  const imaging::ImageF b = fractal_clouds(32, 32, 2);
+  EXPECT_GT(imaging::max_abs_difference(a, b), 1.0);
+}
+
+TEST(FractalClouds, ValuesInRange) {
+  const imaging::ImageF img = fractal_clouds(48, 48, 7);
+  const imaging::Summary s = imaging::summarize(img);
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.max, 255.0);
+  EXPECT_GT(s.stddev, 5.0);  // actual texture, not a constant
+}
+
+TEST(FractalClouds, MoreOctavesAddDetail) {
+  const imaging::ImageF coarse = fractal_clouds(64, 64, 3, 1, 32.0);
+  const imaging::ImageF fine = fractal_clouds(64, 64, 3, 5, 32.0);
+  // Gradient energy per unit variance: a scale-free roughness measure.
+  auto roughness = [](const imaging::ImageF& img) {
+    double e = 0.0;
+    for (int y = 1; y < img.height(); ++y)
+      for (int x = 1; x < img.width(); ++x) {
+        const double dx = img.at(x, y) - img.at(x - 1, y);
+        const double dy = img.at(x, y) - img.at(x, y - 1);
+        e += dx * dx + dy * dy;
+      }
+    const double sd = imaging::summarize(img).stddev;
+    return e / (sd * sd);
+  };
+  EXPECT_GT(roughness(fine), 2.0 * roughness(coarse));
+}
+
+TEST(RankineVortex, TangentialAndBounded) {
+  const WindModel w = rankine_vortex(32, 32, 8, 2.0);
+  // On the core radius the speed is the peak and flow is tangential.
+  const auto [u, v] = w(40, 32);  // radius vector +x
+  EXPECT_NEAR(u, 0.0, 1e-9);
+  EXPECT_NEAR(v, 2.0, 1e-9);  // counterclockwise: +y at +x
+  // Far away the speed decays.
+  const auto [uf, vf] = w(96, 32);
+  EXPECT_LT(std::hypot(uf, vf), 0.5);
+  // At the center: no motion.
+  const auto [uc, vc] = w(32, 32);
+  EXPECT_EQ(uc, 0.0);
+  EXPECT_EQ(vc, 0.0);
+}
+
+TEST(RankineVortex, SolidBodyInsideCore) {
+  const WindModel w = rankine_vortex(0, 0, 10, 4.0);
+  const auto [u1, v1] = w(5, 0);
+  EXPECT_NEAR(std::hypot(u1, v1), 2.0, 1e-9);  // half radius, half speed
+}
+
+TEST(DivergentOutflow, RadialOutward) {
+  const WindModel w = divergent_outflow(16, 16, 8, 3.0);
+  const auto [u, v] = w(24, 16);  // on the radius, +x direction
+  EXPECT_NEAR(u, 3.0, 1e-9);
+  EXPECT_NEAR(v, 0.0, 1e-9);
+  const auto [u2, v2] = w(16, 8);  // -y direction
+  EXPECT_NEAR(u2, 0.0, 1e-9);
+  EXPECT_LT(v2, 0.0);
+}
+
+TEST(UniformShear, LinearInY) {
+  const WindModel w = uniform_shear(1.0, -0.5, 0.1);
+  const auto [u0, v0] = w(5, 0);
+  EXPECT_DOUBLE_EQ(u0, 1.0);
+  EXPECT_DOUBLE_EQ(v0, -0.5);
+  const auto [u1, v1] = w(5, 10);
+  EXPECT_DOUBLE_EQ(u1, 2.0);
+  EXPECT_DOUBLE_EQ(v1, -0.5);
+}
+
+TEST(TwoLayer, SelectsByMask) {
+  imaging::ImageF mask(8, 8, 0.0f);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 4; x < 8; ++x) mask.at(x, y) = 1.0f;
+  const WindModel w = two_layer(mask, 0.5f, uniform_shear(2, 0, 0),
+                                uniform_shear(-1, 0, 0));
+  EXPECT_DOUBLE_EQ(w(6, 3).first, 2.0);   // upper layer
+  EXPECT_DOUBLE_EQ(w(1, 3).first, -1.0);  // lower layer
+}
+
+TEST(WindToFlow, SamplesModelEverywhere) {
+  const imaging::FlowField f = wind_to_flow(16, 16, uniform_shear(1, 2, 0));
+  EXPECT_EQ(f.count_valid(), 256u);
+  EXPECT_EQ(f.at(3, 3).u, 1.0f);
+  EXPECT_EQ(f.at(3, 3).v, 2.0f);
+}
+
+TEST(AdvectFrame, MovesFeaturesAlongWind) {
+  imaging::ImageF img(32, 32, 0.0f);
+  img.at(10, 10) = 100.0f;
+  const imaging::ImageF next =
+      advect_frame(img, uniform_shear(3, 0, 0));
+  EXPECT_NEAR(next.at(13, 10), 100.0f, 1.0);
+  EXPECT_NEAR(next.at(10, 10), 0.0f, 1.0);
+}
+
+TEST(AdvectSequence, FirstFrameIsBase) {
+  const imaging::ImageF base = fractal_clouds(16, 16, 5);
+  const auto seq = advect_sequence(base, uniform_shear(1, 0, 0), 4);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_TRUE(seq[0] == base);
+  EXPECT_GT(imaging::max_abs_difference(seq[0], seq[1]), 0.1);
+}
+
+TEST(ManualTracks, CountAndTruthValues) {
+  const imaging::ImageF frame = fractal_clouds(64, 64, 9);
+  const imaging::FlowField truth =
+      wind_to_flow(64, 64, uniform_shear(2, -1, 0));
+  const auto tracks = manual_tracks(frame, truth, 32, 3, 8);
+  EXPECT_EQ(tracks.size(), 32u);
+  for (const auto& t : tracks) {
+    EXPECT_GE(t.x, 8);
+    EXPECT_LT(t.x, 56);
+    EXPECT_DOUBLE_EQ(t.u, 2.0);
+    EXPECT_DOUBLE_EQ(t.v, -1.0);
+  }
+}
+
+TEST(ManualTracks, DeterministicForSeed) {
+  const imaging::ImageF frame = fractal_clouds(64, 64, 9);
+  const imaging::FlowField truth = wind_to_flow(64, 64, uniform_shear(1, 0, 0));
+  const auto a = manual_tracks(frame, truth, 16, 5, 8);
+  const auto b = manual_tracks(frame, truth, 16, 5, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace sma::goes

@@ -1,0 +1,66 @@
+// Tests for maspar/instruction_model.hpp — the bottom-up cycle model
+// must corroborate the flop-rate CostModel on the paper's workloads.
+#include "maspar/instruction_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "maspar/cost_model.hpp"
+
+namespace sma::maspar {
+namespace {
+
+TEST(InstructionModel, CyclePricesFromPaperConstants) {
+  const InstructionModel m;
+  // dp flop: 12.5 MHz * 16384 / 2.4 GFlops ~ 85 cycles.
+  EXPECT_NEAR(m.cycles_per_dp_flop(), 85.3, 1.0);
+  // direct plural 4-byte word: ~36.6 cycles at 22.4 GB/s aggregate.
+  EXPECT_NEAR(m.cycles_per_direct_load(), 36.6, 1.0);
+  // indirect is ~2.1x slower (10.6 vs 22.4 GB/s).
+  EXPECT_NEAR(m.cycles_per_indirect_load() / m.cycles_per_direct_load(),
+              22.4 / 10.6, 1e-9);
+}
+
+TEST(InstructionModel, CorroboratesFlopModelOnTable2) {
+  // Two independent derivations of the dominant Table 2 row must land
+  // within a factor of two of each other (and of the paper's 33403 s).
+  const core::Workload w{512, 512, core::frederic_config()};
+  const InstructionModel instr;
+  const CostModel flops;
+  const double t_instr = instr.hypothesis_matching_seconds(w);
+  const double t_flops = flops.mp2_times(w, 4).hypothesis_matching;
+  EXPECT_GT(t_instr / t_flops, 0.5);
+  EXPECT_LT(t_instr / t_flops, 2.0);
+  EXPECT_GT(t_instr, 33403.0 / 2.0);
+  EXPECT_LT(t_instr, 33403.0 * 2.0);
+}
+
+TEST(InstructionModel, CorroboratesFlopModelOnTable4) {
+  const core::Workload w{512, 512, core::goes9_config()};
+  const InstructionModel instr;
+  const CostModel flops;
+  const double t_instr = instr.hypothesis_matching_seconds(w);
+  const double t_flops = flops.mp2_times(w, 4).hypothesis_matching;
+  EXPECT_GT(t_instr / t_flops, 0.5);
+  EXPECT_LT(t_instr / t_flops, 2.0);
+}
+
+TEST(InstructionModel, TallyScalesWithWorkload) {
+  const InstructionModel m;
+  const core::Workload small{256, 256, core::goes9_config()};
+  const core::Workload big{512, 512, core::goes9_config()};
+  const auto ts = m.tally_hypothesis_matching(small);
+  const auto tb = m.tally_hypothesis_matching(big);
+  EXPECT_NEAR(static_cast<double>(tb.dp_flops) / ts.dp_flops, 4.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(tb.indirect_loads) / ts.indirect_loads,
+              4.0, 0.05);
+}
+
+TEST(InstructionTally, Accumulates) {
+  InstructionTally a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.dp_flops, 11u);
+  EXPECT_EQ(a.indirect_loads, 44u);
+}
+
+}  // namespace
+}  // namespace sma::maspar

@@ -1,0 +1,103 @@
+// Tests for imaging/integral.hpp and the integral-image fast NCC path.
+#include "imaging/integral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "stereo/asa.hpp"
+
+namespace sma::imaging {
+namespace {
+
+TEST(IntegralImage, RectSumsMatchDirect) {
+  const ImageF img = sma::testing::textured_pattern(17, 13);
+  const IntegralImage ii(img);
+  for (int y0 = 0; y0 < 13; y0 += 3)
+    for (int x0 = 0; x0 < 17; x0 += 4)
+      for (int y1 = y0; y1 < 13; y1 += 5)
+        for (int x1 = x0; x1 < 17; x1 += 5) {
+          double direct = 0.0;
+          for (int y = y0; y <= y1; ++y)
+            for (int x = x0; x <= x1; ++x) direct += img.at(x, y);
+          EXPECT_NEAR(ii.rect_sum(x0, y0, x1, y1), direct,
+                      1e-6 * (1.0 + std::abs(direct)));
+        }
+}
+
+TEST(IntegralImage, ClampsOutOfRangeRects) {
+  const ImageF img(4, 4, 2.0f);
+  const IntegralImage ii(img);
+  EXPECT_DOUBLE_EQ(ii.rect_sum(-5, -5, 10, 10), 32.0);  // whole image
+}
+
+TEST(IntegralImage, WindowArea) {
+  EXPECT_EQ(IntegralImage::window_area(5, 5, 2, 16, 16), 25);
+  EXPECT_EQ(IntegralImage::window_area(0, 0, 2, 16, 16), 9);  // corner
+  EXPECT_EQ(IntegralImage::window_area(15, 5, 2, 16, 16), 15);
+}
+
+TEST(ShiftedProduct, MatchesDirect) {
+  const ImageF a = sma::testing::textured_pattern(12, 10);
+  const ImageF b = sma::testing::textured_pattern(12, 10, 1.0);
+  const ImageF p = shifted_product(a, b, 2, -1);
+  for (int y = 0; y < 10; ++y)
+    for (int x = 0; x < 12; ++x)
+      EXPECT_FLOAT_EQ(p.at(x, y), a.at(x, y) * b.at_clamped(x + 2, y - 1));
+}
+
+TEST(FastMatch, CorrelationsMatchNaiveInterior) {
+  const ImageF left = sma::testing::textured_pattern(40, 32);
+  const ImageF right = sma::testing::shift_image(left, -3, 0);  // d = 3
+  stereo::AsaOptions opts;
+  opts.template_radius = 3;
+  opts.subpixel = false;
+  const stereo::DisparityMap fast =
+      stereo::match_range_fast(left, right, 0, 5, opts);
+  // Interior: fast correlation at the winner equals the naive NCC there.
+  for (int y = 8; y < 24; y += 4)
+    for (int x = 10; x < 30; x += 4) {
+      const double naive = stereo::ncc(left, right, x, y,
+                                       fast.disparity.at(x, y),
+                                       opts.template_radius);
+      EXPECT_NEAR(fast.correlation.at(x, y), naive, 1e-4)
+          << "(" << x << "," << y << ")";
+    }
+}
+
+TEST(FastMatch, RecoversConstantDisparity) {
+  const ImageF left = sma::testing::textured_pattern(48, 32);
+  // right(x, y) = left(x - 4, y): matching left(x) to right(x + d)
+  // peaks at d = +4.
+  const ImageF right = sma::testing::shift_image(left, 4, 0);
+  stereo::AsaOptions opts;
+  const stereo::DisparityMap d =
+      stereo::match_range_fast(left, right, 0, 6, opts);
+  int good = 0, total = 0;
+  for (int y = 6; y < 26; ++y)
+    for (int x = 8; x < 38; ++x) {
+      ++total;
+      if (std::abs(d.disparity.at(x, y) - 4.0f) < 0.5f) ++good;
+    }
+  EXPECT_GT(static_cast<double>(good) / total, 0.95);
+}
+
+TEST(FastMatch, AgreesWithMatchLevelInterior) {
+  const ImageF left = sma::testing::textured_pattern(48, 32);
+  const ImageF right = sma::testing::shift_image(left, -3, 0);
+  stereo::AsaOptions opts;
+  opts.subpixel = true;
+  const ImageF zero(48, 32, 0.0f);
+  // match_level searches [-5, 5]; fast path [0, 5] — compare where the
+  // truth (3) is interior to both ranges.
+  const stereo::DisparityMap naive =
+      stereo::match_level(left, right, zero, 5, opts);
+  const stereo::DisparityMap fast =
+      stereo::match_range_fast(left, right, -5, 5, opts);
+  for (int y = 8; y < 24; y += 2)
+    for (int x = 10; x < 38; x += 2)
+      EXPECT_NEAR(fast.disparity.at(x, y), naive.disparity.at(x, y), 0.05)
+          << "(" << x << "," << y << ")";
+}
+
+}  // namespace
+}  // namespace sma::imaging

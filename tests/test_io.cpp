@@ -1,0 +1,136 @@
+// Unit tests for imaging/io.hpp (PGM / PFM raster I/O).
+#include "imaging/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "helpers.hpp"
+#include "imaging/stats.hpp"
+
+namespace sma::imaging {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return ::testing::TempDir() + "sma_io_" + name;
+  }
+};
+
+TEST_F(IoTest, PgmRoundTrip) {
+  const ImageF img = testing::make_image(7, 5, [](double x, double y) {
+    return 10.0 * y + x;
+  });
+  const std::string p = path("round.pgm");
+  write_pgm(img, p);
+  const ImageF back = read_pgm(p);
+  ASSERT_EQ(back.width(), 7);
+  ASSERT_EQ(back.height(), 5);
+  // 8-bit quantization: values are small integers, exact after rounding.
+  EXPECT_LT(max_abs_difference(img, back), 0.51);
+}
+
+TEST_F(IoTest, PgmClampsRange) {
+  ImageF img(2, 1);
+  img.at(0, 0) = -50.0f;
+  img.at(1, 0) = 400.0f;
+  const std::string p = path("clamp.pgm");
+  write_pgm(img, p);
+  const ImageF back = read_pgm(p);
+  EXPECT_EQ(back.at(0, 0), 0.0f);
+  EXPECT_EQ(back.at(1, 0), 255.0f);
+}
+
+TEST_F(IoTest, PgmCustomRangeRescales) {
+  ImageF img(2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  const std::string p = path("range.pgm");
+  write_pgm(img, p, 0.0, 1.0);
+  const ImageF back = read_pgm(p);
+  EXPECT_EQ(back.at(0, 0), 0.0f);
+  EXPECT_EQ(back.at(1, 0), 255.0f);
+}
+
+TEST_F(IoTest, ReadsAsciiP2) {
+  const std::string p = path("ascii.pgm");
+  std::ofstream out(p);
+  out << "P2\n# comment line\n3 2\n255\n0 1 2\n10 11 12\n";
+  out.close();
+  const ImageF img = read_pgm(p);
+  ASSERT_EQ(img.width(), 3);
+  ASSERT_EQ(img.height(), 2);
+  EXPECT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_EQ(img.at(2, 1), 12.0f);
+}
+
+TEST_F(IoTest, RejectsNonPgm) {
+  const std::string p = path("bad.pgm");
+  std::ofstream out(p);
+  out << "P6\n1 1\n255\nxxx";
+  out.close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_pgm(path("does_not_exist.pgm")), std::runtime_error);
+  EXPECT_THROW(read_pfm(path("does_not_exist.pfm")), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedPgmThrows) {
+  const std::string p = path("trunc.pgm");
+  std::ofstream out(p, std::ios::binary);
+  out << "P5\n4 4\n255\nab";  // 2 bytes instead of 16
+  out.close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, PfmRoundTripExact) {
+  const ImageF img = testing::textured_pattern(9, 6);
+  const std::string p = path("round.pfm");
+  write_pfm(img, p);
+  const ImageF back = read_pfm(p);
+  ASSERT_EQ(back.width(), 9);
+  ASSERT_EQ(back.height(), 6);
+  EXPECT_EQ(max_abs_difference(img, back), 0.0);  // floats, bit exact
+}
+
+TEST_F(IoTest, PfmPreservesNegativeValues) {
+  ImageF img(2, 2);
+  img.at(0, 0) = -3.5f;
+  img.at(1, 1) = 1e-6f;
+  const std::string p = path("neg.pfm");
+  write_pfm(img, p);
+  const ImageF back = read_pfm(p);
+  EXPECT_EQ(back.at(0, 0), -3.5f);
+  EXPECT_EQ(back.at(1, 1), 1e-6f);
+}
+
+
+TEST_F(IoTest, Reads16BitPgm) {
+  // 16-bit big-endian P5 (maxval > 255), two pixels: 0x0102 and 0xFFFF.
+  const std::string p = path("deep.pgm");
+  std::ofstream out(p, std::ios::binary);
+  out << "P5\n2 1\n65535\n";
+  const unsigned char bytes[4] = {0x01, 0x02, 0xFF, 0xFF};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+  out.close();
+  const ImageF img = read_pgm(p);
+  ASSERT_EQ(img.width(), 2);
+  EXPECT_EQ(img.at(0, 0), 258.0f);    // 0x0102
+  EXPECT_EQ(img.at(1, 0), 65535.0f);  // 0xFFFF
+}
+
+TEST_F(IoTest, RejectsAbsurdMaxval) {
+  const std::string p = path("badmax.pgm");
+  std::ofstream out(p, std::ios::binary);
+  out << "P5\n1 1\n70000\nx";
+  out.close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sma::imaging

@@ -1,0 +1,126 @@
+// Unit tests for linalg/matrix.hpp.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sma::linalg {
+namespace {
+
+TEST(Vec, DefaultIsZero) {
+  Vec<4> v;
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vec, InitializerListFills) {
+  Vec<3> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(Vec, ShortInitializerLeavesZeros) {
+  Vec<4> v{5.0};
+  EXPECT_EQ(v[0], 5.0);
+  EXPECT_EQ(v[3], 0.0);
+}
+
+TEST(Vec, Arithmetic) {
+  Vec<3> a{1, 2, 3};
+  Vec<3> b{4, 5, 6};
+  const Vec<3> s = a + b;
+  EXPECT_EQ(s[0], 5.0);
+  EXPECT_EQ(s[2], 9.0);
+  const Vec<3> d = b - a;
+  EXPECT_EQ(d[1], 3.0);
+  const Vec<3> m = a * 2.0;
+  EXPECT_EQ(m[2], 6.0);
+  const Vec<3> m2 = 2.0 * a;
+  EXPECT_EQ(m2[0], 2.0);
+}
+
+TEST(Vec, DotAndNorm) {
+  Vec<3> a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec, MaxAbsDiff) {
+  Vec<3> a{1, 2, 3};
+  Vec<3> b{1, 2.5, 2};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(Vec3, CrossProductOrthogonal) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  const Vec3 z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+}
+
+TEST(Vec3, CrossAnticommutes) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{-2, 0.5, 4};
+  const Vec3 ab = cross(a, b);
+  const Vec3 ba = cross(b, a);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(ab[i], -ba[i]);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 n = normalized(Vec3{3, 4, 12});
+  EXPECT_NEAR(n.norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, NormalizedThrowsOnZero) {
+  EXPECT_THROW(normalized(Vec3{0, 0, 0}), std::domain_error);
+}
+
+TEST(Mat, IdentityTimesVector) {
+  const auto id = Mat<3, 3>::identity();
+  const Vec<3> v{7, -2, 0.5};
+  const Vec<3> r = id * v;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(r[i], v[i]);
+}
+
+TEST(Mat, MatVec) {
+  Mat<2, 3> m;
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const Vec<3> v{1, 1, 1};
+  const Vec<2> r = m * v;
+  EXPECT_DOUBLE_EQ(r[0], 6.0);
+  EXPECT_DOUBLE_EQ(r[1], 15.0);
+}
+
+TEST(Mat, MatMul) {
+  Mat<2, 2> a;
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const auto id = Mat<2, 2>::identity();
+  const auto p = a * id;
+  EXPECT_DOUBLE_EQ(p(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 3.0);
+  const auto sq = a * a;
+  EXPECT_DOUBLE_EQ(sq(0, 0), 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(sq(1, 1), 22.0);  // 3*2 + 4*4
+}
+
+TEST(Mat, AddAndScale) {
+  Mat<2, 2> a;
+  a(0, 0) = 1;
+  a(1, 1) = 2;
+  const auto b = a + a;
+  EXPECT_DOUBLE_EQ(b(0, 0), 2.0);
+  const auto c = a * 3.0;
+  EXPECT_DOUBLE_EQ(c(1, 1), 6.0);
+}
+
+}  // namespace
+}  // namespace sma::linalg

@@ -1,0 +1,121 @@
+// Unit and property tests for surface/patch_fit.hpp.
+#include "surface/patch_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+
+namespace sma::surface {
+namespace {
+
+TEST(FitPatch, RecoversConstant) {
+  const imaging::ImageF img(9, 9, 42.0f);
+  const QuadraticPatch p = fit_patch(img, 4, 4, 2);
+  ASSERT_TRUE(p.ok);
+  EXPECT_NEAR(p.c0, 42.0, 1e-6);
+  EXPECT_NEAR(p.zx(), 0.0, 1e-8);
+  EXPECT_NEAR(p.zy(), 0.0, 1e-8);
+  EXPECT_NEAR(p.zxx(), 0.0, 1e-8);
+}
+
+TEST(FitPatch, RecoversPlane) {
+  const imaging::ImageF img = testing::make_image(
+      11, 11, [](double x, double y) { return 3.0 + 2.0 * x - 1.5 * y; });
+  const QuadraticPatch p = fit_patch(img, 5, 5, 2);
+  ASSERT_TRUE(p.ok);
+  EXPECT_NEAR(p.zx(), 2.0, 1e-6);
+  EXPECT_NEAR(p.zy(), -1.5, 1e-6);
+  EXPECT_NEAR(p.zxx(), 0.0, 1e-6);
+  EXPECT_NEAR(p.zyy(), 0.0, 1e-6);
+}
+
+TEST(FitPatch, RadiusValidation) {
+  const imaging::ImageF img(5, 5, 0.0f);
+  EXPECT_THROW(fit_patch(img, 2, 2, 0), std::invalid_argument);
+}
+
+// Property: the fit recovers arbitrary quadratics exactly (they are in
+// the model space), for several window radii — the Sec. 2.2 Step 2
+// guarantee the whole normal computation rests on.
+struct QuadCase {
+  int radius;
+  double c[6];
+};
+
+class QuadraticRecovery : public ::testing::TestWithParam<QuadCase> {};
+
+TEST_P(QuadraticRecovery, ExactAtCenter) {
+  const QuadCase qc = GetParam();
+  const double* c = qc.c;
+  // Surface in absolute coordinates; the patch is window-centered, so
+  // evaluate expected derivatives at the center pixel (8, 8).
+  const imaging::ImageF img = testing::quadratic_surface(
+      17, 17, c[0], c[1], c[2], c[3], c[4], c[5]);
+  const int cx = 8, cy = 8;
+  const QuadraticPatch p = fit_patch(img, cx, cy, qc.radius);
+  ASSERT_TRUE(p.ok);
+  const double zx = c[1] + 2 * c[3] * cx + c[4] * cy;
+  const double zy = c[2] + c[4] * cx + 2 * c[5] * cy;
+  EXPECT_NEAR(p.zx(), zx, 1e-4 * (1 + std::abs(zx)));
+  EXPECT_NEAR(p.zy(), zy, 1e-4 * (1 + std::abs(zy)));
+  EXPECT_NEAR(p.zxx(), 2 * c[3], 1e-4);
+  EXPECT_NEAR(p.zxy(), c[4], 1e-4);
+  EXPECT_NEAR(p.zyy(), 2 * c[5], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QuadraticRecovery,
+    ::testing::Values(
+        QuadCase{1, {1.0, 0.5, -0.5, 0.1, 0.0, -0.1}},
+        QuadCase{2, {0.0, 1.0, 1.0, 0.2, 0.1, 0.3}},
+        QuadCase{2, {-5.0, 0.0, 0.0, -0.4, 0.25, 0.15}},
+        QuadCase{3, {2.0, -1.0, 0.7, 0.05, -0.3, 0.08}},
+        QuadCase{4, {10.0, 0.2, 0.2, 0.0, 0.5, 0.0}},
+        QuadCase{2, {0.0, 0.0, 0.0, 1.0, 1.0, 1.0}}));
+
+// Property: the cached-inverse PatchFitter matches the per-pixel
+// Gaussian elimination everywhere, including clamped borders.
+class FitterEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitterEquivalence, MatchesFitPatch) {
+  const int radius = GetParam();
+  const imaging::ImageF img = testing::textured_pattern(20, 16);
+  const PatchFitter fitter(radius);
+  for (int y = 0; y < img.height(); y += 3)
+    for (int x = 0; x < img.width(); x += 3) {
+      const QuadraticPatch a = fit_patch(img, x, y, radius);
+      const QuadraticPatch b = fitter.fit(img, x, y);
+      ASSERT_TRUE(a.ok);
+      const double scale = 1.0 + std::abs(a.c0);
+      EXPECT_NEAR(a.c0, b.c0, 1e-6 * scale) << "(" << x << "," << y << ")";
+      EXPECT_NEAR(a.zx(), b.zx(), 1e-6 * scale);
+      EXPECT_NEAR(a.zy(), b.zy(), 1e-6 * scale);
+      EXPECT_NEAR(a.zxx(), b.zxx(), 1e-6 * scale);
+      EXPECT_NEAR(a.zxy(), b.zxy(), 1e-6 * scale);
+      EXPECT_NEAR(a.zyy(), b.zyy(), 1e-6 * scale);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, FitterEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PatchFitter, RadiusValidation) {
+  EXPECT_THROW(PatchFitter(0), std::invalid_argument);
+}
+
+TEST(QuadraticPatch, ValueEvaluation) {
+  QuadraticPatch p;
+  p.c0 = 1;
+  p.c1 = 2;
+  p.c2 = 3;
+  p.c3 = 4;
+  p.c4 = 5;
+  p.c5 = 6;
+  // 1 + 2*1 + 3*2 + 4*1 + 5*2 + 6*4 = 47
+  EXPECT_DOUBLE_EQ(p.value(1.0, 2.0), 47.0);
+}
+
+}  // namespace
+}  // namespace sma::surface

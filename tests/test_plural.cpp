@@ -1,0 +1,157 @@
+// Unit tests for maspar/plural.hpp — distributed plural arrays and the
+// one-pixel X-net shift primitive.
+#include "maspar/plural.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "imaging/stats.hpp"
+
+namespace sma::maspar {
+namespace {
+
+MachineSpec small_spec(int n = 4) {
+  MachineSpec s;
+  s.nxproc = n;
+  s.nyproc = n;
+  return s;
+}
+
+imaging::ImageF roll(const imaging::ImageF& img, int dx, int dy) {
+  imaging::ImageF out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const int sx = ((x - dx) % img.width() + img.width()) % img.width();
+      const int sy = ((y - dy) % img.height() + img.height()) % img.height();
+      out.at(x, y) = img.at(sx, sy);
+    }
+  return out;
+}
+
+TEST(PluralImage, ScatterGatherRoundTrip) {
+  const imaging::ImageF img = sma::testing::textured_pattern(16, 12);
+  const HierarchicalMap map(16, 12, small_spec(4));
+  const PluralImage plural(img, map);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), img), 0.0);
+}
+
+TEST(PluralImage, RoundTripCutAndStack) {
+  const imaging::ImageF img = sma::testing::textured_pattern(10, 10);
+  const CutAndStackMap map(10, 10, small_spec(2));
+  const PluralImage plural(img, map);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), img), 0.0);
+}
+
+TEST(PluralImage, ReadPixelMatchesSource) {
+  const imaging::ImageF img = sma::testing::textured_pattern(8, 8);
+  const HierarchicalMap map(8, 8, small_spec(2));
+  const PluralImage plural(img, map);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      EXPECT_EQ(plural.read_pixel(x, y), img.at(x, y));
+}
+
+TEST(PluralImage, SizeMismatchThrows) {
+  const imaging::ImageF img(8, 8, 0.0f);
+  const HierarchicalMap map(16, 16, small_spec(4));
+  EXPECT_THROW(PluralImage(img, map), std::invalid_argument);
+}
+
+TEST(PixelShift, RollsImageToroidally) {
+  const imaging::ImageF img = sma::testing::textured_pattern(12, 12);
+  const HierarchicalMap map(12, 12, small_spec(4));
+  PluralImage plural(img, map);
+  CommCounters c;
+  plural.pixel_shift(1, 0, c);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), roll(img, 1, 0)),
+            0.0);
+  plural.pixel_shift(0, -1, c);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), roll(img, 1, -1)),
+            0.0);
+  EXPECT_EQ(plural.shift_x(), 1);
+  EXPECT_EQ(plural.shift_y(), -1);
+}
+
+TEST(PixelShift, ShiftThenUnshiftRestores) {
+  const imaging::ImageF img = sma::testing::textured_pattern(8, 8);
+  const HierarchicalMap map(8, 8, small_spec(2));
+  PluralImage plural(img, map);
+  CommCounters c;
+  plural.pixel_shift(1, 1, c);
+  plural.pixel_shift(-1, -1, c);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), img), 0.0);
+  EXPECT_EQ(plural.shift_x(), 0);
+}
+
+TEST(PixelShift, DiagonalStep) {
+  const imaging::ImageF img = sma::testing::textured_pattern(12, 12);
+  const HierarchicalMap map(12, 12, small_spec(4));
+  PluralImage plural(img, map);
+  CommCounters c;
+  plural.pixel_shift(-1, 1, c);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), roll(img, -1, 1)),
+            0.0);
+}
+
+TEST(PixelShift, CountsBoundaryTraffic) {
+  // 12x12 on 4x4 grid: 3x3 blocks.  A one-pixel x-shift moves one
+  // 3-pixel column out of each of the 16 PEs: 48 X-net words; the other
+  // 96 pixels rotate within their PEs.
+  const imaging::ImageF img = sma::testing::textured_pattern(12, 12);
+  const HierarchicalMap map(12, 12, small_spec(4));
+  PluralImage plural(img, map);
+  CommCounters c;
+  plural.pixel_shift(1, 0, c);
+  EXPECT_EQ(c.xnet_shifts, 1u);
+  EXPECT_EQ(c.xnet_words, 48u);
+  EXPECT_EQ(c.intra_pe_moves, 96u);
+  EXPECT_EQ(c.xnet_word_hops, 48u);  // all single-hop on this mapping
+}
+
+TEST(PixelShift, CutAndStackMovesEverythingOffPe) {
+  // Under cut-and-stack, raster-adjacent pixels land on adjacent PEs, so
+  // nearly every pixel crosses a PE boundary on a shift — the Sec. 3.2
+  // locality argument in counter form.
+  const imaging::ImageF img = sma::testing::textured_pattern(12, 12);
+  const HierarchicalMap hier(12, 12, small_spec(4));
+  const CutAndStackMap cut(12, 12, small_spec(4));
+  PluralImage a(img, hier), b(img, cut);
+  CommCounters ca, cb;
+  a.pixel_shift(1, 0, ca);
+  b.pixel_shift(1, 0, cb);
+  EXPECT_LT(ca.xnet_words, cb.xnet_words);
+  EXPECT_EQ(cb.intra_pe_moves, 0u);  // nothing stays local
+}
+
+TEST(PixelShift, ZeroStepIsNoop) {
+  const imaging::ImageF img = sma::testing::textured_pattern(8, 8);
+  const HierarchicalMap map(8, 8, small_spec(2));
+  PluralImage plural(img, map);
+  CommCounters c;
+  plural.pixel_shift(0, 0, c);
+  EXPECT_EQ(c.xnet_shifts, 0u);
+  EXPECT_EQ(imaging::max_abs_difference(plural.gather(), img), 0.0);
+}
+
+TEST(PixelShift, RejectsMultiPixelSteps) {
+  const imaging::ImageF img(8, 8, 0.0f);
+  const HierarchicalMap map(8, 8, small_spec(2));
+  PluralImage plural(img, map);
+  CommCounters c;
+  EXPECT_THROW(plural.pixel_shift(2, 0, c), std::invalid_argument);
+}
+
+TEST(CommCounters, Accumulate) {
+  CommCounters a, b;
+  a.xnet_words = 5;
+  a.intra_pe_moves = 2;
+  b.xnet_words = 3;
+  b.router_words = 7;
+  a += b;
+  EXPECT_EQ(a.xnet_words, 8u);
+  EXPECT_EQ(a.router_words, 7u);
+  EXPECT_EQ(a.intra_pe_moves, 2u);
+}
+
+}  // namespace
+}  // namespace sma::maspar

@@ -1,0 +1,81 @@
+// Unit tests for imaging/pyramid.hpp.
+#include "imaging/pyramid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "imaging/stats.hpp"
+
+namespace sma::imaging {
+namespace {
+
+TEST(Downsample2, HalvesDimensions) {
+  const ImageF img(16, 12, 1.0f);
+  const ImageF half = downsample2(img);
+  EXPECT_EQ(half.width(), 8);
+  EXPECT_EQ(half.height(), 6);
+}
+
+TEST(Downsample2, RoundsUpOddSizes) {
+  const ImageF img(9, 7, 1.0f);
+  const ImageF half = downsample2(img);
+  EXPECT_EQ(half.width(), 5);
+  EXPECT_EQ(half.height(), 4);
+}
+
+TEST(Downsample2, PreservesConstants) {
+  const ImageF img(16, 16, 13.0f);
+  const ImageF half = downsample2(img);
+  EXPECT_LT(max_abs_difference(half, ImageF(8, 8, 13.0f)), 1e-4);
+}
+
+TEST(Pyramid, LevelCountAndSizes) {
+  const ImageF base = testing::textured_pattern(64, 48);
+  const Pyramid p(base, 4, 4);  // min_size 4: allow the 8x6 top level
+  ASSERT_EQ(p.levels(), 4);
+  EXPECT_EQ(p.level(0).width(), 64);
+  EXPECT_EQ(p.level(1).width(), 32);
+  EXPECT_EQ(p.level(2).width(), 16);
+  EXPECT_EQ(p.level(3).width(), 8);
+  EXPECT_EQ(p.level(3).height(), 6);
+}
+
+TEST(Pyramid, StopsAtMinSize) {
+  const ImageF base = testing::textured_pattern(32, 32);
+  const Pyramid p(base, 8, 8);  // 32 -> 16 -> 8; next would be 4 < 8
+  EXPECT_EQ(p.levels(), 3);
+}
+
+TEST(Pyramid, SingleLevelKeepsBase) {
+  const ImageF base = testing::textured_pattern(16, 16);
+  const Pyramid p(base, 1);
+  ASSERT_EQ(p.levels(), 1);
+  EXPECT_TRUE(p.level(0) == base);
+}
+
+TEST(Pyramid, ScaleIsPowerOfTwo) {
+  EXPECT_DOUBLE_EQ(Pyramid::scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(Pyramid::scale(3), 8.0);
+}
+
+TEST(UpsampleTo, RestoresSizeAndAppliesGain) {
+  const ImageF small(4, 4, 3.0f);
+  const ImageF up = upsample_to(small, 8, 8, 2.0);
+  EXPECT_EQ(up.width(), 8);
+  EXPECT_EQ(up.height(), 8);
+  EXPECT_LT(max_abs_difference(up, ImageF(8, 8, 6.0f)), 1e-4);
+}
+
+TEST(UpsampleTo, InterpolatesLinearly) {
+  // 2 -> 3 upsampling of a ramp keeps endpoints and midpoints.
+  const ImageF small = testing::make_image(2, 1, [](double x, double) {
+    return x * 10.0;
+  });
+  const ImageF up = upsample_to(small, 3, 1, 1.0);
+  EXPECT_NEAR(up.at(0, 0), 0.0f, 1e-5);
+  EXPECT_NEAR(up.at(1, 0), 5.0f, 1e-5);
+  EXPECT_NEAR(up.at(2, 0), 10.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace sma::imaging

@@ -1,0 +1,157 @@
+// Unit tests for maspar/readout.hpp — snake vs raster neighborhood
+// staging (Sec. 4.2, Fig. 3).
+#include "maspar/readout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "helpers.hpp"
+
+namespace sma::maspar {
+namespace {
+
+MachineSpec small_spec(int n = 4) {
+  MachineSpec s;
+  s.nxproc = n;
+  s.nyproc = n;
+  return s;
+}
+
+TEST(SnakePath, CoversWindowExactlyOnce) {
+  for (int radius : {1, 2, 3, 5}) {
+    const auto steps = snake_path(radius);
+    const int edge = 2 * radius + 1;
+    EXPECT_EQ(static_cast<int>(steps.size()), edge * edge - 1);
+    int ox = -radius, oy = -radius;
+    std::set<std::pair<int, int>> visited{{ox, oy}};
+    for (const auto& [dx, dy] : steps) {
+      EXPECT_LE(std::abs(dx) + std::abs(dy), 1);  // unit 4-way steps
+      ox += dx;
+      oy += dy;
+      EXPECT_GE(ox, -radius);
+      EXPECT_LE(ox, radius);
+      EXPECT_GE(oy, -radius);
+      EXPECT_LE(oy, radius);
+      EXPECT_TRUE(visited.insert({ox, oy}).second)
+          << "revisited (" << ox << "," << oy << ")";
+    }
+    EXPECT_EQ(visited.size(), static_cast<std::size_t>(edge) * edge);
+  }
+}
+
+TEST(SnakePath, AlternatesRowDirection) {
+  const auto steps = snake_path(1);
+  // Row 0: +x +x; drop; row 1: -x -x; drop; row 2: +x +x.
+  ASSERT_EQ(steps.size(), 8u);
+  EXPECT_EQ(steps[0], (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(steps[2], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(steps[3], (std::pair<int, int>{-1, 0}));
+}
+
+imaging::ImageF rolled(const imaging::ImageF& img, int ox, int oy) {
+  imaging::ImageF out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const int sx = ((x + ox) % img.width() + img.width()) % img.width();
+      const int sy = ((y + oy) % img.height() + img.height()) % img.height();
+      out.at(x, y) = img.at(sx, sy);
+    }
+  return out;
+}
+
+TEST(SnakeReadout, PlanesMatchRolledImage) {
+  const imaging::ImageF img = sma::testing::textured_pattern(12, 12);
+  const HierarchicalMap map(12, 12, small_spec(4));
+  const ReadoutResult r = snake_readout(img, map, 2);
+  ASSERT_EQ(r.planes.size(), 25u);
+  for (std::size_t k = 0; k < r.planes.size(); ++k) {
+    const auto [ox, oy] = r.offsets[k];
+    const imaging::ImageF expect = rolled(img, ox, oy);
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        ASSERT_EQ(r.planes[k].at(x, y), expect.at(x, y))
+            << "offset (" << ox << "," << oy << ") at (" << x << "," << y
+            << ")";
+  }
+}
+
+TEST(RasterReadout, PlanesMatchRolledImage) {
+  const imaging::ImageF img = sma::testing::textured_pattern(12, 12);
+  const HierarchicalMap map(12, 12, small_spec(4));
+  const ReadoutResult r = raster_readout(img, map, 2);
+  ASSERT_EQ(r.planes.size(), 25u);
+  for (std::size_t k = 0; k < r.planes.size(); ++k) {
+    const auto [ox, oy] = r.offsets[k];
+    const imaging::ImageF expect = rolled(img, ox, oy);
+    EXPECT_TRUE(r.planes[k] == expect);
+  }
+}
+
+TEST(Readout, SnakeAndRasterFunctionallyEquivalent) {
+  const imaging::ImageF img = sma::testing::textured_pattern(8, 8);
+  const HierarchicalMap map(8, 8, small_spec(2));
+  const ReadoutResult snake = snake_readout(img, map, 1);
+  const ReadoutResult raster = raster_readout(img, map, 1);
+  ASSERT_EQ(snake.planes.size(), raster.planes.size());
+  // Offsets come in different orders; match by offset value.
+  for (std::size_t i = 0; i < snake.offsets.size(); ++i) {
+    const auto it = std::find(raster.offsets.begin(), raster.offsets.end(),
+                              snake.offsets[i]);
+    ASSERT_NE(it, raster.offsets.end());
+    const std::size_t j =
+        static_cast<std::size_t>(it - raster.offsets.begin());
+    EXPECT_TRUE(snake.planes[i] == raster.planes[j]);
+  }
+}
+
+TEST(Readout, RasterMovesFewerWordsWithMultiLayerStorage) {
+  // Sec. 4.2's finding: the snake shifts the entire multi-layer array at
+  // every step, the raster fetches only needed pixels — so raster totals
+  // fewer moved words and less modeled time on blocks > 1 pixel.
+  const imaging::ImageF img = sma::testing::textured_pattern(16, 16);
+  const HierarchicalMap map(16, 16, small_spec(4));  // 4x4 block per PE
+  const MachineSpec spec = map.spec();
+  const ReadoutResult snake = snake_readout(img, map, 2);
+  const ReadoutResult raster = raster_readout(img, map, 2);
+  const std::uint64_t snake_moved =
+      snake.counters.xnet_words + snake.counters.intra_pe_moves;
+  const std::uint64_t raster_moved =
+      raster.counters.xnet_words + raster.counters.intra_pe_moves;
+  EXPECT_LT(raster_moved, snake_moved);
+  EXPECT_LT(modeled_seconds(raster.counters, spec),
+            modeled_seconds(snake.counters, spec));
+}
+
+TEST(Readout, RouterModelIsSlower) {
+  const imaging::ImageF img = sma::testing::textured_pattern(16, 16);
+  const HierarchicalMap map(16, 16, small_spec(4));
+  const ReadoutResult raster = raster_readout(img, map, 2);
+  const MachineSpec spec;
+  EXPECT_GT(modeled_seconds_router(raster.counters, spec),
+            modeled_seconds(raster.counters, spec));
+}
+
+TEST(Readout, XnetRouterBandwidthRatioIs18) {
+  // Sec. 3.1: "the X-net bandwidth is 18 times higher than router
+  // communication".
+  const MachineSpec spec;
+  EXPECT_NEAR(spec.xnet_router_ratio(), 17.7, 0.5);
+}
+
+TEST(ModeledSeconds, ZeroTrafficIsFree) {
+  EXPECT_EQ(modeled_seconds(CommCounters{}, MachineSpec{}), 0.0);
+}
+
+TEST(ModeledSeconds, ScalesWithTraffic) {
+  CommCounters a, b;
+  a.xnet_words = a.xnet_word_hops = 1000;
+  b.xnet_words = b.xnet_word_hops = 2000;
+  const MachineSpec spec;
+  EXPECT_NEAR(modeled_seconds(b, spec) / modeled_seconds(a, spec), 2.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace sma::maspar

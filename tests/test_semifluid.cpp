@@ -1,0 +1,145 @@
+// Unit and property tests for core/semifluid.hpp — F_semi (Sec. 2.3) and
+// the Sec. 4.1 precomputed cost field.
+#include "core/semifluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace sma::core {
+namespace {
+
+TEST(SemiFluidCost, ZeroForIdenticalFields) {
+  const imaging::ImageF d = testing::textured_pattern(16, 16);
+  EXPECT_NEAR(semifluid_cost(d, d, 8, 8, 8, 8, 2), 0.0, 1e-10);
+}
+
+TEST(SemiFluidCost, PositiveForMismatch) {
+  const imaging::ImageF d0 = testing::textured_pattern(16, 16);
+  const imaging::ImageF d1 = testing::textured_pattern(16, 16, 1.0);
+  EXPECT_GT(semifluid_cost(d0, d1, 8, 8, 8, 8, 2), 0.0);
+}
+
+TEST(SemiFluidCost, DetectsShiftedContent) {
+  // d1 is d0 shifted by (3, 0); the cost at the matching offset must be
+  // (near) zero while the unshifted cost is positive.
+  const imaging::ImageF d0 = testing::textured_pattern(24, 24);
+  const imaging::ImageF d1 = testing::shift_image(d0, 3, 0);
+  EXPECT_NEAR(semifluid_cost(d0, d1, 10, 12, 13, 12, 2), 0.0, 1e-8);
+  EXPECT_GT(semifluid_cost(d0, d1, 10, 12, 10, 12, 2), 1.0);
+}
+
+TEST(SemiFluidMatch, FindsPlantedOffset) {
+  const imaging::ImageF d0 = testing::textured_pattern(24, 24);
+  const imaging::ImageF d1 = testing::shift_image(d0, 1, -1);
+  // Continuous target (cx, cy) = (10, 12); the true correspondence is at
+  // (11, 11), inside the 3x3 semi-fluid window.
+  const auto [bx, by] = semifluid_match(d0, d1, 10, 12, 10, 12, 1, 2);
+  EXPECT_EQ(bx, 11);
+  EXPECT_EQ(by, 11);
+}
+
+TEST(SemiFluidMatch, NssZeroReturnsCenter) {
+  const imaging::ImageF d0 = testing::textured_pattern(16, 16);
+  const imaging::ImageF d1 = testing::shift_image(d0, 1, 0);
+  const auto [bx, by] = semifluid_match(d0, d1, 8, 8, 9, 10, 0, 2);
+  EXPECT_EQ(bx, 9);
+  EXPECT_EQ(by, 10);
+}
+
+TEST(SemiFluidMatch, TieBreaksTowardCenter) {
+  // Constant discriminants: every candidate costs zero; the rule keeps
+  // the window center (continuous behaviour on featureless patches).
+  const imaging::ImageF d0(16, 16, 1.0f);
+  const imaging::ImageF d1(16, 16, 1.0f);
+  const auto [bx, by] = semifluid_match(d0, d1, 8, 8, 9, 9, 2, 1);
+  EXPECT_EQ(bx, 9);
+  EXPECT_EQ(by, 9);
+}
+
+// Property: the precomputed cost field equals the direct cost for every
+// in-band offset, for several window geometries.
+struct FieldCase {
+  int ox_radius;
+  int oy_min, oy_max;
+  int nst;
+};
+
+class CostFieldEquivalence : public ::testing::TestWithParam<FieldCase> {};
+
+TEST_P(CostFieldEquivalence, MatchesDirectCost) {
+  const FieldCase fc = GetParam();
+  const imaging::ImageF d0 = testing::textured_pattern(20, 18);
+  const imaging::ImageF d1 = testing::textured_pattern(20, 18, 0.7);
+  const SemiFluidCostField field(d0, d1, fc.ox_radius, fc.oy_min, fc.oy_max,
+                                 fc.nst);
+  for (int py = 0; py < 18; py += 3)
+    for (int px = 0; px < 20; px += 3)
+      for (int oy = fc.oy_min; oy <= fc.oy_max; ++oy)
+        for (int ox = -fc.ox_radius; ox <= fc.ox_radius; ++ox) {
+          const double direct =
+              semifluid_cost(d0, d1, px, py, px + ox, py + oy, fc.nst);
+          EXPECT_NEAR(field.cost(px, py, ox, oy), direct,
+                      1e-4 * (1.0 + direct))
+              << "p=(" << px << "," << py << ") o=(" << ox << "," << oy << ")";
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, CostFieldEquivalence,
+    ::testing::Values(FieldCase{2, -2, 2, 1}, FieldCase{3, -3, 3, 2},
+                      FieldCase{2, -1, 1, 2}, FieldCase{1, 0, 2, 1},
+                      FieldCase{4, -4, -2, 1}));
+
+TEST(CostField, BestOffsetMatchesDirectMatch) {
+  const imaging::ImageF d0 = testing::textured_pattern(24, 24);
+  const imaging::ImageF d1 = testing::shift_image(d0, 1, 1);
+  const int nss = 1, nst = 2, nzs = 2;
+  const SemiFluidCostField field(d0, d1, nzs + nss, -nzs - nss, nzs + nss,
+                                 nst);
+  for (int py = 4; py < 20; py += 2)
+    for (int px = 4; px < 20; px += 2)
+      for (int hy = -nzs; hy <= nzs; ++hy)
+        for (int hx = -nzs; hx <= nzs; ++hx) {
+          const auto [ox, oy] = field.best_offset(px, py, hx, hy, nss);
+          const auto [ax, ay] =
+              semifluid_match(d0, d1, px, py, px + hx, py + hy, nss, nst);
+          EXPECT_EQ(px + ox, ax) << px << "," << py << " h=" << hx << "," << hy;
+          EXPECT_EQ(py + oy, ay);
+        }
+}
+
+TEST(CostField, BandedConstructionBytes) {
+  const imaging::ImageF d0 = testing::textured_pattern(16, 16);
+  const imaging::ImageF d1 = testing::textured_pattern(16, 16, 0.3);
+  // Full band: 5 x 5 offsets.
+  const SemiFluidCostField full(d0, d1, 2, -2, 2, 1);
+  EXPECT_EQ(full.bytes(), 25u * 16u * 16u * sizeof(double));
+  // Two-row band: 5 x 2 offsets.
+  const SemiFluidCostField band(d0, d1, 2, 0, 1, 1);
+  EXPECT_EQ(band.bytes(), 10u * 16u * 16u * sizeof(double));
+  EXPECT_LT(band.bytes(), full.bytes());
+}
+
+TEST(CostField, BandedEqualsFullOnSharedOffsets) {
+  const imaging::ImageF d0 = testing::textured_pattern(16, 16);
+  const imaging::ImageF d1 = testing::textured_pattern(16, 16, 0.4);
+  const SemiFluidCostField full(d0, d1, 2, -2, 2, 1);
+  const SemiFluidCostField band(d0, d1, 2, 0, 1, 1);
+  for (int py = 0; py < 16; py += 2)
+    for (int px = 0; px < 16; px += 2)
+      for (int oy = 0; oy <= 1; ++oy)
+        for (int ox = -2; ox <= 2; ++ox)
+          EXPECT_EQ(band.cost(px, py, ox, oy), full.cost(px, py, ox, oy));
+}
+
+TEST(CostField, AccessorsReportBand) {
+  const imaging::ImageF d(8, 8, 0.0f);
+  const SemiFluidCostField field(d, d, 3, -1, 2, 1);
+  EXPECT_EQ(field.ox_radius(), 3);
+  EXPECT_EQ(field.oy_min(), -1);
+  EXPECT_EQ(field.oy_max(), 2);
+}
+
+}  // namespace
+}  // namespace sma::core

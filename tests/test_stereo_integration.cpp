@@ -1,0 +1,72 @@
+// Integration: ASA stereo on the Frederic analog recovers the true
+// disparity / cloud-top heights (Sec. 2.1 of the paper end to end).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "goes/datasets.hpp"
+#include "stereo/asa.hpp"
+
+namespace sma {
+namespace {
+
+double masked_disparity_rms(const stereo::DisparityMap& est,
+                            const imaging::ImageF& truth, int margin) {
+  double sum = 0.0;
+  int n = 0;
+  for (int y = margin; y < truth.height() - margin; ++y)
+    for (int x = margin; x < truth.width() - margin; ++x) {
+      if (!est.valid.at(x, y)) continue;
+      const double d = est.disparity.at(x, y) - truth.at(x, y);
+      sum += d * d;
+      ++n;
+    }
+  return n > 0 ? std::sqrt(sum / n) : 1e9;
+}
+
+TEST(StereoIntegration, AsaRecoversFredericDisparity) {
+  const goes::FredericDataset d = goes::make_frederic_analog(96, 21);
+  stereo::AsaOptions opts;
+  opts.levels = 3;
+  opts.template_radius = 3;
+  opts.max_disparity = 4;
+  const stereo::DisparityMap est =
+      stereo::asa_disparity(d.left0, d.right0, opts);
+  const double rms = masked_disparity_rms(est, d.disparity0, 10);
+  EXPECT_LT(rms, 1.5) << "disparity RMS too high";
+  // Most pixels should survive the correlation threshold.
+  EXPECT_GT(static_cast<double>(est.valid.at(48, 48)), 0.0);
+}
+
+TEST(StereoIntegration, HeightsWithinCloudDeck) {
+  const goes::FredericDataset d = goes::make_frederic_analog(96, 21);
+  stereo::AsaOptions opts;
+  opts.levels = 3;
+  const stereo::DisparityMap est =
+      stereo::asa_disparity(d.left0, d.right0, opts);
+  const imaging::ImageF heights =
+      goes::heights_from_disparity(est.disparity, d.geometry);
+  // Interior estimated heights should track the true 2-12 km deck.
+  double err = 0.0;
+  int n = 0;
+  for (int y = 12; y < 84; ++y)
+    for (int x = 12; x < 84; ++x) {
+      if (!est.valid.at(x, y)) continue;
+      err += std::abs(heights.at(x, y) - d.height0.at(x, y));
+      ++n;
+    }
+  ASSERT_GT(n, 1000);
+  EXPECT_LT(err / n, 0.8);  // sub-km mean height error
+}
+
+TEST(StereoIntegration, SecondTimeStepAlsoRecovered) {
+  const goes::FredericDataset d = goes::make_frederic_analog(96, 21);
+  stereo::AsaOptions opts;
+  opts.levels = 3;
+  const stereo::DisparityMap est =
+      stereo::asa_disparity(d.left1, d.right1, opts);
+  EXPECT_LT(masked_disparity_rms(est, d.disparity1, 10), 1.5);
+}
+
+}  // namespace
+}  // namespace sma

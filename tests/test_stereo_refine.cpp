@@ -1,0 +1,95 @@
+// Tests for stereo/refine.hpp — rectification shim and disparity
+// post-processing.
+#include "stereo/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "imaging/stats.hpp"
+
+namespace sma::stereo {
+namespace {
+
+TEST(VerticalOffset, ZeroForAlignedPair) {
+  const imaging::ImageF img = sma::testing::textured_pattern(32, 32);
+  EXPECT_EQ(estimate_vertical_offset(img, img, 4), 0);
+}
+
+TEST(VerticalOffset, RecoversKnownMisalignment) {
+  const imaging::ImageF left = sma::testing::textured_pattern(32, 32);
+  for (int dy : {-3, -1, 2, 4}) {
+    // right(x, y) = left(x, y + dy): shifting right DOWN by dy realigns.
+    const imaging::ImageF right = shift_vertical(left, -dy);
+    EXPECT_EQ(estimate_vertical_offset(left, right, 5), dy) << "dy=" << dy;
+  }
+}
+
+TEST(VerticalOffset, RectifiedPairMatches) {
+  const imaging::ImageF left = sma::testing::textured_pattern(32, 32);
+  const imaging::ImageF right = shift_vertical(left, -3);
+  const int dy = estimate_vertical_offset(left, right, 5);
+  const imaging::ImageF rectified = shift_vertical(right, dy);
+  // Interior rows realigned exactly (integer shift).
+  double err = 0.0;
+  for (int y = 6; y < 26; ++y)
+    for (int x = 0; x < 32; ++x)
+      err += std::abs(rectified.at(x, y) - left.at(x, y));
+  EXPECT_LT(err / (20 * 32), 1e-4);
+}
+
+TEST(ShiftVertical, ClampsBorders) {
+  const imaging::ImageF img = sma::testing::make_image(
+      4, 4, [](double, double y) { return y; });
+  const imaging::ImageF down = shift_vertical(img, 1);
+  EXPECT_EQ(down.at(0, 0), 0.0f);  // clamped top row
+  EXPECT_EQ(down.at(0, 3), 2.0f);
+}
+
+DisparityMap constant_map(int size, float d) {
+  DisparityMap m;
+  m.disparity = imaging::ImageF(size, size, d);
+  m.correlation = imaging::ImageF(size, size, 1.0f);
+  m.valid = imaging::Image<unsigned char>(size, size, 1);
+  return m;
+}
+
+TEST(MedianFilterDisparity, RemovesSpike) {
+  DisparityMap m = constant_map(9, 2.0f);
+  m.disparity.at(4, 4) = 50.0f;
+  const DisparityMap f = median_filter_disparity(m, 1);
+  EXPECT_EQ(f.disparity.at(4, 4), 2.0f);
+  EXPECT_EQ(f.disparity.at(0, 0), 2.0f);
+}
+
+TEST(MedianFilterDisparity, InvalidPixelsPassThrough) {
+  DisparityMap m = constant_map(5, 1.0f);
+  m.valid.at(2, 2) = 0;
+  m.disparity.at(2, 2) = -99.0f;
+  const DisparityMap f = median_filter_disparity(m, 1);
+  EXPECT_EQ(f.disparity.at(2, 2), -99.0f);  // untouched
+  EXPECT_EQ(f.valid.at(2, 2), 0);
+  // And the invalid value never contaminates neighbors.
+  EXPECT_EQ(f.disparity.at(1, 2), 1.0f);
+}
+
+TEST(FillInvalidDisparity, FillsHoles) {
+  DisparityMap m = constant_map(8, 3.0f);
+  for (int y = 3; y < 5; ++y)
+    for (int x = 3; x < 5; ++x) {
+      m.valid.at(x, y) = 0;
+      m.disparity.at(x, y) = 0.0f;
+    }
+  const std::size_t remaining = fill_invalid_disparity(m, 1);
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_EQ(m.disparity.at(3, 3), 3.0f);
+  EXPECT_EQ(m.valid.at(4, 4), 1);
+}
+
+TEST(FillInvalidDisparity, AllInvalidStaysInvalid) {
+  DisparityMap m = constant_map(4, 1.0f);
+  m.valid.fill(0);
+  EXPECT_EQ(fill_invalid_disparity(m, 1, 3), 16u);
+}
+
+}  // namespace
+}  // namespace sma::stereo

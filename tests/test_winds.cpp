@@ -1,0 +1,106 @@
+// Tests for goes/winds.hpp — physical wind products.
+#include "goes/winds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "helpers.hpp"
+
+namespace sma::goes {
+namespace {
+
+WindSampling frederic_sampling() {
+  WindSampling s;
+  s.pixel_km = 1.0;
+  s.interval_s = 450.0;  // ~7.5 minute GOES-6/7 interval (Sec. 5.1)
+  return s;
+}
+
+TEST(WindFromFlow, SpeedConversion) {
+  // 1 px/frame at 1 km pixels and 7.5 min interval: 1000 m / 450 s.
+  const WindVector w = wind_from_flow(1.0, 0.0, frederic_sampling());
+  EXPECT_NEAR(w.speed_ms, 1000.0 / 450.0, 1e-9);
+  EXPECT_NEAR(w.speed_knots, w.speed_ms * 1.94384, 1e-9);
+}
+
+TEST(WindFromFlow, MeteorologicalDirections) {
+  const WindSampling s = frederic_sampling();
+  // Flow toward +x (east): a WESTERLY wind, direction 270.
+  EXPECT_NEAR(wind_from_flow(1.0, 0.0, s).direction_deg, 270.0, 1e-9);
+  // Flow toward -x: easterly, 90.
+  EXPECT_NEAR(wind_from_flow(-1.0, 0.0, s).direction_deg, 90.0, 1e-9);
+  // Flow toward +y (image south): a NORTHERLY wind, direction 0.
+  EXPECT_NEAR(wind_from_flow(0.0, 1.0, s).direction_deg, 0.0, 1e-9);
+  // Flow toward -y (north): southerly, 180.
+  EXPECT_NEAR(wind_from_flow(0.0, -1.0, s).direction_deg, 180.0, 1e-9);
+}
+
+TEST(WindFromFlow, DiagonalQuadrant) {
+  // Flow toward northeast (u > 0, v < 0): wind FROM the southwest (225).
+  const WindVector w = wind_from_flow(1.0, -1.0, frederic_sampling());
+  EXPECT_NEAR(w.direction_deg, 225.0, 1e-9);
+}
+
+TEST(WindFromFlow, CalmHasZeroSpeed) {
+  const WindVector w = wind_from_flow(0.0, 0.0, frederic_sampling());
+  EXPECT_EQ(w.speed_ms, 0.0);
+  EXPECT_EQ(w.direction_deg, 0.0);
+}
+
+TEST(WindFromFlow, HurricaneMagnitudeSanity) {
+  // 3 px over 7.5 min at 1 km/px = ~6.7 m/s; rapid-scan 1-minute data
+  // with the same displacement = 50 m/s (hurricane strength).
+  WindSampling rapid;
+  rapid.pixel_km = 1.0;
+  rapid.interval_s = 60.0;
+  EXPECT_NEAR(wind_from_flow(3.0, 0.0, rapid).speed_ms, 50.0, 1e-9);
+}
+
+TEST(MakeWindBarbs, StrideAndValidity) {
+  imaging::FlowField flow = sma::testing::constant_flow(16, 16, 1.0f, 0.0f);
+  imaging::FlowVector inv;
+  inv.valid = 0;
+  flow.set(0, 0, inv);
+  const auto barbs = make_wind_barbs(flow, frederic_sampling(), 4);
+  // 4x4 grid of samples minus the invalidated origin.
+  EXPECT_EQ(barbs.size(), 15u);
+  for (const auto& b : barbs) {
+    EXPECT_EQ(b.x % 4, 0);
+    EXPECT_NEAR(b.wind.direction_deg, 270.0, 1e-9);
+  }
+}
+
+TEST(MakeWindBarbs, ClassesFilterClearPixels) {
+  imaging::FlowField flow = sma::testing::constant_flow(8, 8, 1.0f, 0.0f);
+  ClassMap classes(8, 8, static_cast<std::uint8_t>(CloudClass::kClear));
+  for (int y = 0; y < 8; ++y)
+    classes.at(4, y) = static_cast<std::uint8_t>(CloudClass::kHigh);
+  const auto barbs = make_wind_barbs(flow, frederic_sampling(), 2, &classes);
+  ASSERT_EQ(barbs.size(), 4u);  // column x=4 sampled at stride 2
+  for (const auto& b : barbs) {
+    EXPECT_EQ(b.x, 4);
+    EXPECT_EQ(b.cloud_class, CloudClass::kHigh);
+  }
+}
+
+TEST(MakeWindBarbs, RejectsBadStride) {
+  const imaging::FlowField flow = sma::testing::constant_flow(4, 4, 1, 1);
+  EXPECT_THROW(make_wind_barbs(flow, frederic_sampling(), 0),
+               std::invalid_argument);
+}
+
+TEST(WriteWindBarbs, EmitsRows) {
+  const imaging::FlowField flow = sma::testing::constant_flow(8, 8, 1.0f, 0.0f);
+  const auto barbs = make_wind_barbs(flow, frederic_sampling(), 4);
+  const std::string p = ::testing::TempDir() + "sma_wind_barbs.txt";
+  write_wind_barbs(barbs, p);
+  std::ifstream in(p);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 1 + static_cast<int>(barbs.size()));  // header + barbs
+}
+
+}  // namespace
+}  // namespace sma::goes
