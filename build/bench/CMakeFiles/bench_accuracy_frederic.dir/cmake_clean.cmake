@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_frederic.dir/bench_accuracy_frederic.cpp.o"
+  "CMakeFiles/bench_accuracy_frederic.dir/bench_accuracy_frederic.cpp.o.d"
+  "bench_accuracy_frederic"
+  "bench_accuracy_frederic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_frederic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

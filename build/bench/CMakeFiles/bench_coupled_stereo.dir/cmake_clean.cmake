@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coupled_stereo.dir/bench_coupled_stereo.cpp.o"
+  "CMakeFiles/bench_coupled_stereo.dir/bench_coupled_stereo.cpp.o.d"
+  "bench_coupled_stereo"
+  "bench_coupled_stereo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coupled_stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

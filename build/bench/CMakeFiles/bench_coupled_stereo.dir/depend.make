@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_coupled_stereo.
+# This may be replaced when dependencies are built.

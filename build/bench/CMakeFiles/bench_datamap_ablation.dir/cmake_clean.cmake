@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datamap_ablation.dir/bench_datamap_ablation.cpp.o"
+  "CMakeFiles/bench_datamap_ablation.dir/bench_datamap_ablation.cpp.o.d"
+  "bench_datamap_ablation"
+  "bench_datamap_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datamap_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

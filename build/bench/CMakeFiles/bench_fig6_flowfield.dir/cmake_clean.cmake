@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_flowfield.dir/bench_fig6_flowfield.cpp.o"
+  "CMakeFiles/bench_fig6_flowfield.dir/bench_fig6_flowfield.cpp.o.d"
+  "bench_fig6_flowfield"
+  "bench_fig6_flowfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_flowfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hierarchical_ablation.dir/bench_hierarchical_ablation.cpp.o"
+  "CMakeFiles/bench_hierarchical_ablation.dir/bench_hierarchical_ablation.cpp.o.d"
+  "bench_hierarchical_ablation"
+  "bench_hierarchical_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hierarchical_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_luis_sequence.dir/bench_luis_sequence.cpp.o"
+  "CMakeFiles/bench_luis_sequence.dir/bench_luis_sequence.cpp.o.d"
+  "bench_luis_sequence"
+  "bench_luis_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_luis_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

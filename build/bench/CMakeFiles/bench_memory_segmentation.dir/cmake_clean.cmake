@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_segmentation.dir/bench_memory_segmentation.cpp.o"
+  "CMakeFiles/bench_memory_segmentation.dir/bench_memory_segmentation.cpp.o.d"
+  "bench_memory_segmentation"
+  "bench_memory_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

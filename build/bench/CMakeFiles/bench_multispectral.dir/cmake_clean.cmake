@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multispectral.dir/bench_multispectral.cpp.o"
+  "CMakeFiles/bench_multispectral.dir/bench_multispectral.cpp.o.d"
+  "bench_multispectral"
+  "bench_multispectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multispectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ncc_ablation.dir/bench_ncc_ablation.cpp.o"
+  "CMakeFiles/bench_ncc_ablation.dir/bench_ncc_ablation.cpp.o.d"
+  "bench_ncc_ablation"
+  "bench_ncc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ncc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

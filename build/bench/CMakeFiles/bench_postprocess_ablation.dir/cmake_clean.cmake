@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postprocess_ablation.dir/bench_postprocess_ablation.cpp.o"
+  "CMakeFiles/bench_postprocess_ablation.dir/bench_postprocess_ablation.cpp.o.d"
+  "bench_postprocess_ablation"
+  "bench_postprocess_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postprocess_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precompute_ablation.dir/bench_precompute_ablation.cpp.o"
+  "CMakeFiles/bench_precompute_ablation.dir/bench_precompute_ablation.cpp.o.d"
+  "bench_precompute_ablation"
+  "bench_precompute_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precompute_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readout_ablation.dir/bench_readout_ablation.cpp.o"
+  "CMakeFiles/bench_readout_ablation.dir/bench_readout_ablation.cpp.o.d"
+  "bench_readout_ablation"
+  "bench_readout_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readout_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

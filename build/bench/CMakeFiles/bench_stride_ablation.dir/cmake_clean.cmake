@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stride_ablation.dir/bench_stride_ablation.cpp.o"
+  "CMakeFiles/bench_stride_ablation.dir/bench_stride_ablation.cpp.o.d"
+  "bench_stride_ablation"
+  "bench_stride_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stride_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_frederic.dir/bench_table2_frederic.cpp.o"
+  "CMakeFiles/bench_table2_frederic.dir/bench_table2_frederic.cpp.o.d"
+  "bench_table2_frederic"
+  "bench_table2_frederic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_frederic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

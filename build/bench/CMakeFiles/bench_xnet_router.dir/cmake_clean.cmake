@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xnet_router.dir/bench_xnet_router.cpp.o"
+  "CMakeFiles/bench_xnet_router.dir/bench_xnet_router.cpp.o.d"
+  "bench_xnet_router"
+  "bench_xnet_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xnet_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

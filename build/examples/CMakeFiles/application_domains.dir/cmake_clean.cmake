@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_domains.dir/application_domains.cpp.o"
+  "CMakeFiles/application_domains.dir/application_domains.cpp.o.d"
+  "application_domains"
+  "application_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

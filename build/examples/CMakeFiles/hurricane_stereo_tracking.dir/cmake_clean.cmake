@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane_stereo_tracking.dir/hurricane_stereo_tracking.cpp.o"
+  "CMakeFiles/hurricane_stereo_tracking.dir/hurricane_stereo_tracking.cpp.o.d"
+  "hurricane_stereo_tracking"
+  "hurricane_stereo_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane_stereo_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

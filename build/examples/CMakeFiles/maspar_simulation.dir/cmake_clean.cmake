@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maspar_simulation.dir/maspar_simulation.cpp.o"
+  "CMakeFiles/maspar_simulation.dir/maspar_simulation.cpp.o.d"
+  "maspar_simulation"
+  "maspar_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maspar_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

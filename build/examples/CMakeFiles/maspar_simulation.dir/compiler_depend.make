@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for maspar_simulation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilayer_winds.dir/multilayer_winds.cpp.o"
+  "CMakeFiles/multilayer_winds.dir/multilayer_winds.cpp.o.d"
+  "multilayer_winds"
+  "multilayer_winds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilayer_winds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

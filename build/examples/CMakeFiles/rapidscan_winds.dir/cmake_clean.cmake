@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidscan_winds.dir/rapidscan_winds.cpp.o"
+  "CMakeFiles/rapidscan_winds.dir/rapidscan_winds.cpp.o.d"
+  "rapidscan_winds"
+  "rapidscan_winds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidscan_winds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rapidscan_winds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_cli.dir/sma_cli.cpp.o"
+  "CMakeFiles/sma_cli.dir/sma_cli.cpp.o.d"
+  "sma_cli"
+  "sma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/sma_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/sma_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/continuous_model.cpp" "src/core/CMakeFiles/sma_core.dir/continuous_model.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/continuous_model.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/sma_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/multispectral.cpp" "src/core/CMakeFiles/sma_core.dir/multispectral.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/multispectral.cpp.o.d"
+  "/root/repo/src/core/postprocess.cpp" "src/core/CMakeFiles/sma_core.dir/postprocess.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/postprocess.cpp.o.d"
+  "/root/repo/src/core/semifluid.cpp" "src/core/CMakeFiles/sma_core.dir/semifluid.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/semifluid.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/core/CMakeFiles/sma_core.dir/sequence.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/sequence.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/sma_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/sma_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/trajectory.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/sma_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/sma_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/surface/CMakeFiles/sma_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/sma_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_core.dir/autotune.cpp.o"
+  "CMakeFiles/sma_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/sma_core.dir/config.cpp.o"
+  "CMakeFiles/sma_core.dir/config.cpp.o.d"
+  "CMakeFiles/sma_core.dir/continuous_model.cpp.o"
+  "CMakeFiles/sma_core.dir/continuous_model.cpp.o.d"
+  "CMakeFiles/sma_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/sma_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/sma_core.dir/multispectral.cpp.o"
+  "CMakeFiles/sma_core.dir/multispectral.cpp.o.d"
+  "CMakeFiles/sma_core.dir/postprocess.cpp.o"
+  "CMakeFiles/sma_core.dir/postprocess.cpp.o.d"
+  "CMakeFiles/sma_core.dir/semifluid.cpp.o"
+  "CMakeFiles/sma_core.dir/semifluid.cpp.o.d"
+  "CMakeFiles/sma_core.dir/sequence.cpp.o"
+  "CMakeFiles/sma_core.dir/sequence.cpp.o.d"
+  "CMakeFiles/sma_core.dir/tracker.cpp.o"
+  "CMakeFiles/sma_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/sma_core.dir/trajectory.cpp.o"
+  "CMakeFiles/sma_core.dir/trajectory.cpp.o.d"
+  "CMakeFiles/sma_core.dir/workload.cpp.o"
+  "CMakeFiles/sma_core.dir/workload.cpp.o.d"
+  "libsma_core.a"
+  "libsma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsma_core.a"
+)

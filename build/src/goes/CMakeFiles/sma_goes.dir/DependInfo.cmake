@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/goes/classify.cpp" "src/goes/CMakeFiles/sma_goes.dir/classify.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/classify.cpp.o.d"
+  "/root/repo/src/goes/datasets.cpp" "src/goes/CMakeFiles/sma_goes.dir/datasets.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/datasets.cpp.o.d"
+  "/root/repo/src/goes/domains.cpp" "src/goes/CMakeFiles/sma_goes.dir/domains.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/domains.cpp.o.d"
+  "/root/repo/src/goes/geometry.cpp" "src/goes/CMakeFiles/sma_goes.dir/geometry.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/geometry.cpp.o.d"
+  "/root/repo/src/goes/storm_track.cpp" "src/goes/CMakeFiles/sma_goes.dir/storm_track.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/storm_track.cpp.o.d"
+  "/root/repo/src/goes/synth.cpp" "src/goes/CMakeFiles/sma_goes.dir/synth.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/synth.cpp.o.d"
+  "/root/repo/src/goes/winds.cpp" "src/goes/CMakeFiles/sma_goes.dir/winds.cpp.o" "gcc" "src/goes/CMakeFiles/sma_goes.dir/winds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/sma_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

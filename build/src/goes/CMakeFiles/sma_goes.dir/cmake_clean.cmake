@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_goes.dir/classify.cpp.o"
+  "CMakeFiles/sma_goes.dir/classify.cpp.o.d"
+  "CMakeFiles/sma_goes.dir/datasets.cpp.o"
+  "CMakeFiles/sma_goes.dir/datasets.cpp.o.d"
+  "CMakeFiles/sma_goes.dir/domains.cpp.o"
+  "CMakeFiles/sma_goes.dir/domains.cpp.o.d"
+  "CMakeFiles/sma_goes.dir/geometry.cpp.o"
+  "CMakeFiles/sma_goes.dir/geometry.cpp.o.d"
+  "CMakeFiles/sma_goes.dir/storm_track.cpp.o"
+  "CMakeFiles/sma_goes.dir/storm_track.cpp.o.d"
+  "CMakeFiles/sma_goes.dir/synth.cpp.o"
+  "CMakeFiles/sma_goes.dir/synth.cpp.o.d"
+  "CMakeFiles/sma_goes.dir/winds.cpp.o"
+  "CMakeFiles/sma_goes.dir/winds.cpp.o.d"
+  "libsma_goes.a"
+  "libsma_goes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_goes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

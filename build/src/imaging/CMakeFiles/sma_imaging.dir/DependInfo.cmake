@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/colorize.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/colorize.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/colorize.cpp.o.d"
+  "/root/repo/src/imaging/convolve.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/convolve.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/convolve.cpp.o.d"
+  "/root/repo/src/imaging/flow.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/flow.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/flow.cpp.o.d"
+  "/root/repo/src/imaging/integral.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/integral.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/integral.cpp.o.d"
+  "/root/repo/src/imaging/io.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/io.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/io.cpp.o.d"
+  "/root/repo/src/imaging/pyramid.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/pyramid.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/pyramid.cpp.o.d"
+  "/root/repo/src/imaging/stats.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/stats.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/stats.cpp.o.d"
+  "/root/repo/src/imaging/svg.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/svg.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/svg.cpp.o.d"
+  "/root/repo/src/imaging/warp.cpp" "src/imaging/CMakeFiles/sma_imaging.dir/warp.cpp.o" "gcc" "src/imaging/CMakeFiles/sma_imaging.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_imaging.dir/colorize.cpp.o"
+  "CMakeFiles/sma_imaging.dir/colorize.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/convolve.cpp.o"
+  "CMakeFiles/sma_imaging.dir/convolve.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/flow.cpp.o"
+  "CMakeFiles/sma_imaging.dir/flow.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/integral.cpp.o"
+  "CMakeFiles/sma_imaging.dir/integral.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/io.cpp.o"
+  "CMakeFiles/sma_imaging.dir/io.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/pyramid.cpp.o"
+  "CMakeFiles/sma_imaging.dir/pyramid.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/stats.cpp.o"
+  "CMakeFiles/sma_imaging.dir/stats.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/svg.cpp.o"
+  "CMakeFiles/sma_imaging.dir/svg.cpp.o.d"
+  "CMakeFiles/sma_imaging.dir/warp.cpp.o"
+  "CMakeFiles/sma_imaging.dir/warp.cpp.o.d"
+  "libsma_imaging.a"
+  "libsma_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

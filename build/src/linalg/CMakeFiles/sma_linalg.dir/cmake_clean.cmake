@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_linalg.dir/gaussian_elimination.cpp.o"
+  "CMakeFiles/sma_linalg.dir/gaussian_elimination.cpp.o.d"
+  "libsma_linalg.a"
+  "libsma_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

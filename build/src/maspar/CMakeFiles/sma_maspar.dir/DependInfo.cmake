@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maspar/acu.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/acu.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/acu.cpp.o.d"
+  "/root/repo/src/maspar/cost_model.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/cost_model.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/cost_model.cpp.o.d"
+  "/root/repo/src/maspar/data_mapping.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/data_mapping.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/data_mapping.cpp.o.d"
+  "/root/repo/src/maspar/instruction_model.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/instruction_model.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/instruction_model.cpp.o.d"
+  "/root/repo/src/maspar/plural.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/plural.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/plural.cpp.o.d"
+  "/root/repo/src/maspar/plural_kernels.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/plural_kernels.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/plural_kernels.cpp.o.d"
+  "/root/repo/src/maspar/readout.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/readout.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/readout.cpp.o.d"
+  "/root/repo/src/maspar/sma_simd.cpp" "src/maspar/CMakeFiles/sma_maspar.dir/sma_simd.cpp.o" "gcc" "src/maspar/CMakeFiles/sma_maspar.dir/sma_simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/sma_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/sma_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_maspar.dir/acu.cpp.o"
+  "CMakeFiles/sma_maspar.dir/acu.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/cost_model.cpp.o"
+  "CMakeFiles/sma_maspar.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/data_mapping.cpp.o"
+  "CMakeFiles/sma_maspar.dir/data_mapping.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/instruction_model.cpp.o"
+  "CMakeFiles/sma_maspar.dir/instruction_model.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/plural.cpp.o"
+  "CMakeFiles/sma_maspar.dir/plural.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/plural_kernels.cpp.o"
+  "CMakeFiles/sma_maspar.dir/plural_kernels.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/readout.cpp.o"
+  "CMakeFiles/sma_maspar.dir/readout.cpp.o.d"
+  "CMakeFiles/sma_maspar.dir/sma_simd.cpp.o"
+  "CMakeFiles/sma_maspar.dir/sma_simd.cpp.o.d"
+  "libsma_maspar.a"
+  "libsma_maspar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sma_maspar.
+# This may be replaced when dependencies are built.

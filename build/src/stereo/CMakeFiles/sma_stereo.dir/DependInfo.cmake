@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stereo/asa.cpp" "src/stereo/CMakeFiles/sma_stereo.dir/asa.cpp.o" "gcc" "src/stereo/CMakeFiles/sma_stereo.dir/asa.cpp.o.d"
+  "/root/repo/src/stereo/coupled.cpp" "src/stereo/CMakeFiles/sma_stereo.dir/coupled.cpp.o" "gcc" "src/stereo/CMakeFiles/sma_stereo.dir/coupled.cpp.o.d"
+  "/root/repo/src/stereo/refine.cpp" "src/stereo/CMakeFiles/sma_stereo.dir/refine.cpp.o" "gcc" "src/stereo/CMakeFiles/sma_stereo.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/sma_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/goes/CMakeFiles/sma_goes.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/sma_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_stereo.dir/asa.cpp.o"
+  "CMakeFiles/sma_stereo.dir/asa.cpp.o.d"
+  "CMakeFiles/sma_stereo.dir/coupled.cpp.o"
+  "CMakeFiles/sma_stereo.dir/coupled.cpp.o.d"
+  "CMakeFiles/sma_stereo.dir/refine.cpp.o"
+  "CMakeFiles/sma_stereo.dir/refine.cpp.o.d"
+  "libsma_stereo.a"
+  "libsma_stereo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

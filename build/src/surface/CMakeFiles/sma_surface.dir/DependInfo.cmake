@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surface/geometry.cpp" "src/surface/CMakeFiles/sma_surface.dir/geometry.cpp.o" "gcc" "src/surface/CMakeFiles/sma_surface.dir/geometry.cpp.o.d"
+  "/root/repo/src/surface/patch_fit.cpp" "src/surface/CMakeFiles/sma_surface.dir/patch_fit.cpp.o" "gcc" "src/surface/CMakeFiles/sma_surface.dir/patch_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/sma_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

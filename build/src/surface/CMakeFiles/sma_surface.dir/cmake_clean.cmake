@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_surface.dir/geometry.cpp.o"
+  "CMakeFiles/sma_surface.dir/geometry.cpp.o.d"
+  "CMakeFiles/sma_surface.dir/patch_fit.cpp.o"
+  "CMakeFiles/sma_surface.dir/patch_fit.cpp.o.d"
+  "libsma_surface.a"
+  "libsma_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

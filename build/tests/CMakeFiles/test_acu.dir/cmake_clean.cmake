@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acu.dir/test_acu.cpp.o"
+  "CMakeFiles/test_acu.dir/test_acu.cpp.o.d"
+  "test_acu"
+  "test_acu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

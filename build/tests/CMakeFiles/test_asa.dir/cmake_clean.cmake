@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asa.dir/test_asa.cpp.o"
+  "CMakeFiles/test_asa.dir/test_asa.cpp.o.d"
+  "test_asa"
+  "test_asa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colorize.dir/test_colorize.cpp.o"
+  "CMakeFiles/test_colorize.dir/test_colorize.cpp.o.d"
+  "test_colorize"
+  "test_colorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

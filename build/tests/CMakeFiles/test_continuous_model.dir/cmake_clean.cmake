@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_continuous_model.dir/test_continuous_model.cpp.o"
+  "CMakeFiles/test_continuous_model.dir/test_continuous_model.cpp.o.d"
+  "test_continuous_model"
+  "test_continuous_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_continuous_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/test_cost_model.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_cost_model.dir/test_cost_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/maspar/CMakeFiles/sma_maspar.dir/DependInfo.cmake"
+  "/root/repo/build/src/stereo/CMakeFiles/sma_stereo.dir/DependInfo.cmake"
+  "/root/repo/build/src/goes/CMakeFiles/sma_goes.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/sma_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/sma_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

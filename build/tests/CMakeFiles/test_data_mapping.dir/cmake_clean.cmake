@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_mapping.dir/test_data_mapping.cpp.o"
+  "CMakeFiles/test_data_mapping.dir/test_data_mapping.cpp.o.d"
+  "test_data_mapping"
+  "test_data_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frederic_sequence.dir/test_frederic_sequence.cpp.o"
+  "CMakeFiles/test_frederic_sequence.dir/test_frederic_sequence.cpp.o.d"
+  "test_frederic_sequence"
+  "test_frederic_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frederic_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

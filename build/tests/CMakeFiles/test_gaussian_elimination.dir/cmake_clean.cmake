@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaussian_elimination.dir/test_gaussian_elimination.cpp.o"
+  "CMakeFiles/test_gaussian_elimination.dir/test_gaussian_elimination.cpp.o.d"
+  "test_gaussian_elimination"
+  "test_gaussian_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaussian_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goes_synth.dir/test_goes_synth.cpp.o"
+  "CMakeFiles/test_goes_synth.dir/test_goes_synth.cpp.o.d"
+  "test_goes_synth"
+  "test_goes_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goes_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integral.dir/test_integral.cpp.o"
+  "CMakeFiles/test_integral.dir/test_integral.cpp.o.d"
+  "test_integral"
+  "test_integral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multispectral.dir/test_multispectral.cpp.o"
+  "CMakeFiles/test_multispectral.dir/test_multispectral.cpp.o.d"
+  "test_multispectral"
+  "test_multispectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multispectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

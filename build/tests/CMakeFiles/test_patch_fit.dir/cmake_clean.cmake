@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patch_fit.dir/test_patch_fit.cpp.o"
+  "CMakeFiles/test_patch_fit.dir/test_patch_fit.cpp.o.d"
+  "test_patch_fit"
+  "test_patch_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patch_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdisk.dir/test_pdisk.cpp.o"
+  "CMakeFiles/test_pdisk.dir/test_pdisk.cpp.o.d"
+  "test_pdisk"
+  "test_pdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plural.dir/test_plural.cpp.o"
+  "CMakeFiles/test_plural.dir/test_plural.cpp.o.d"
+  "test_plural"
+  "test_plural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plural_kernels.dir/test_plural_kernels.cpp.o"
+  "CMakeFiles/test_plural_kernels.dir/test_plural_kernels.cpp.o.d"
+  "test_plural_kernels"
+  "test_plural_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plural_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semifluid.dir/test_semifluid.cpp.o"
+  "CMakeFiles/test_semifluid.dir/test_semifluid.cpp.o.d"
+  "test_semifluid"
+  "test_semifluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semifluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

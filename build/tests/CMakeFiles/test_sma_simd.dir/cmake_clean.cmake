@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sma_simd.dir/test_sma_simd.cpp.o"
+  "CMakeFiles/test_sma_simd.dir/test_sma_simd.cpp.o.d"
+  "test_sma_simd"
+  "test_sma_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sma_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

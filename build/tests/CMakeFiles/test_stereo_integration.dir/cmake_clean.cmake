@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stereo_integration.dir/test_stereo_integration.cpp.o"
+  "CMakeFiles/test_stereo_integration.dir/test_stereo_integration.cpp.o.d"
+  "test_stereo_integration"
+  "test_stereo_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stereo_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

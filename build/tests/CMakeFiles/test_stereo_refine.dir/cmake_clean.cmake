@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stereo_refine.dir/test_stereo_refine.cpp.o"
+  "CMakeFiles/test_stereo_refine.dir/test_stereo_refine.cpp.o.d"
+  "test_stereo_refine"
+  "test_stereo_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stereo_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracker_sweep.dir/test_tracker_sweep.cpp.o"
+  "CMakeFiles/test_tracker_sweep.dir/test_tracker_sweep.cpp.o.d"
+  "test_tracker_sweep"
+  "test_tracker_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracker_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

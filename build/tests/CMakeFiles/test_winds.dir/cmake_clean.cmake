@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winds.dir/test_winds.cpp.o"
+  "CMakeFiles/test_winds.dir/test_winds.cpp.o.d"
+  "test_winds"
+  "test_winds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
