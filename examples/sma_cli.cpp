@@ -13,10 +13,16 @@
 //   --sequential           disable OpenMP
 //   --robust               robust post-processing
 //   --ppm FILE             also write a color-wheel rendering
+//   --inject-faults R      corrupt the input pair with rate-R telemetry
+//                          faults (scan-line dropouts, bit noise, dead
+//                          columns), then repair + mask before tracking
+//   --fault-seed N         deterministic fault seed (default 1)
 // stereo options:
 //   --levels N             pyramid levels          (default 4)
 //   --max-disparity N      coarsest search range   (default 8)
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -40,6 +46,7 @@ int usage() {
                "                 [--model cont|semi] [--search N]\n"
                "                 [--template N] [--subpixel] [--sequential]\n"
                "                 [--robust] [--ppm FILE]\n"
+               "                 [--inject-faults RATE] [--fault-seed N]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
                "                 [--levels N] [--max-disparity N]\n");
   return 2;
@@ -48,6 +55,11 @@ int usage() {
 int int_arg(int argc, char** argv, int& i) {
   if (i + 1 >= argc) throw std::runtime_error("missing value for option");
   return std::atoi(argv[++i]);
+}
+
+double double_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+  return std::atof(argv[++i]);
 }
 
 int cmd_synth(const std::string& prefix) {
@@ -79,6 +91,8 @@ int cmd_track(int argc, char** argv) {
   core::TrackOptions opts;
   opts.policy = core::ExecutionPolicy::kParallel;
   bool robust = false;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 1;
   std::string ppm_path;
 
   for (int i = 5; i < argc; ++i) {
@@ -99,17 +113,55 @@ int cmd_track(int argc, char** argv) {
       robust = true;
     } else if (a == "--ppm") {
       ppm_path = argv[++i];
+    } else if (a == "--inject-faults") {
+      fault_rate = double_arg(argc, argv, i);
+    } else if (a == "--fault-seed") {
+      fault_seed = static_cast<std::uint64_t>(int_arg(argc, argv, i));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return usage();
     }
   }
 
-  const imaging::ImageF before = imaging::read_pgm(before_path);
-  const imaging::ImageF after = imaging::read_pgm(after_path);
+  imaging::ImageF before = imaging::read_pgm(before_path);
+  imaging::ImageF after = imaging::read_pgm(after_path);
   std::printf("tracking %dx%d pair: %s\n", before.width(), before.height(),
               cfg.describe().c_str());
-  core::TrackResult r = core::track_pair_monocular(before, after, cfg, opts);
+
+  core::TrackResult r;
+  if (fault_rate > 0.0) {
+    // Degraded-input path: corrupt, repair, and track with the masks.
+    core::FaultSpec fspec;
+    fspec.seed = fault_seed;
+    fspec.scanline_dropout_rate = fault_rate;
+    fspec.bit_noise_rate = fault_rate / 5.0;
+    fspec.dead_column_rate = fault_rate / 10.0;
+    const core::FaultInjector injector(fspec);
+    core::FaultLog log;
+    injector.corrupt_frame(before, 0, &log);
+    injector.corrupt_frame(after, 1, &log);
+    std::printf("injected faults (seed %llu): %s\n",
+                static_cast<unsigned long long>(fault_seed),
+                log.summary().c_str());
+    const imaging::RepairReport rep0 = imaging::repair_frame(before);
+    const imaging::RepairReport rep1 = imaging::repair_frame(after);
+    std::printf(
+        "repair: %zu+%zu lines interpolated, %zu+%zu masked, "
+        "%d+%d pixels despiked\n",
+        rep0.repaired_rows.size() + rep0.repaired_cols.size(),
+        rep1.repaired_rows.size() + rep1.repaired_cols.size(),
+        rep0.masked_rows.size() + rep0.masked_cols.size(),
+        rep1.masked_rows.size() + rep1.masked_cols.size(),
+        rep0.despiked_pixels, rep1.despiked_pixels);
+    core::TrackerInput in;
+    in.intensity_before = in.surface_before = &rep0.image;
+    in.intensity_after = in.surface_after = &rep1.image;
+    in.validity_before = &rep0.validity;
+    in.validity_after = &rep1.validity;
+    r = core::track_pair(in, cfg, opts);
+  } else {
+    r = core::track_pair_monocular(before, after, cfg, opts);
+  }
   imaging::FlowField flow = std::move(r.flow);
   if (robust) flow = core::robust_postprocess(flow);
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Configures, builds and runs the test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer.  Usage:
+#
+#   scripts/check_sanitize.sh [build-dir] [sanitizers]
+#
+# Defaults: build-dir = build-sanitize, sanitizers = "address;undefined".
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+SANITIZERS="${2:-address;undefined}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSMA_SANITIZE="$SANITIZERS" \
+  -DSMA_BUILD_BENCH=OFF \
+  -DSMA_BUILD_EXAMPLES=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# halt_on_error so ctest reports sanitizer findings as failures rather
+# than letting an instrumented process limp on.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+echo "sanitize check passed (${SANITIZERS})"

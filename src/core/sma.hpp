@@ -15,6 +15,7 @@
 #include "core/autotune.hpp"
 #include "core/config.hpp"
 #include "core/continuous_model.hpp"
+#include "core/fault.hpp"
 #include "core/hierarchical.hpp"
 #include "core/multispectral.hpp"
 #include "core/postprocess.hpp"
@@ -25,4 +26,5 @@
 #include "core/workload.hpp"
 #include "imaging/flow.hpp"
 #include "imaging/image.hpp"
+#include "imaging/repair.hpp"
 #include "surface/geometry.hpp"

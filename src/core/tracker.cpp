@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/semifluid.hpp"
@@ -38,7 +39,10 @@ bool hypothesis_improves(const PixelBest& best, double error, int hx,
 // Evaluates ONE hypothesis (hx, hy) at pixel (x, y): builds the template
 // mapping (continuous or semi-fluid), solves the 6x6 system and returns
 // the Eq. (3) residual.  Shared by the search loop and the sub-pixel
-// refinement pass.
+// refinement pass.  Template pixels that a validity mask marks
+// untrustworthy are skipped (exactly like F_semi drops discontinuous
+// pixels); `coverage_out`, when non-null, receives the unmasked fraction
+// of the template.  A fully masked template returns infinite error.
 double evaluate_pixel_hypothesis(const surface::GeometricField& before,
                                  const surface::GeometricField& after,
                                  const imaging::ImageF* disc_before,
@@ -46,7 +50,10 @@ double evaluate_pixel_hypothesis(const surface::GeometricField& before,
                                  const SemiFluidCostField* cost_field, int x,
                                  int y, int hx, int hy,
                                  const SmaConfig& config,
-                                 MotionParams& params_out, bool& ok_out) {
+                                 MotionParams& params_out, bool& ok_out,
+                                 const imaging::ImageU8* mask_before = nullptr,
+                                 const imaging::ImageU8* mask_after = nullptr,
+                                 double* coverage_out = nullptr) {
   const int nzt_x = config.z_template_radius;
   const int nzt_y = config.z_template_ry();
   const int nss = config.effective_nss();
@@ -55,14 +62,19 @@ double evaluate_pixel_hypothesis(const surface::GeometricField& before,
   const bool semifluid = config.model == MotionModel::kSemiFluid && nss > 0;
   const int w = before.width();
   const int h = before.height();
+  const bool masked = mask_before != nullptr || mask_after != nullptr;
 
   linalg::NormalEquations6 ne;
+  int total = 0;
+  int included = 0;
   for (int v = -nzt_y; v <= nzt_y; v += stride) {
     for (int u = -nzt_x; u <= nzt_x; u += stride) {
       // Clamp template coordinates up front so the precomputed and
       // naive semi-fluid paths see identical border semantics.
       const int px = std::clamp(x + u, 0, w - 1);
       const int py = std::clamp(y + v, 0, h - 1);
+      ++total;
+      if (mask_before != nullptr && mask_before->at(px, py) == 0) continue;
       int qx = px + hx;
       int qy = py + hy;
       if (semifluid) {
@@ -77,8 +89,21 @@ double evaluate_pixel_hypothesis(const surface::GeometricField& before,
           qy = sy;
         }
       }
+      if (mask_after != nullptr &&
+          mask_after->at_clamped(qx, qy) == 0)
+        continue;
+      ++included;
       add_normal_rows(before, after, px, py, qx, qy, ne);
     }
+  }
+  if (coverage_out != nullptr)
+    *coverage_out = total > 0 ? static_cast<double>(included) / total : 0.0;
+  if (masked && included == 0) {
+    // The whole template fell in masked (unrepairable) data: there is no
+    // evidence to score this hypothesis at all.
+    params_out = MotionParams{};
+    ok_out = false;
+    return std::numeric_limits<double>::infinity();
   }
   linalg::Vec6 theta;
   if (ne.solve(theta) == linalg::SolveStatus::kOk) {
@@ -97,7 +122,8 @@ void scan_hypotheses(const surface::GeometricField& before,
                      const imaging::ImageF* disc_after,
                      const SemiFluidCostField* cost_field, int x, int y,
                      int hy_min, int hy_max, const SmaConfig& config,
-                     PixelBest& best) {
+                     PixelBest& best, const imaging::ImageU8* mask_before,
+                     const imaging::ImageU8* mask_after) {
   const int nzs_x = config.z_search_radius;
   const int nss = config.effective_nss();
   const int nst = config.semifluid_template_radius;
@@ -107,12 +133,14 @@ void scan_hypotheses(const surface::GeometricField& before,
     for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
       MotionParams params;
       bool ok = false;
+      double coverage = 1.0;
       const double error =
           evaluate_pixel_hypothesis(before, after, disc_before, disc_after,
                                     cost_field, x, y, hx, hy, config, params,
-                                    ok);
+                                    ok, mask_before, mask_after, &coverage);
       if (hypothesis_improves(best, error, hx, hy)) {
         best.solved = ok;
+        best.coverage = coverage;
         best.hx = hx;
         best.hy = hy;
         // Flow vector: the center pixel's own correspondence (Eq. 9).
@@ -156,6 +184,13 @@ TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
       imaging::has_nonfinite(surf0) || imaging::has_nonfinite(surf1))
     throw std::invalid_argument(
         "track_pair: non-finite pixel values (sensor dropout?)");
+  const imaging::ImageU8* mask0 = input.validity_before;
+  const imaging::ImageU8* mask1 = input.validity_after;
+  if ((mask0 != nullptr && (mask0->width() != surf0.width() ||
+                            mask0->height() != surf0.height())) ||
+      (mask1 != nullptr && (mask1->width() != surf0.width() ||
+                            mask1->height() != surf0.height())))
+    throw std::invalid_argument("track_pair: validity mask shape mismatch");
 
   const bool parallel = options.policy == ExecutionPolicy::kParallel;
   const bool semifluid =
@@ -231,7 +266,8 @@ TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
     for (int y = 0; y < h; ++y)
       for (int x = 0; x < w; ++x)
         scan_hypotheses(g0, g1, db, da, field_ptr, x, y, hy_min, hy_max,
-                        config, best[static_cast<std::size_t>(y) * w + x]);
+                        config, best[static_cast<std::size_t>(y) * w + x],
+                        mask0, mask1);
     result.timings.hypothesis_matching += seconds_since(t0);
   }
 
@@ -247,29 +283,35 @@ TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
     for (int y = 0; y < h; ++y)
       for (int x = 0; x < w; ++x) {
         PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
-        if (!b.any_ok) continue;
+        // Masked winners can carry an infinite residual; the parabola is
+        // meaningless there (inf - inf), so only refine finite minima.
+        if (!b.any_ok || !std::isfinite(b.error)) continue;
         MotionParams unused;
         bool ok = false;
         const double e0 = b.error;
         const double exm = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx - 1, b.hy, config, unused, ok);
+            g0, g1, db, da, nullptr, x, y, b.hx - 1, b.hy, config, unused, ok,
+            mask0, mask1);
         const double exp_ = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx + 1, b.hy, config, unused, ok);
+            g0, g1, db, da, nullptr, x, y, b.hx + 1, b.hy, config, unused, ok,
+            mask0, mask1);
         const double eym = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx, b.hy - 1, config, unused, ok);
+            g0, g1, db, da, nullptr, x, y, b.hx, b.hy - 1, config, unused, ok,
+            mask0, mask1);
         const double eyp = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx, b.hy + 1, config, unused, ok);
+            g0, g1, db, da, nullptr, x, y, b.hx, b.hy + 1, config, unused, ok,
+            mask0, mask1);
         // A near-zero center residual means the integer hypothesis is an
         // (essentially) exact match; the parabola is then degenerate and
         // neighbor asymmetry would inject spurious fractions.
         const double dx_denom = exm - 2.0 * e0 + exp_;
-        if (dx_denom > 1e-12 && e0 <= exm && e0 <= exp_ &&
-            e0 > 1e-4 * std::min(exm, exp_))
+        if (std::isfinite(exm) && std::isfinite(exp_) && dx_denom > 1e-12 &&
+            e0 <= exm && e0 <= exp_ && e0 > 1e-4 * std::min(exm, exp_))
           b.sub_u = static_cast<float>(
               std::clamp(0.5 * (exm - exp_) / dx_denom, -0.5, 0.5));
         const double dy_denom = eym - 2.0 * e0 + eyp;
-        if (dy_denom > 1e-12 && e0 <= eym && e0 <= eyp &&
-            e0 > 1e-4 * std::min(eym, eyp))
+        if (std::isfinite(eym) && std::isfinite(eyp) && dy_denom > 1e-12 &&
+            e0 <= eym && e0 <= eyp && e0 > 1e-4 * std::min(eym, eyp))
           b.sub_v = static_cast<float>(
               std::clamp(0.5 * (eym - eyp) / dy_denom, -0.5, 0.5));
       }
@@ -294,8 +336,13 @@ TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
       imaging::FlowVector f;
       f.u = static_cast<float>(b.ux) + b.sub_u;
       f.v = static_cast<float>(b.uy) + b.sub_v;
-      f.error = static_cast<float>(b.error);
       f.valid = (b.any_ok && b.solved) ? 1 : 0;
+      // Degradation contract: an unsolved winner (singular system or
+      // fully masked template) reports infinite error and zero
+      // confidence — never NaN, never a silently plausible residual.
+      f.error = f.valid ? static_cast<float>(b.error)
+                        : std::numeric_limits<float>::infinity();
+      f.confidence = f.valid ? static_cast<float>(b.coverage) : 0.0f;
       result.flow.set(x, y, f);
       if (result.params) {
         result.params->ai.at(x, y) = static_cast<float>(b.params.ai);

@@ -82,6 +82,16 @@ struct TrackerInput {
   const imaging::ImageF* intensity_after = nullptr;
   const imaging::ImageF* surface_before = nullptr;
   const imaging::ImageF* surface_after = nullptr;
+  /// Optional per-pixel validity masks from the repair layer
+  /// (imaging/repair.hpp): nonzero = trustworthy.  Masked template
+  /// pixels are excluded from the 6x6 systems exactly like F_semi drops
+  /// discontinuous pixels; a hypothesis whose template is entirely
+  /// masked scores infinite error; the output FlowField's confidence
+  /// channel reports the winning template's unmasked fraction.  Null
+  /// masks (the default) leave the tracker bit-identical to the
+  /// mask-free pipeline.
+  const imaging::ImageU8* validity_before = nullptr;
+  const imaging::ImageU8* validity_after = nullptr;
 };
 
 /// Runs the full SMA pipeline on one pair of time steps.
@@ -115,19 +125,26 @@ struct PixelBest {
   /// system.  A singular winner means the patch carries no geometric
   /// information (flat/textureless); such pixels are reported invalid.
   bool solved = false;
+  /// Fraction of the winning hypothesis's template pixels that were
+  /// unmasked (1.0 without validity masks) — the confidence channel.
+  double coverage = 1.0;
 };
 
 class SemiFluidCostField;  // fwd (semifluid.hpp)
 
 /// Scans hypothesis rows [hy_min, hy_max] for pixel (x, y), refining
 /// `best` in place.  `cost_field` may be null for the continuous model or
-/// the naive (non-precomputed) semi-fluid path.
+/// the naive (non-precomputed) semi-fluid path.  `mask_before` /
+/// `mask_after` are optional validity masks (see TrackerInput); null
+/// masks reproduce the unmasked pipeline bit for bit.
 void scan_hypotheses(const surface::GeometricField& before,
                      const surface::GeometricField& after,
                      const imaging::ImageF* disc_before,
                      const imaging::ImageF* disc_after,
                      const SemiFluidCostField* cost_field, int x, int y,
                      int hy_min, int hy_max, const SmaConfig& config,
-                     PixelBest& best);
+                     PixelBest& best,
+                     const imaging::ImageU8* mask_before = nullptr,
+                     const imaging::ImageU8* mask_after = nullptr);
 
 }  // namespace sma::core

@@ -95,4 +95,17 @@ FlowField read_flow_text(const std::string& path) {
   return flow;
 }
 
+std::size_t filter_by_confidence(FlowField& flow, float min_confidence) {
+  std::size_t dropped = 0;
+  for (int y = 0; y < flow.height(); ++y)
+    for (int x = 0; x < flow.width(); ++x) {
+      FlowVector f = flow.at(x, y);
+      if (!f.valid || f.confidence >= min_confidence) continue;
+      f.valid = 0;
+      flow.set(x, y, f);
+      ++dropped;
+    }
+  return dropped;
+}
+
 }  // namespace sma::imaging

@@ -23,6 +23,10 @@ struct FlowVector {
   float v = 0.0f;       ///< y displacement (pixels)
   float error = 0.0f;   ///< residual of the winning hypothesis
   std::uint8_t valid = 0;
+  /// Fraction of the winning hypothesis's template that was backed by
+  /// trustworthy (unmasked) data — 1 for a pristine template, 0 for an
+  /// invalid pixel.  Downstream wind/trajectory code filters on this.
+  float confidence = 1.0f;
 
   friend bool operator==(const FlowVector&, const FlowVector&) = default;
 };
@@ -32,20 +36,21 @@ class FlowField {
   FlowField() = default;
   FlowField(int width, int height)
       : u_(width, height), v_(width, height), error_(width, height),
-        valid_(width, height, 0) {}
+        valid_(width, height, 0), confidence_(width, height, 1.0f) {}
 
   int width() const { return u_.width(); }
   int height() const { return u_.height(); }
 
   FlowVector at(int x, int y) const {
     return FlowVector{u_.at(x, y), v_.at(x, y), error_.at(x, y),
-                      valid_.at(x, y)};
+                      valid_.at(x, y), confidence_.at(x, y)};
   }
   void set(int x, int y, const FlowVector& f) {
     u_.at(x, y) = f.u;
     v_.at(x, y) = f.v;
     error_.at(x, y) = f.error;
     valid_.at(x, y) = f.valid;
+    confidence_.at(x, y) = f.confidence;
   }
 
   ImageF& u() { return u_; }
@@ -54,6 +59,7 @@ class FlowField {
   const ImageF& v() const { return v_; }
   const ImageF& error() const { return error_; }
   const Image<std::uint8_t>& valid() const { return valid_; }
+  const ImageF& confidence() const { return confidence_; }
 
   std::size_t count_valid() const {
     std::size_t n = 0;
@@ -69,7 +75,13 @@ class FlowField {
  private:
   ImageF u_, v_, error_;
   Image<std::uint8_t> valid_;
+  ImageF confidence_;
 };
+
+/// Marks every vector whose confidence is below `min_confidence` invalid
+/// (in place) and returns how many vectors were dropped.  The degraded-
+/// input filter for downstream wind / trajectory products.
+std::size_t filter_by_confidence(FlowField& flow, float min_confidence);
 
 /// A sparse reference track, the analog of the paper's "32 particles
 /// (pixels)" manually tracked by an expert meteorologist.

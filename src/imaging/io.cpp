@@ -33,6 +33,21 @@ int read_pnm_int(std::istream& in) {
   return v;
 }
 
+// Largest raster edge we accept.  GOES scenes are 512-8192 px; anything
+// beyond this is a corrupted header, and allocating for it would turn a
+// malformed file into an out-of-memory failure.
+constexpr int kMaxDim = 1 << 16;
+
+void check_dims(int w, int h, const char* reader, const std::string& path) {
+  if (w <= 0 || h <= 0)
+    throw std::runtime_error(std::string(reader) + ": non-positive " +
+                             "dimensions in " + path);
+  if (w > kMaxDim || h > kMaxDim)
+    throw std::runtime_error(std::string(reader) +
+                             ": implausible dimensions (corrupt header?) in " +
+                             path);
+}
+
 }  // namespace
 
 void write_pgm(const ImageF& img, const std::string& path, double lo,
@@ -57,19 +72,26 @@ ImageF read_pgm(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
   std::string magic;
-  in >> magic;
+  if (!(in >> magic))
+    throw std::runtime_error("read_pgm: empty or unreadable file: " + path);
   if (magic != "P5" && magic != "P2")
     throw std::runtime_error("read_pgm: not a PGM: " + path);
   const int w = read_pnm_int(in);
   const int h = read_pnm_int(in);
   const int maxval = read_pnm_int(in);
-  if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 65535)
-    throw std::runtime_error("read_pgm: bad header in " + path);
+  check_dims(w, h, "read_pgm", path);
+  if (maxval <= 0 || maxval > 65535)
+    throw std::runtime_error("read_pgm: bad maxval in " + path);
   ImageF img(w, h);
   if (magic == "P2") {
     for (int y = 0; y < h; ++y)
-      for (int x = 0; x < w; ++x)
-        img.at(x, y) = static_cast<float>(read_pnm_int(in));
+      for (int x = 0; x < w; ++x) {
+        const int v = read_pnm_int(in);  // throws on truncated data
+        if (v < 0 || v > maxval)
+          throw std::runtime_error("read_pgm: sample out of range in " +
+                                   path);
+        img.at(x, y) = static_cast<float>(v);
+      }
     return img;
   }
   in.get();  // single whitespace after maxval
@@ -111,14 +133,23 @@ ImageF read_pfm(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_pfm: cannot open " + path);
   std::string magic;
-  in >> magic;
-  if (magic != "Pf") throw std::runtime_error("read_pfm: not grayscale PFM");
+  if (!(in >> magic))
+    throw std::runtime_error("read_pfm: empty or unreadable file: " + path);
+  if (magic == "PF")
+    throw std::runtime_error("read_pfm: color PFM not supported: " + path);
+  if (magic != "Pf")
+    throw std::runtime_error("read_pfm: not a grayscale PFM: " + path);
   int w = 0, h = 0;
   double scale = 0.0;
-  in >> w >> h >> scale;
+  if (!(in >> w >> h >> scale))
+    throw std::runtime_error("read_pfm: malformed header in " + path);
   in.get();
-  if (w <= 0 || h <= 0 || scale >= 0.0)
-    throw std::runtime_error("read_pfm: unsupported header (big-endian?)");
+  check_dims(w, h, "read_pfm", path);
+  if (!std::isfinite(scale) || scale == 0.0)
+    throw std::runtime_error("read_pfm: malformed scale in " + path);
+  if (scale > 0.0)
+    throw std::runtime_error(
+        "read_pfm: big-endian PFM (positive scale) not supported: " + path);
   ImageF img(w, h);
   for (int y = h - 1; y >= 0; --y) {
     in.read(reinterpret_cast<char*>(img.row(y)),

@@ -10,11 +10,23 @@
 // Luis run) through the disk array: frames are served from memory while
 // the modeled I/O clock advances at the sustained MPDA rate, bounded by
 // the MPIOC channel.
+//
+// Failure semantics: with a core::FaultInjector attached, a read may hit
+// a modeled RAID-3 stripe fault.  The stream then performs bounded
+// retries, each accounting a full re-read of the frame's stripe group
+// plus an exponential settle delay on the modeled I/O clock; if the
+// fault persists through every retry the stream degrades gracefully —
+// the frame is replaced by the interpolation of its intact neighbors
+// (skip-and-interpolate) and the event is recorded in the FaultLog.
+// With no injector attached (or all-zero fault rates) the stream is
+// bit-identical to the fault-free model.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "imaging/image.hpp"
 
 namespace sma::maspar {
@@ -32,6 +44,12 @@ struct MpdaSpec {
   }
 };
 
+/// Bounded-retry policy for modeled stripe-read failures.
+struct StreamFaultPolicy {
+  int max_retries = 3;           ///< re-reads before skip-and-interpolate
+  double backoff_base = 2.0e-3;  ///< settle seconds, doubling per retry
+};
+
 /// Serves frames in order while accounting modeled disk time.
 class FrameStream {
  public:
@@ -40,29 +58,102 @@ class FrameStream {
       : frames_(std::move(frames)), spec_(spec),
         bytes_per_pixel_(bytes_per_pixel) {}
 
+  /// Attaches a fault source and (optionally) a log for retry / skip
+  /// events.  Pointers must outlive the stream; pass nullptr to detach.
+  void attach_faults(const core::FaultInjector* injector,
+                     core::FaultLog* log = nullptr,
+                     StreamFaultPolicy policy = {}) {
+    injector_ = injector;
+    log_ = log;
+    policy_ = policy;
+  }
+
   std::size_t size() const { return frames_.size(); }
   bool exhausted() const { return next_ >= frames_.size(); }
 
   /// Returns the next frame and advances the modeled I/O clock.
+  /// Throws std::out_of_range when the sequence is exhausted — callers
+  /// must check exhausted() rather than over-read.
   const imaging::ImageF& next() {
-    const imaging::ImageF& f = frames_[next_++];
-    const double bytes =
-        static_cast<double>(f.size()) * bytes_per_pixel_;
-    io_seconds_ += bytes / spec_.effective_bw();
+    if (exhausted())
+      throw std::out_of_range(
+          "FrameStream::next: read past the end of the frame sequence");
+    const std::size_t idx = next_++;
+    imaging::ImageF& f = frames_[idx];
+    const double bytes = static_cast<double>(f.size()) * bytes_per_pixel_;
+    const double frame_seconds = bytes / spec_.effective_bw();
+    io_seconds_ += frame_seconds;
     bytes_read_ += static_cast<std::uint64_t>(bytes);
+
+    if (injector_ != nullptr &&
+        injector_->stripe_fault(static_cast<int>(idx))) {
+      if (log_ != nullptr)
+        log_->record(core::FaultKind::kStripeFault, static_cast<int>(idx));
+      bool recovered = false;
+      double backoff = policy_.backoff_base;
+      for (int attempt = 1; attempt <= policy_.max_retries; ++attempt) {
+        // RAID-3 re-read: the whole stripe group streams again, plus an
+        // exponential settle delay — all on the modeled clock.
+        io_seconds_ += frame_seconds + backoff;
+        bytes_read_ += static_cast<std::uint64_t>(bytes);
+        if (log_ != nullptr)
+          log_->record(core::FaultKind::kStripeRetry, static_cast<int>(idx),
+                       attempt, backoff);
+        if (!injector_->stripe_fault_persists(static_cast<int>(idx),
+                                              attempt)) {
+          recovered = true;
+          break;
+        }
+        backoff *= 2.0;
+      }
+      if (!recovered) {
+        degrade_frame(idx);
+        ++frames_skipped_;
+        if (log_ != nullptr)
+          log_->record(core::FaultKind::kFrameSkipped,
+                       static_cast<int>(idx));
+      }
+    }
     return f;
   }
 
   double io_seconds() const { return io_seconds_; }
   std::uint64_t bytes_read() const { return bytes_read_; }
+  std::size_t frames_skipped() const { return frames_skipped_; }
 
  private:
+  /// Skip-and-interpolate: the unreadable frame is rebuilt from its
+  /// neighbors — the average of both when bracketed, a copy of the one
+  /// that exists at the sequence edges.
+  void degrade_frame(std::size_t idx) {
+    const bool has_prev = idx > 0;
+    const bool has_next = idx + 1 < frames_.size();
+    imaging::ImageF& f = frames_[idx];
+    if (has_prev && has_next) {
+      const imaging::ImageF& a = frames_[idx - 1];
+      const imaging::ImageF& b = frames_[idx + 1];
+      for (int y = 0; y < f.height(); ++y)
+        for (int x = 0; x < f.width(); ++x)
+          f.at(x, y) = 0.5f * (a.at(x, y) + b.at(x, y));
+    } else if (has_prev) {
+      f = frames_[idx - 1];
+    } else if (has_next) {
+      f = frames_[idx + 1];
+    }
+    // A single frame with no neighbors has nothing to interpolate from;
+    // it is served as read.
+  }
+
   std::vector<imaging::ImageF> frames_;
   MpdaSpec spec_;
   int bytes_per_pixel_;
   std::size_t next_ = 0;
   double io_seconds_ = 0.0;
   std::uint64_t bytes_read_ = 0;
+  std::size_t frames_skipped_ = 0;
+  const core::FaultInjector* injector_ = nullptr;
+  core::FaultLog* log_ = nullptr;
+  StreamFaultPolicy policy_{};
 };
 
 }  // namespace sma::maspar

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -92,7 +93,8 @@ SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
           if (x < 0 || y < 0) continue;  // padding slot, PE idles
           core::scan_hypotheses(g0, g1, db, da, fp, x, y, hy_min, hy_max,
                                 run_config,
-                                best[static_cast<std::size_t>(y) * w + x]);
+                                best[static_cast<std::size_t>(y) * w + x],
+                                input.validity_before, input.validity_after);
         }
       }
     }
@@ -103,11 +105,17 @@ SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
   for (int y = 0; y < h; ++y)
     for (int x = 0; x < w; ++x) {
       const core::PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
-      report.flow.set(x, y, imaging::FlowVector{
-                                static_cast<float>(b.ux),
-                                static_cast<float>(b.uy),
-                                static_cast<float>(b.error),
-                                static_cast<std::uint8_t>((b.any_ok && b.solved) ? 1 : 0)});
+      // Same degradation contract as core::track_pair: unsolved winners
+      // carry infinite error and zero confidence.
+      const bool ok = b.any_ok && b.solved;
+      report.flow.set(
+          x, y,
+          imaging::FlowVector{
+              static_cast<float>(b.ux), static_cast<float>(b.uy),
+              ok ? static_cast<float>(b.error)
+                 : std::numeric_limits<float>::infinity(),
+              static_cast<std::uint8_t>(ok ? 1 : 0),
+              ok ? static_cast<float>(b.coverage) : 0.0f});
     }
 
   // --- Modeled wall-clock and mesh traffic.

@@ -132,5 +132,88 @@ TEST_F(IoTest, RejectsAbsurdMaxval) {
   EXPECT_THROW(read_pgm(p), std::runtime_error);
 }
 
+TEST_F(IoTest, EmptyFileThrows) {
+  const std::string p = path("empty.pgm");
+  std::ofstream(p).close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+  const std::string q = path("empty.pfm");
+  std::ofstream(q).close();
+  EXPECT_THROW(read_pfm(q), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsNonPositiveDims) {
+  for (const char* dims : {"0 4", "4 0", "-3 4", "4 -3"}) {
+    const std::string p = path("dims.pgm");
+    std::ofstream out(p, std::ios::binary);
+    out << "P5\n" << dims << "\n255\n";
+    out.close();
+    EXPECT_THROW(read_pgm(p), std::runtime_error) << dims;
+  }
+}
+
+TEST_F(IoTest, RejectsImplausiblyHugeDims) {
+  // A corrupt header must not turn into a multi-terabyte allocation.
+  const std::string p = path("huge.pgm");
+  std::ofstream out(p, std::ios::binary);
+  out << "P5\n2000000 2000000\n255\n";
+  out.close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedAsciiP2Throws) {
+  const std::string p = path("trunc_ascii.pgm");
+  std::ofstream out(p);
+  out << "P2\n3 2\n255\n0 1 2\n10\n";  // 4 samples instead of 6
+  out.close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, AsciiSampleAboveMaxvalThrows) {
+  const std::string p = path("overmax.pgm");
+  std::ofstream out(p);
+  out << "P2\n2 1\n100\n50 101\n";
+  out.close();
+  EXPECT_THROW(read_pgm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, PfmMalformedHeaderThrows) {
+  const std::string p = path("badhdr.pfm");
+  std::ofstream out(p, std::ios::binary);
+  out << "Pf\nthree two\n-1.0\n";
+  out.close();
+  EXPECT_THROW(read_pfm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, PfmColorVariantRejected) {
+  const std::string p = path("color.pfm");
+  std::ofstream out(p, std::ios::binary);
+  out << "PF\n1 1\n-1.0\n";
+  out << std::string(12, '\0');
+  out.close();
+  EXPECT_THROW(read_pfm(p), std::runtime_error);
+}
+
+TEST_F(IoTest, PfmZeroOrPositiveScaleRejected) {
+  // scale 0 is meaningless; positive scale means big-endian data, which
+  // this reader does not decode — silently misreading it would be worse.
+  for (const char* scale : {"0.0", "1.0"}) {
+    const std::string p = path("scale.pfm");
+    std::ofstream out(p, std::ios::binary);
+    out << "Pf\n1 1\n" << scale << "\n";
+    out << std::string(4, '\0');
+    out.close();
+    EXPECT_THROW(read_pfm(p), std::runtime_error) << scale;
+  }
+}
+
+TEST_F(IoTest, TruncatedPfmThrows) {
+  const std::string p = path("trunc.pfm");
+  std::ofstream out(p, std::ios::binary);
+  out << "Pf\n4 4\n-1.0\n";
+  out << std::string(8, '\0');  // 8 bytes instead of 64
+  out.close();
+  EXPECT_THROW(read_pfm(p), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace sma::imaging

@@ -304,6 +304,54 @@ TEST(Tracker, SubpixelParallelMatchesSequential) {
 }
 
 
+TEST(Tracker, SingularFlatPatchDegradesGracefully) {
+  // A constant image makes every 6x6 system singular: the winning
+  // hypothesis never solves, so every pixel must come back invalid with
+  // an infinite error and zero confidence — never NaN, never a bogus
+  // "valid" zero-error vector.
+  const imaging::ImageF flat(24, 24, 42.0f);
+  const TrackResult r = track_pair_monocular(flat, flat, tiny_continuous());
+  EXPECT_EQ(r.flow.count_valid(), 0u);
+  for (int y = 0; y < 24; ++y)
+    for (int x = 0; x < 24; ++x) {
+      const imaging::FlowVector f = r.flow.at(x, y);
+      ASSERT_EQ(f.valid, 0);
+      ASSERT_TRUE(std::isinf(f.error)) << "at " << x << "," << y;
+      ASSERT_EQ(f.confidence, 0.0f);
+      ASSERT_FALSE(std::isnan(f.u));
+      ASSERT_FALSE(std::isnan(f.v));
+    }
+}
+
+TEST(Tracker, SingularDegradationSurvivesSubpixelAndParallel) {
+  // The infinite-error contract must hold through the subpixel parabola
+  // (inf - inf would be NaN) and match across execution policies.
+  const imaging::ImageF flat(20, 20, 7.0f);
+  const TrackResult seq = track_pair_monocular(
+      flat, flat, tiny_continuous(),
+      {.policy = ExecutionPolicy::kSequential, .subpixel = true});
+  const TrackResult par = track_pair_monocular(
+      flat, flat, tiny_continuous(),
+      {.policy = ExecutionPolicy::kParallel, .subpixel = true});
+  EXPECT_TRUE(seq.flow == par.flow);
+  EXPECT_EQ(seq.flow.count_valid(), 0u);
+  for (int y = 0; y < 20; ++y)
+    for (int x = 0; x < 20; ++x) {
+      ASSERT_FALSE(std::isnan(seq.flow.at(x, y).u));
+      ASSERT_FALSE(std::isnan(seq.flow.at(x, y).v));
+    }
+}
+
+TEST(Tracker, MaskShapeMismatchThrows) {
+  const imaging::ImageF f0 = testing::textured_pattern(16, 16);
+  const imaging::ImageU8 wrong(8, 8, 1);
+  TrackerInput in;
+  in.intensity_before = in.surface_before = &f0;
+  in.intensity_after = in.surface_after = &f0;
+  in.validity_before = &wrong;
+  EXPECT_THROW(track_pair(in, tiny_continuous()), std::invalid_argument);
+}
+
 TEST(Tracker, NonFiniteInputRejected) {
   // Failure injection: a single NaN (sensor dropout) must be rejected up
   // front rather than silently poisoning the normal equations.
