@@ -10,7 +10,6 @@
 #include "bench_util.hpp"
 #include "core/sma.hpp"
 #include "goes/synth.hpp"
-#include "helpers_bench.hpp"
 
 using namespace sma;
 

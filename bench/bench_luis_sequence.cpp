@@ -55,14 +55,19 @@ int main() {
   std::printf("  %-10s %12s %12s %14s\n", "----------", "--------",
               "--------", "---------");
 
+  // The streamed pairs run through one SmaPipeline: frame t's geometry,
+  // fitted as the "after" image of pair t-1, is a cache hit when it
+  // returns as the "before" image of pair t.
+  core::PipelineOptions popts;
+  popts.backend = "openmp";
+  core::SmaPipeline pipeline(core::luis_scaled_config(), popts);
+
   const imaging::ImageF* prev = &stream.next();
   int pair_index = 0;
   double total_host = 0.0;
   while (!stream.exhausted()) {
     const imaging::ImageF* cur = &stream.next();
-    const core::TrackResult r = core::track_pair_monocular(
-        *prev, *cur, core::luis_scaled_config(),
-        {.policy = core::ExecutionPolicy::kParallel});
+    const core::TrackResult r = pipeline.track_pair(*prev, *cur);
     double mean_speed = 0.0;
     int n = 0;
     for (int y = 8; y < size - 8; ++y)
@@ -83,6 +88,25 @@ int main() {
               stream.io_seconds());
   std::printf("  host compute total: %.2f s -> I/O fraction %.4f%%\n",
               total_host, 100.0 * stream.io_seconds() / total_host);
+
+  // Geometry-cache effect: the pre-pipeline path fits every frame twice
+  // (2 fits/pair); the cached pipeline fits each distinct frame once,
+  // approaching 1 fit/pair (half the surface-fit work) as T grows.
+  const core::PipelineStats& ps = pipeline.stats();
+  const std::size_t naive_fits = 2 * ps.pairs_tracked;
+  const double fits_per_pair =
+      static_cast<double>(ps.surface_fits) / ps.pairs_tracked;
+  std::printf(
+      "  geometry cache: %zu surface fits for %zu pairs (naive %zu)\n"
+      "  -> %.2f fits/pair vs 2.00 naive (%.0f%% of the surface-fit work; "
+      "limit 50%%)\n"
+      "  cache hits %zu, misses %zu; surface-fit+geometry time %.3f s "
+      "(naive ~%.3f s)\n",
+      ps.surface_fits, ps.pairs_tracked, naive_fits, fits_per_pair,
+      100.0 * ps.surface_fits / naive_fits, ps.cache_hits, ps.cache_misses,
+      ps.surface_fit_seconds + ps.geometric_vars_seconds,
+      (ps.surface_fit_seconds + ps.geometric_vars_seconds) * naive_fits /
+          ps.surface_fits);
 
   // Derived product: the storm-center track from the flow sequence
   // (goes/storm_track.hpp) — the translating Luis vortex should march

@@ -8,7 +8,6 @@
 
 #include "bench_util.hpp"
 #include "goes/synth.hpp"
-#include "helpers_bench.hpp"
 #include "stereo/asa.hpp"
 
 namespace {

@@ -8,18 +8,28 @@
 //  2. MEASURED on a scaled problem: the same code paths run for real
 //     (sequential vs OpenMP host-parallel vs the SIMD executor), with
 //     the result-identity check the paper performs in Sec. 5.1.
+// Usage: bench_table2_frederic [--backend NAME]
+//   NAME selects the registry backend compared against the sequential
+//   reference in the measured section (default: openmp).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/sma.hpp"
 #include "goes/datasets.hpp"
+#include "maspar/backend.hpp"
 #include "maspar/cost_model.hpp"
 #include "maspar/instruction_model.hpp"
 #include "maspar/sma_simd.hpp"
 
 using namespace sma;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string backend = "openmp";
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)
+      backend = argv[++i];
   // ---------- 1. Paper-scale model ----------
   const core::Workload w{512, 512, core::frederic_config()};
   const maspar::CostModel model;
@@ -62,14 +72,22 @@ int main() {
 
   bench::header("Scaled measured run (" + std::to_string(size) + "x" +
                 std::to_string(size) + ", " + cfg.describe() + ")");
-  const core::TrackResult seq = core::track_pair_monocular(
-      data.left0, data.left1, cfg,
-      {.policy = core::ExecutionPolicy::kSequential});
-  const core::TrackResult par = core::track_pair_monocular(
-      data.left0, data.left1, cfg,
-      {.policy = core::ExecutionPolicy::kParallel});
+  maspar::MachineSpec spec;
+  spec.nxproc = 8;
+  spec.nyproc = 8;
+  maspar::register_maspar_backend(spec, 2);
 
-  bench::row_header("sequential (s)", "OpenMP (s)");
+  core::TrackerInput in;
+  in.intensity_before = &data.left0;
+  in.intensity_after = &data.left1;
+  in.surface_before = &data.left0;
+  in.surface_after = &data.left1;
+  auto& registry = core::BackendRegistry::instance();
+  const core::TrackResult seq =
+      registry.get("sequential").track(in, cfg, {});
+  const core::TrackResult par = registry.get(backend).track(in, cfg, {});
+
+  bench::row_header("sequential (s)", backend + " (s)");
   bench::row("Surface fit", bench::fmt(seq.timings.surface_fit),
              bench::fmt(par.timings.surface_fit));
   bench::row("Compute geometric variables",
@@ -82,26 +100,21 @@ int main() {
              bench::fmt(par.timings.hypothesis_matching));
   bench::row("Total", bench::fmt(seq.timings.total),
              bench::fmt(par.timings.total));
-  std::printf("\n  parallel result identical to sequential: %s\n",
+  std::printf("\n  %s result identical to sequential: %s\n", backend.c_str(),
               seq.flow == par.flow ? "yes (paper Sec. 5.1 criterion)"
                                    : "NO — BUG");
 
-  // SIMD executor on the same input, with modeled MP-2 projection for
-  // THIS problem size.
-  core::TrackerInput in;
-  in.intensity_before = &data.left0;
-  in.intensity_after = &data.left1;
-  in.surface_before = &data.left0;
-  in.surface_after = &data.left1;
-  maspar::MachineSpec spec;
-  spec.nxproc = 8;
-  spec.nyproc = 8;
-  const maspar::MasParExecutor exec(spec);
-  const maspar::SimdRunReport simd = exec.run(in, cfg, 2);
-  std::printf("  SIMD executor identical to sequential: %s\n",
+  // SIMD backend on the same input, with modeled MP-2 projection for
+  // THIS problem size (skipped when it was the comparator above).
+  const core::TrackResult simd =
+      backend == "maspar-sim" ? par
+                              : registry.get("maspar-sim").track(in, cfg, {});
+  std::printf("  maspar-sim backend identical to sequential: %s\n",
               simd.flow == seq.flow ? "yes" : "NO — BUG");
-  std::printf("  modeled MP-2 total at this size: %.3f s (speedup %.0fx)\n",
-              simd.modeled.total(), simd.modeled_speedup);
+  if (const auto* mp = dynamic_cast<const maspar::MasParBackendExtras*>(
+          simd.extras.get()))
+    std::printf("  modeled MP-2 total at this size: %.3f s (speedup %.0fx)\n",
+                mp->report.modeled.total(), mp->report.modeled_speedup);
   std::printf("\n");
   return 0;
 }

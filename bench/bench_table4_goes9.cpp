@@ -3,16 +3,26 @@
 // run-time gain, and the structural contrast against the Frederic run
 // ("the semi-fluid template mapping ... is not needed for the continuous
 // non-rigid motion model", Sec. 5.2).
+// Usage: bench_table4_goes9 [--backend NAME]
+//   NAME selects the registry backend compared against the sequential
+//   reference in the measured section (default: openmp).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/sma.hpp"
 #include "goes/datasets.hpp"
+#include "maspar/backend.hpp"
 #include "maspar/cost_model.hpp"
 
 using namespace sma;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string backend = "openmp";
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)
+      backend = argv[++i];
   const core::Workload w{512, 512, core::goes9_config()};
   const maspar::CostModel model;
   const maspar::PhaseTimes mp2 = model.mp2_times(w, 4);
@@ -47,16 +57,18 @@ int main() {
   const core::SmaConfig cfg = core::goes9_scaled_config();
   const goes::RapidScanDataset data =
       goes::make_florida_analog(size, 2, 13, 1.5);
-  const core::TrackResult seq = core::track_pair_monocular(
-      data.frames[0], data.frames[1], cfg,
-      {.policy = core::ExecutionPolicy::kSequential});
-  const core::TrackResult par = core::track_pair_monocular(
-      data.frames[0], data.frames[1], cfg,
-      {.policy = core::ExecutionPolicy::kParallel});
+  maspar::register_maspar_backend();
+  core::TrackerInput in;
+  in.intensity_before = in.surface_before = &data.frames[0];
+  in.intensity_after = in.surface_after = &data.frames[1];
+  auto& registry = core::BackendRegistry::instance();
+  const core::TrackResult seq =
+      registry.get("sequential").track(in, cfg, {});
+  const core::TrackResult par = registry.get(backend).track(in, cfg, {});
 
   bench::header("Scaled measured run (" + std::to_string(size) + "x" +
                 std::to_string(size) + ", " + cfg.describe() + ")");
-  bench::row_header("sequential (s)", "OpenMP (s)");
+  bench::row_header("sequential (s)", backend + " (s)");
   bench::row("Surface fit + geometric vars",
              bench::fmt(seq.timings.surface_fit + seq.timings.geometric_vars),
              bench::fmt(par.timings.surface_fit + par.timings.geometric_vars));
@@ -67,7 +79,7 @@ int main() {
              bench::fmt(par.timings.total));
   std::printf("\n  semi-fluid mapping phase absent: %s\n",
               seq.timings.semifluid_mapping == 0.0 ? "yes (F_cont)" : "NO");
-  std::printf("  parallel result identical to sequential: %s\n\n",
+  std::printf("  %s result identical to sequential: %s\n\n", backend.c_str(),
               seq.flow == par.flow ? "yes" : "NO — BUG");
   return 0;
 }

@@ -1,4 +1,5 @@
-// bench_util.hpp — shared formatting helpers for the benchmark harnesses.
+// bench_util.hpp — shared utilities for the benchmark harnesses:
+// table formatting plus small synthetic-input helpers.
 //
 // Every bench binary regenerates one table or figure from the paper:
 // it prints the paper's reported values next to this reproduction's
@@ -9,7 +10,20 @@
 #include <cstdio>
 #include <string>
 
+#include "imaging/image.hpp"
+
 namespace sma::bench {
+
+/// Shifts an image by an integer offset with clamped borders:
+/// features move by (+dx, +dy).
+inline imaging::ImageF shift_clamped(const imaging::ImageF& src, int dx,
+                                     int dy) {
+  imaging::ImageF out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y)
+    for (int x = 0; x < src.width(); ++x)
+      out.at(x, y) = src.at_clamped(x - dx, y - dy);
+  return out;
+}
 
 inline void header(const std::string& title) {
   std::printf("\n============================================================\n");

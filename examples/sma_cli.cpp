@@ -10,7 +10,9 @@
 //   --search N             z-search radius         (default 3)
 //   --template N           z-template radius       (default 4)
 //   --subpixel             parabolic refinement
-//   --sequential           disable OpenMP
+//   --backend NAME         execution backend from the registry:
+//                          sequential | openmp | maspar-sim
+//   --sequential           shorthand for --backend sequential
 //   --robust               robust post-processing
 //   --ppm FILE             also write a color-wheel rendering
 //   --inject-faults R      corrupt the input pair with rate-R telemetry
@@ -31,6 +33,7 @@
 #include "goes/synth.hpp"
 #include "imaging/colorize.hpp"
 #include "imaging/io.hpp"
+#include "maspar/backend.hpp"
 #include "stereo/asa.hpp"
 #include "stereo/refine.hpp"
 
@@ -45,7 +48,7 @@ int usage() {
                "  sma_cli track  <before.pgm> <after.pgm> <out_flow.txt>\n"
                "                 [--model cont|semi] [--search N]\n"
                "                 [--template N] [--subpixel] [--sequential]\n"
-               "                 [--robust] [--ppm FILE]\n"
+               "                 [--backend NAME] [--robust] [--ppm FILE]\n"
                "                 [--inject-faults RATE] [--fault-seed N]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
                "                 [--levels N] [--max-disparity N]\n");
@@ -90,6 +93,7 @@ int cmd_track(int argc, char** argv) {
   cfg.semifluid_template_radius = 2;
   core::TrackOptions opts;
   opts.policy = core::ExecutionPolicy::kParallel;
+  std::string backend;
   bool robust = false;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 1;
@@ -109,6 +113,9 @@ int cmd_track(int argc, char** argv) {
       opts.subpixel = true;
     } else if (a == "--sequential") {
       opts.policy = core::ExecutionPolicy::kSequential;
+    } else if (a == "--backend") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      backend = argv[++i];
     } else if (a == "--robust") {
       robust = true;
     } else if (a == "--ppm") {
@@ -125,7 +132,16 @@ int cmd_track(int argc, char** argv) {
 
   imaging::ImageF before = imaging::read_pgm(before_path);
   imaging::ImageF after = imaging::read_pgm(after_path);
-  std::printf("tracking %dx%d pair: %s\n", before.width(), before.height(),
+
+  maspar::register_maspar_backend();
+  core::PipelineOptions popts;
+  popts.backend =
+      backend.empty() ? core::backend_name_for(opts.policy) : backend;
+  popts.track = opts;
+  popts.robust = robust;
+  core::SmaPipeline pipeline(cfg, popts);
+  std::printf("tracking %dx%d pair [backend %s]: %s\n", before.width(),
+              before.height(), pipeline.backend().name().c_str(),
               cfg.describe().c_str());
 
   core::TrackResult r;
@@ -158,17 +174,20 @@ int cmd_track(int argc, char** argv) {
     in.intensity_after = in.surface_after = &rep1.image;
     in.validity_before = &rep0.validity;
     in.validity_after = &rep1.validity;
-    r = core::track_pair(in, cfg, opts);
+    r = pipeline.track_pair(in);
   } else {
-    r = core::track_pair_monocular(before, after, cfg, opts);
+    r = pipeline.track_pair(before, after);
   }
   imaging::FlowField flow = std::move(r.flow);
-  if (robust) flow = core::robust_postprocess(flow);
 
   imaging::write_flow_text(flow, out_path);
   std::printf("tracked in %.2f s; %zu/%d valid vectors -> %s\n",
               r.timings.total, flow.count_valid(),
               flow.width() * flow.height(), out_path.c_str());
+  if (const auto* mp =
+          dynamic_cast<const maspar::MasParBackendExtras*>(r.extras.get()))
+    std::printf("modeled MP-2: %.3f s (%.1fx over modeled SGI)\n",
+                mp->report.modeled.total(), mp->report.modeled_speedup);
   if (!ppm_path.empty()) {
     imaging::write_ppm(imaging::colorize_flow(flow), ppm_path);
     std::printf("color rendering -> %s\n", ppm_path.c_str());

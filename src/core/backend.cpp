@@ -1,0 +1,140 @@
+#include "core/backend.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace sma::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// The two host substrates share everything but the OpenMP toggle: the
+// sequential baseline and the row-parallel comparator of Sec. 4.
+class HostBackend final : public TrackerBackend {
+ public:
+  HostBackend(std::string name, bool parallel)
+      : name_(std::move(name)), parallel_(parallel) {}
+
+  std::string name() const override { return name_; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.host_parallel = parallel_;
+    return caps;
+  }
+
+  TrackResult match(const MatchInput& in, const SmaConfig& config,
+                    const TrackOptions& options) const override {
+    TrackResult result;
+    std::vector<PixelBest> best = run_hypothesis_search(
+        in, config, parallel_, result.timings, result.peak_mapping_bytes);
+    if (options.subpixel)
+      refine_subpixel(in, config, parallel_, best, result.timings);
+    collect_track_result(in, config, options, best, result);
+    result.timings.total = result.timings.semifluid_mapping +
+                           result.timings.hypothesis_matching;
+    return result;
+  }
+
+ private:
+  std::string name_;
+  bool parallel_;
+};
+
+}  // namespace
+
+TrackResult TrackerBackend::track(const TrackerInput& input,
+                                  const SmaConfig& config,
+                                  const TrackOptions& options) const {
+  config.validate();
+  validate_tracker_input(input, "track_pair");
+
+  const auto t_start = Clock::now();
+  const bool parallel = capabilities().host_parallel;
+  const bool semifluid = config.model == MotionModel::kSemiFluid &&
+                         config.semifluid_search_radius > 0;
+
+  const FrameGeometry fg0 =
+      compute_frame_geometry(*input.surface_before, input.intensity_before,
+                             config, parallel, semifluid);
+  const FrameGeometry fg1 =
+      compute_frame_geometry(*input.surface_after, input.intensity_after,
+                             config, parallel, semifluid);
+
+  MatchInput mi;
+  mi.before = &fg0.geom;
+  mi.after = &fg1.geom;
+  mi.disc_before = fg0.has_disc ? &fg0.disc : nullptr;
+  mi.disc_after = fg1.has_disc ? &fg1.disc : nullptr;
+  mi.mask_before = input.validity_before;
+  mi.mask_after = input.validity_after;
+
+  TrackResult result = match(mi, config, options);
+  result.timings.surface_fit = fg0.fit_seconds + fg1.fit_seconds;
+  result.timings.geometric_vars = fg0.derive_seconds + fg1.derive_seconds;
+  result.timings.total = seconds_since(t_start);
+  return result;
+}
+
+BackendRegistry::BackendRegistry() {
+  backends_["sequential"] =
+      std::make_unique<HostBackend>("sequential", /*parallel=*/false);
+  backends_["openmp"] =
+      std::make_unique<HostBackend>("openmp", /*parallel=*/true);
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(
+    std::unique_ptr<TrackerBackend> backend) {
+  if (backend == nullptr)
+    throw std::invalid_argument("register_backend: null backend");
+  const std::string name = backend->name();
+  if (name.empty())
+    throw std::invalid_argument("register_backend: empty backend name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  backends_[name] = std::move(backend);
+}
+
+const TrackerBackend* BackendRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = backends_.find(name);
+  return it != backends_.end() ? it->second.get() : nullptr;
+}
+
+const TrackerBackend& BackendRegistry::get(const std::string& name) const {
+  const TrackerBackend* backend = find(name);
+  if (backend == nullptr) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown tracker backend '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return *backend;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& [name, backend] : backends_) out.push_back(name);
+  return out;
+}
+
+const char* backend_name_for(ExecutionPolicy policy) {
+  return policy == ExecutionPolicy::kParallel ? "openmp" : "sequential";
+}
+
+}  // namespace sma::core

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "core/backend.hpp"
+#include "core/pipeline.hpp"
 #include "core/postprocess.hpp"
 #include "imaging/pyramid.hpp"
 #include "imaging/warp.hpp"
@@ -50,8 +53,13 @@ HierarchicalResult track_pair_hierarchical(
   // inject multi-pixel errors after upsampling.
   TrackOptions level_track = options.track;
   level_track.subpixel = true;
-  TrackResult cur = track_pair_monocular(pb.level(top), pa.level(top),
-                                         options.coarse, level_track);
+  PipelineOptions popts;
+  popts.backend = options.backend.empty()
+                      ? backend_name_for(options.track.policy)
+                      : options.backend;
+  popts.track = level_track;
+  SmaPipeline pipeline(options.coarse, std::move(popts));
+  TrackResult cur = pipeline.track_pair(pb.level(top), pa.level(top));
   result.level_timings.push_back(cur.timings);
   imaging::FlowField flow = cur.flow;
 
@@ -61,6 +69,7 @@ HierarchicalResult track_pair_hierarchical(
   refine.z_search_radius = options.refine_search_radius;
   refine.z_search_radius_y = -1;
   refine.segment_rows = 0;
+  pipeline.set_config(refine);
 
   for (int level = top - 1; level >= 0; --level) {
     const imaging::ImageF& lb = pb.level(level);
@@ -86,8 +95,7 @@ HierarchicalResult track_pair_hierarchical(
     // warped(x, y) = after(x + prior.u, y + prior.v): a feature that
     // moved by prior + r appears in `warped` displaced by the residual r.
     const imaging::ImageF warped = imaging::warp_by_flow(la, prior);
-    const TrackResult res =
-        track_pair_monocular(lb, warped, refine, level_track);
+    const TrackResult res = pipeline.track_pair(lb, warped);
     result.level_timings.push_back(res.timings);
 
     flow = imaging::FlowField(lb.width(), lb.height());

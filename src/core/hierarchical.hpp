@@ -13,6 +13,7 @@
 // windows.  bench_hierarchical_ablation quantifies the trade.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -32,6 +33,9 @@ struct HierarchicalOptions {
   int refine_search_radius = 1;
   /// Execution policy for all levels.
   TrackOptions track;
+  /// Registry name of the execution backend; empty derives it from
+  /// track.policy.
+  std::string backend;
 };
 
 struct HierarchicalResult {

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/backend.hpp"
+#include "core/pipeline.hpp"
+
 namespace sma::core {
 
 imaging::FlowField fuse_flows(
@@ -42,10 +45,20 @@ imaging::FlowField fuse_flows(
 
 MultispectralResult track_pair_multispectral(const MultispectralInput& input,
                                              const SmaConfig& config,
-                                             const TrackOptions& options) {
+                                             const TrackOptions& options,
+                                             const std::string& backend) {
   if (input.before.empty() || input.before.size() != input.after.size())
     throw std::invalid_argument(
         "track_pair_multispectral: channel lists empty or mismatched");
+
+  PipelineOptions popts;
+  popts.backend =
+      backend.empty() ? backend_name_for(options.policy) : backend;
+  popts.track = options;
+  // Shared surface maps plus two intensity frames per channel: size the
+  // cache so one channel pass never evicts the shared surfaces.
+  popts.geometry_cache_capacity = 4;
+  SmaPipeline pipeline(config, std::move(popts));
 
   MultispectralResult result;
   result.per_channel.reserve(input.before.size());
@@ -58,7 +71,7 @@ MultispectralResult track_pair_multispectral(const MultispectralInput& input,
                                         : input.before[c];
     ti.surface_after =
         input.surface_after != nullptr ? input.surface_after : input.after[c];
-    TrackResult r = track_pair(ti, config, options);
+    TrackResult r = pipeline.track_pair(ti);
     result.timings.push_back(r.timings);
     result.per_channel.push_back(std::move(r.flow));
   }

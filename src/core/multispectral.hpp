@@ -14,6 +14,7 @@
 // fused field is typically followed by robust_postprocess.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -47,9 +48,13 @@ imaging::FlowField fuse_flows(
     const std::vector<const imaging::FlowField*>& fields,
     std::vector<std::size_t>* winner_counts = nullptr);
 
-/// Tracks every channel and fuses the results.
+/// Tracks every channel and fuses the results.  Channels run through one
+/// SmaPipeline, so shared surface maps are fitted once rather than per
+/// channel.  An empty `backend` derives the backend name from
+/// options.policy.
 MultispectralResult track_pair_multispectral(const MultispectralInput& input,
                                              const SmaConfig& config,
-                                             const TrackOptions& options = {});
+                                             const TrackOptions& options = {},
+                                             const std::string& backend = {});
 
 }  // namespace sma::core

@@ -1,0 +1,276 @@
+#include "core/pipeline.hpp"
+
+#include <array>
+#include <chrono>
+#include <list>
+#include <stdexcept>
+
+#include "core/postprocess.hpp"
+#include "core/trajectory.hpp"
+#include "imaging/repair.hpp"
+
+namespace sma::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GeometryCache — LRU of per-frame GeometricFields.
+//
+// Keyed by the frame raster's identity: buffer address, dimensions, the
+// surface-fit radius it was fitted with, and a sparse pixel fingerprint.
+// The fingerprint guards against the one hazard of pointer keying — a
+// freed buffer's address being recycled by a different frame (e.g. the
+// per-iteration height maps of the coupled-stereo loop).  Eight samples
+// make a false hit require an allocator reusing the address for an
+// image agreeing at all probe sites; callers mutating pixels IN PLACE
+// must still call SmaPipeline::clear_cache().
+// ---------------------------------------------------------------------------
+
+class GeometryCache {
+ public:
+  struct Key {
+    const float* data;
+    int width, height, fit_radius;
+    std::array<float, 8> fingerprint;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  static Key make_key(const imaging::ImageF& img, int fit_radius) {
+    Key key{img.data(), img.width(), img.height(), fit_radius, {}};
+    const std::size_t n = img.size();
+    if (n > 0) {
+      const float* p = img.data();
+      for (std::size_t i = 0; i < key.fingerprint.size(); ++i)
+        key.fingerprint[i] = p[(i * (n - 1)) / 7 % n];
+    }
+    return key;
+  }
+
+  explicit GeometryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const surface::GeometricField> geom;
+    double fit_seconds = 0.0;
+    double derive_seconds = 0.0;
+  };
+
+  /// Returns the cached entry or null; promotes hits to the front.
+  const Entry* find(const Key& key) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->key == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return &entries_.front();
+      }
+    return nullptr;
+  }
+
+  const Entry* insert(Entry entry, PipelineStats& stats) {
+    entries_.push_front(std::move(entry));
+    while (entries_.size() > capacity_) {
+      entries_.pop_back();
+      ++stats.cache_evictions;
+    }
+    return &entries_.front();
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+};
+
+SmaPipeline::SmaPipeline(SmaConfig config, PipelineOptions options)
+    : config_(config), options_(std::move(options)) {
+  config_.validate();
+  if (options_.geometry_cache_capacity < 2)
+    throw std::invalid_argument(
+        "SmaPipeline: geometry_cache_capacity must hold at least one pair");
+  backend_ = &BackendRegistry::instance().get(options_.backend);
+  cache_ = std::make_unique<GeometryCache>(options_.geometry_cache_capacity);
+}
+
+SmaPipeline::~SmaPipeline() = default;
+SmaPipeline::SmaPipeline(SmaPipeline&&) noexcept = default;
+SmaPipeline& SmaPipeline::operator=(SmaPipeline&&) noexcept = default;
+
+void SmaPipeline::set_config(const SmaConfig& config) {
+  config.validate();
+  config_ = config;
+}
+
+void SmaPipeline::clear_cache() { cache_->clear(); }
+
+std::shared_ptr<const surface::GeometricField> SmaPipeline::frame_geometry(
+    const imaging::ImageF& img) {
+  const GeometryCache::Key key =
+      GeometryCache::make_key(img, config_.surface_fit_radius);
+  if (const GeometryCache::Entry* hit = cache_->find(key)) {
+    ++stats_.cache_hits;
+    return hit->geom;
+  }
+  ++stats_.cache_misses;
+  ++stats_.surface_fits;
+
+  surface::GeometryOptions gopts;
+  gopts.patch_radius = config_.surface_fit_radius;
+  gopts.parallel = backend_->capabilities().host_parallel;
+
+  GeometryCache::Entry entry;
+  entry.key = key;
+  auto t0 = Clock::now();
+  const surface::DerivativeField d = surface::fit_derivatives(img, gopts);
+  entry.fit_seconds = seconds_since(t0);
+  t0 = Clock::now();
+  entry.geom = std::make_shared<surface::GeometricField>(
+      surface::derive_geometry(d, gopts.parallel));
+  entry.derive_seconds = seconds_since(t0);
+
+  stats_.surface_fit_seconds += entry.fit_seconds;
+  stats_.geometric_vars_seconds += entry.derive_seconds;
+  return cache_->insert(std::move(entry), stats_)->geom;
+}
+
+TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
+  validate_tracker_input(input, "SmaPipeline");
+  const bool monocular = input.intensity_before == input.surface_before &&
+                         input.intensity_after == input.surface_after;
+
+  // --- Stage: ingest / repair.
+  TrackerInput effective = input;
+  imaging::RepairReport rep0, rep1;
+  if (options_.repair && input.validity_before == nullptr &&
+      input.validity_after == nullptr) {
+    if (!monocular)
+      throw std::invalid_argument(
+          "SmaPipeline: the repair stage supports monocular inputs; repair "
+          "stereo surfaces upstream and pass validity masks");
+    const auto t0 = Clock::now();
+    rep0 = imaging::repair_frame(*input.intensity_before);
+    rep1 = imaging::repair_frame(*input.intensity_after);
+    stats_.ingest_seconds += seconds_since(t0);
+    effective.intensity_before = effective.surface_before = &rep0.image;
+    effective.intensity_after = effective.surface_after = &rep1.image;
+    effective.validity_before = &rep0.validity;
+    effective.validity_after = &rep1.validity;
+  }
+
+  // --- Stages: surface fit + geometric variables (through the cache).
+  const auto t_start = Clock::now();
+  const bool semifluid = config_.model == MotionModel::kSemiFluid &&
+                         config_.semifluid_search_radius > 0;
+  const double fit_before = stats_.surface_fit_seconds;
+  const double derive_before = stats_.geometric_vars_seconds;
+
+  const auto g0 = frame_geometry(*effective.surface_before);
+  const auto g1 = frame_geometry(*effective.surface_after);
+  std::shared_ptr<const surface::GeometricField> gi0, gi1;
+  if (semifluid) {
+    // Monocular aliasing short-circuits without a cache lookup, so the
+    // hit/miss counters describe distinct rasters only.
+    gi0 = effective.intensity_before == effective.surface_before
+              ? g0
+              : frame_geometry(*effective.intensity_before);
+    gi1 = effective.intensity_after == effective.surface_after
+              ? g1
+              : frame_geometry(*effective.intensity_after);
+  }
+
+  MatchInput mi;
+  mi.before = g0.get();
+  mi.after = g1.get();
+  mi.disc_before = semifluid ? &gi0->disc : nullptr;
+  mi.disc_after = semifluid ? &gi1->disc : nullptr;
+  mi.mask_before = effective.validity_before;
+  mi.mask_after = effective.validity_after;
+
+  // --- Stage: hypothesis matching (delegated to the backend).
+  TrackResult result = backend_->match(mi, config_, options_.track);
+  stats_.matching_seconds +=
+      result.timings.semifluid_mapping + result.timings.hypothesis_matching;
+  result.timings.surface_fit = stats_.surface_fit_seconds - fit_before;
+  result.timings.geometric_vars =
+      stats_.geometric_vars_seconds - derive_before;
+
+  // --- Stage: postprocess.
+  if (options_.robust) {
+    const auto t0 = Clock::now();
+    result.flow = robust_postprocess(result.flow);
+    stats_.postprocess_seconds += seconds_since(t0);
+  }
+
+  result.timings.total = seconds_since(t_start);
+  ++stats_.pairs_tracked;
+  return result;
+}
+
+TrackResult SmaPipeline::track_pair(const imaging::ImageF& before,
+                                    const imaging::ImageF& after) {
+  TrackerInput in;
+  in.intensity_before = in.surface_before = &before;
+  in.intensity_after = in.surface_after = &after;
+  return track_pair(in);
+}
+
+SequenceResult SmaPipeline::track_sequence(
+    const std::vector<imaging::ImageF>& frames,
+    const std::vector<std::pair<double, double>>& seeds) {
+  if (frames.size() < 2)
+    throw std::invalid_argument(
+        "SmaPipeline::track_sequence: need at least two frames");
+
+  // --- Stage: ingest / repair, once per frame (not per pair).
+  std::vector<imaging::ImageF> repaired;
+  std::vector<imaging::ImageU8> masks;
+  if (options_.repair) {
+    const auto t0 = Clock::now();
+    repaired.reserve(frames.size());
+    masks.reserve(frames.size());
+    for (const imaging::ImageF& f : frames) {
+      imaging::RepairReport rep = imaging::repair_frame(f);
+      repaired.push_back(std::move(rep.image));
+      masks.push_back(std::move(rep.validity));
+    }
+    stats_.ingest_seconds += seconds_since(t0);
+  }
+  const std::vector<imaging::ImageF>& seq =
+      options_.repair ? repaired : frames;
+
+  SequenceResult result;
+  result.flows.reserve(seq.size() - 1);
+  result.timings.reserve(seq.size() - 1);
+
+  TrajectoryTracker tracker(seeds);
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    TrackerInput in;
+    in.intensity_before = in.surface_before = &seq[i];
+    in.intensity_after = in.surface_after = &seq[i + 1];
+    if (options_.repair) {
+      in.validity_before = &masks[i];
+      in.validity_after = &masks[i + 1];
+    }
+    TrackResult r = track_pair(in);
+
+    // --- Stage: products (trajectory chaining).
+    const auto t0 = Clock::now();
+    tracker.advance(r.flow);
+    stats_.products_seconds += seconds_since(t0);
+
+    result.timings.push_back(r.timings);
+    result.flows.push_back(std::move(r.flow));
+  }
+  result.trajectories = tracker.trajectories();
+  return result;
+}
+
+}  // namespace sma::core

@@ -1,0 +1,141 @@
+// pipeline.hpp — the staged SMA pipeline with cross-frame geometry caching.
+//
+// The paper's production runs are SEQUENCES (Frederic T=4, Florida 49
+// frames, Hurricane Luis 490 frames).  Tracking a T-frame sequence as
+// independent pairs fits every frame's quadratic patches TWICE: frame t
+// is the "after" image of pair (t-1, t) and the "before" image of pair
+// (t, t+1).  The per-pixel least-squares patch fit is the paper's
+// "Surface fit" phase — "over one million separate Gaussian
+// eliminations" per image (Sec. 3) — so the duplication is half of that
+// phase's work across a long sequence.
+//
+// SmaPipeline decomposes tracking into explicit stages
+//
+//   ingest/repair -> surface fit -> geometric variables
+//       -> hypothesis matching -> postprocess -> products
+//
+// and owns a per-frame GEOMETRY CACHE over the first three: the fitted
+// GeometricField of each frame raster is computed once and reused by
+// every pair (and every spectral channel, and every coupled-stereo
+// iteration) that references the same frame.  The matching stage is
+// delegated to a TrackerBackend selected by name, so the same pipeline
+// drives the sequential baseline, the OpenMP comparator or the MasPar
+// simulation — with bit-identical flow fields (Sec. 5.1 contract).
+//
+// Cache invariant: for a T-frame monocular sequence the pipeline
+// performs exactly T surface fits (one per distinct frame) versus
+// 2(T-1) on the pre-pipeline path; every further lookup of a cached
+// frame is a hit.  test_backend.cpp asserts the exact hit/miss counts
+// and bench_luis_sequence reports the measured fit-work ratio (~0.5 for
+// long sequences).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/sequence.hpp"
+#include "core/tracker.hpp"
+#include "imaging/image.hpp"
+
+namespace sma::core {
+
+struct PipelineOptions {
+  /// Registry name of the matching backend ("sequential", "openmp",
+  /// "maspar-sim", ...).
+  std::string backend = "sequential";
+  /// Matching-stage options.  `policy` is ignored — parallelism is a
+  /// backend capability, not a per-call flag.
+  TrackOptions track;
+  /// Postprocess stage: robust_postprocess every per-pair flow field.
+  bool robust = false;
+  /// Ingest stage: run the scan-line/column repair pass over the input
+  /// frames and track with the resulting validity masks.
+  bool repair = false;
+  /// Frames the geometry cache retains (LRU).  Consecutive-pair
+  /// streaming needs 2; the default leaves headroom for multispectral
+  /// and coupled-stereo reuse patterns.
+  std::size_t geometry_cache_capacity = 8;
+};
+
+/// Counters and per-stage wall-clock of everything a pipeline ran.
+struct PipelineStats {
+  std::size_t pairs_tracked = 0;
+  std::size_t surface_fits = 0;      ///< frames fitted (== cache misses)
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+
+  double ingest_seconds = 0.0;       ///< repair pass
+  double surface_fit_seconds = 0.0;  ///< patch fits (cache misses only)
+  double geometric_vars_seconds = 0.0;
+  double matching_seconds = 0.0;     ///< semifluid mapping + hypothesis search
+  double postprocess_seconds = 0.0;  ///< robust_postprocess
+  double products_seconds = 0.0;     ///< trajectory chaining etc.
+
+  double total_seconds() const {
+    return ingest_seconds + surface_fit_seconds + geometric_vars_seconds +
+           matching_seconds + postprocess_seconds + products_seconds;
+  }
+};
+
+class GeometryCache;  // pipeline.cpp
+
+class SmaPipeline {
+ public:
+  /// Throws std::invalid_argument on an unknown backend name or an
+  /// invalid config.
+  explicit SmaPipeline(SmaConfig config, PipelineOptions options = {});
+  ~SmaPipeline();
+  SmaPipeline(SmaPipeline&&) noexcept;
+  SmaPipeline& operator=(SmaPipeline&&) noexcept;
+
+  /// Tracks one pair through the stages, reusing cached geometry for
+  /// any frame raster the pipeline has seen before.
+  TrackResult track_pair(const TrackerInput& input);
+
+  /// Monocular convenience: intensity doubles as the surface.
+  TrackResult track_pair(const imaging::ImageF& before,
+                         const imaging::ImageF& after);
+
+  /// Tracks every consecutive pair of a monocular sequence; each frame's
+  /// geometry is fitted once.  Optional seeds are chained into
+  /// Lagrangian trajectories (products stage).  Throws on fewer than
+  /// two frames.
+  SequenceResult track_sequence(
+      const std::vector<imaging::ImageF>& frames,
+      const std::vector<std::pair<double, double>>& seeds = {});
+
+  /// Replaces the tracking config (e.g. per-pyramid-level windows).  The
+  /// geometry cache keys on the surface-fit radius, so entries fitted
+  /// under a compatible config stay valid and reusable.
+  void set_config(const SmaConfig& config);
+  const SmaConfig& config() const { return config_; }
+
+  const TrackerBackend& backend() const { return *backend_; }
+  const PipelineOptions& options() const { return options_; }
+
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PipelineStats{}; }
+
+  /// Drops all cached geometry (e.g. after mutating frame buffers in
+  /// place).
+  void clear_cache();
+
+ private:
+  /// Geometry of one frame raster via the cache (surface fit +
+  /// geometric variables stages).
+  std::shared_ptr<const surface::GeometricField> frame_geometry(
+      const imaging::ImageF& img);
+
+  SmaConfig config_;
+  PipelineOptions options_;
+  const TrackerBackend* backend_ = nullptr;  // owned by the registry
+  PipelineStats stats_;
+  std::unique_ptr<GeometryCache> cache_;
+};
+
+}  // namespace sma::core

@@ -1,33 +1,22 @@
 #include "core/sequence.hpp"
 
-#include <stdexcept>
+#include <utility>
 
-#include "core/postprocess.hpp"
+#include "core/backend.hpp"
+#include "core/pipeline.hpp"
 
 namespace sma::core {
 
 SequenceResult track_sequence(const std::vector<imaging::ImageF>& frames,
                               const SequenceOptions& options) {
-  if (frames.size() < 2)
-    throw std::invalid_argument("track_sequence: need at least two frames");
-  options.config.validate();
-
-  SequenceResult result;
-  result.flows.reserve(frames.size() - 1);
-  result.timings.reserve(frames.size() - 1);
-
-  TrajectoryTracker tracker(options.seeds);
-  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
-    TrackResult r = track_pair_monocular(frames[i], frames[i + 1],
-                                         options.config, options.track);
-    imaging::FlowField flow = std::move(r.flow);
-    if (options.robust) flow = robust_postprocess(flow);
-    tracker.advance(flow);
-    result.timings.push_back(r.timings);
-    result.flows.push_back(std::move(flow));
-  }
-  result.trajectories = tracker.trajectories();
-  return result;
+  PipelineOptions popts;
+  popts.backend = options.backend.empty()
+                      ? backend_name_for(options.track.policy)
+                      : options.backend;
+  popts.track = options.track;
+  popts.robust = options.robust;
+  SmaPipeline pipeline(options.config, std::move(popts));
+  return pipeline.track_sequence(frames, options.seeds);
 }
 
 }  // namespace sma::core

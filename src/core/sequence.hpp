@@ -8,6 +8,7 @@
 // product.
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,10 @@ struct SequenceOptions {
   bool robust = false;
   /// Particles to carry through the sequence (empty = none).
   std::vector<std::pair<double, double>> seeds;
+  /// Registry name of the execution backend.  Empty = derive from
+  /// track.policy ("sequential" / "openmp"), preserving the legacy
+  /// call sites.
+  std::string backend;
 };
 
 struct SequenceResult {

@@ -13,11 +13,13 @@
 #pragma once
 
 #include "core/autotune.hpp"
+#include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/continuous_model.hpp"
 #include "core/fault.hpp"
 #include "core/hierarchical.hpp"
 #include "core/multispectral.hpp"
+#include "core/pipeline.hpp"
 #include "core/postprocess.hpp"
 #include "core/semifluid.hpp"
 #include "core/sequence.hpp"

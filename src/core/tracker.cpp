@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/backend.hpp"
 #include "core/semifluid.hpp"
 #include "imaging/stats.hpp"
 
@@ -21,7 +22,9 @@ double seconds_since(Clock::time_point t0) {
 
 // Hypothesis tie-break shared with the semi-fluid argmin: prefer strictly
 // smaller error; on exact ties prefer the smaller displacement, then
-// raster order.  Deterministic and independent of segmentation.
+// raster order.  Deterministic and independent of segmentation — and of
+// hypothesis visit order, which is what lets every backend evaluate the
+// search in its own schedule and still converge on the same winner.
 bool hypothesis_improves(const PixelBest& best, double error, int hx,
                          int hy) {
   if (!best.any_ok) return true;
@@ -32,6 +35,14 @@ bool hypothesis_improves(const PixelBest& best, double error, int hx,
   if (m_new != m_old) return m_new < m_old;
   if (hy != best.hy) return hy < best.hy;
   return hx < best.hx;
+}
+
+// Semi-fluid flag used consistently across the stages: the discriminants
+// must actually be present for the semi-fluid path to engage.
+bool semifluid_active(const MatchInput& in, const SmaConfig& config) {
+  return config.model == MotionModel::kSemiFluid &&
+         config.semifluid_search_radius > 0 && in.disc_before != nullptr &&
+         in.disc_after != nullptr;
 }
 
 }  // namespace
@@ -167,158 +178,172 @@ void scan_hypotheses(const surface::GeometricField& before,
   }
 }
 
-TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
-                       const TrackOptions& options) {
-  config.validate();
+void validate_tracker_input(const TrackerInput& input, const char* context) {
   if (input.intensity_before == nullptr || input.intensity_after == nullptr ||
       input.surface_before == nullptr || input.surface_after == nullptr)
-    throw std::invalid_argument("track_pair: null input image");
+    throw std::invalid_argument(std::string(context) + ": null input image");
   const imaging::ImageF& surf0 = *input.surface_before;
   const imaging::ImageF& surf1 = *input.surface_after;
   const imaging::ImageF& int0 = *input.intensity_before;
   const imaging::ImageF& int1 = *input.intensity_after;
   if (!surf0.same_shape(surf1) || !int0.same_shape(int1) ||
       !surf0.same_shape(int0))
-    throw std::invalid_argument("track_pair: image shape mismatch");
+    throw std::invalid_argument(std::string(context) +
+                                ": image shape mismatch");
   if (imaging::has_nonfinite(int0) || imaging::has_nonfinite(int1) ||
       imaging::has_nonfinite(surf0) || imaging::has_nonfinite(surf1))
     throw std::invalid_argument(
-        "track_pair: non-finite pixel values (sensor dropout?)");
+        std::string(context) +
+        ": non-finite pixel values (sensor dropout?)");
   const imaging::ImageU8* mask0 = input.validity_before;
   const imaging::ImageU8* mask1 = input.validity_after;
   if ((mask0 != nullptr && (mask0->width() != surf0.width() ||
                             mask0->height() != surf0.height())) ||
       (mask1 != nullptr && (mask1->width() != surf0.width() ||
                             mask1->height() != surf0.height())))
-    throw std::invalid_argument("track_pair: validity mask shape mismatch");
+    throw std::invalid_argument(std::string(context) +
+                                ": validity mask shape mismatch");
+}
 
-  const bool parallel = options.policy == ExecutionPolicy::kParallel;
-  const bool semifluid =
-      config.model == MotionModel::kSemiFluid && config.semifluid_search_radius > 0;
-
-  TrackResult result;
-  const auto t_start = Clock::now();
-
-  // --- Phase 1: "Surface fit" — quadratic patch fits over every image.
+FrameGeometry compute_frame_geometry(const imaging::ImageF& surface,
+                                     const imaging::ImageF* intensity,
+                                     const SmaConfig& config, bool parallel,
+                                     bool need_disc) {
+  FrameGeometry fg;
   surface::GeometryOptions gopts;
   gopts.patch_radius = config.surface_fit_radius;
   gopts.parallel = parallel;
+
+  // --- "Surface fit" phase: quadratic patch fits.
   auto t0 = Clock::now();
-  const surface::DerivativeField d0 = surface::fit_derivatives(surf0, gopts);
-  const surface::DerivativeField d1 = surface::fit_derivatives(surf1, gopts);
+  const surface::DerivativeField d = surface::fit_derivatives(surface, gopts);
   // The semi-fluid discriminant uses the *intensity* surface (Sec. 2.3);
   // in monocular mode the intensity aliases the surface, so skip refits.
   const bool intensity_is_surface =
-      input.intensity_before == input.surface_before &&
-      input.intensity_after == input.surface_after;
-  surface::DerivativeField di0, di1;
-  if (semifluid && !intensity_is_surface) {
-    di0 = surface::fit_derivatives(int0, gopts);
-    di1 = surface::fit_derivatives(int1, gopts);
-  }
-  result.timings.surface_fit = seconds_since(t0);
+      intensity == nullptr || intensity == &surface;
+  surface::DerivativeField di;
+  if (need_disc && !intensity_is_surface)
+    di = surface::fit_derivatives(*intensity, gopts);
+  fg.fit_seconds = seconds_since(t0);
 
-  // --- Phase 2: "Compute geometric variables".
+  // --- "Compute geometric variables" phase.
   t0 = Clock::now();
-  const surface::GeometricField g0 = surface::derive_geometry(d0, parallel);
-  const surface::GeometricField g1 = surface::derive_geometry(d1, parallel);
-  imaging::ImageF disc0, disc1;
-  if (semifluid) {
-    if (intensity_is_surface) {
-      disc0 = g0.disc;
-      disc1 = g1.disc;
-    } else {
-      disc0 = surface::derive_geometry(di0, parallel).disc;
-      disc1 = surface::derive_geometry(di1, parallel).disc;
-    }
+  fg.geom = surface::derive_geometry(d, parallel);
+  if (need_disc) {
+    fg.disc = intensity_is_surface
+                  ? fg.geom.disc
+                  : surface::derive_geometry(di, parallel).disc;
+    fg.has_disc = true;
   }
-  result.timings.geometric_vars = seconds_since(t0);
+  fg.derive_seconds = seconds_since(t0);
+  return fg;
+}
 
-  // --- Phases 3+4: semi-fluid mapping precompute + hypothesis matching,
-  // interleaved per hypothesis-row segment (Sec. 4.3).
-  const int w = surf0.width();
-  const int h = surf0.height();
+std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
+                                             const SmaConfig& config,
+                                             bool parallel,
+                                             TrackTimings& timings,
+                                             std::size_t& peak_mapping_bytes) {
+  const int w = in.width();
+  const int h = in.height();
   const int nzs_x = config.z_search_radius;
   const int nzs_y = config.z_search_ry();
   const int nss = config.effective_nss();
   const int zseg = config.effective_segment_rows();
+  const bool semifluid = semifluid_active(in, config);
 
   std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
 
+  // Semi-fluid mapping precompute + hypothesis matching, interleaved per
+  // hypothesis-row segment (Sec. 4.3).
   for (int hy_min = -nzs_y; hy_min <= nzs_y; hy_min += zseg) {
     const int hy_max = std::min(hy_min + zseg - 1, nzs_y);
 
     std::optional<SemiFluidCostField> field;
     if (semifluid && config.use_precomputed_mapping) {
-      t0 = Clock::now();
-      field.emplace(disc0, disc1, nzs_x + nss, hy_min - nss, hy_max + nss,
+      auto t0 = Clock::now();
+      field.emplace(*in.disc_before, *in.disc_after, nzs_x + nss,
+                    hy_min - nss, hy_max + nss,
                     config.semifluid_template_radius);
-      result.timings.semifluid_mapping += seconds_since(t0);
-      result.peak_mapping_bytes =
-          std::max(result.peak_mapping_bytes, field->bytes());
+      timings.semifluid_mapping += seconds_since(t0);
+      peak_mapping_bytes = std::max(peak_mapping_bytes, field->bytes());
     }
 
-    t0 = Clock::now();
+    auto t0 = Clock::now();
     const SemiFluidCostField* field_ptr = field ? &*field : nullptr;
-    const imaging::ImageF* db = semifluid ? &disc0 : nullptr;
-    const imaging::ImageF* da = semifluid ? &disc1 : nullptr;
+    const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
+    const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
 #pragma omp parallel for schedule(dynamic, 1) if (parallel)
     for (int y = 0; y < h; ++y)
       for (int x = 0; x < w; ++x)
-        scan_hypotheses(g0, g1, db, da, field_ptr, x, y, hy_min, hy_max,
-                        config, best[static_cast<std::size_t>(y) * w + x],
-                        mask0, mask1);
-    result.timings.hypothesis_matching += seconds_since(t0);
+        scan_hypotheses(*in.before, *in.after, db, da, field_ptr, x, y,
+                        hy_min, hy_max, config,
+                        best[static_cast<std::size_t>(y) * w + x],
+                        in.mask_before, in.mask_after);
+    timings.hypothesis_matching += seconds_since(t0);
   }
+  return best;
+}
 
-  // --- Optional sub-pixel refinement: probe the Eq. (3) residual at the
-  // four axis neighbors of each winner and interpolate the parabola
-  // minimum.  The semi-fluid path uses the direct (naive) matcher here —
-  // bit-identical to the precomputed cost field by construction.
-  if (options.subpixel) {
-    t0 = Clock::now();
-    const imaging::ImageF* db = semifluid ? &disc0 : nullptr;
-    const imaging::ImageF* da = semifluid ? &disc1 : nullptr;
+void refine_subpixel(const MatchInput& in, const SmaConfig& config,
+                     bool parallel, std::vector<PixelBest>& best,
+                     TrackTimings& timings) {
+  const int w = in.width();
+  const int h = in.height();
+  const bool semifluid = semifluid_active(in, config);
+  // Probe the Eq. (3) residual at the four axis neighbors of each winner
+  // and interpolate the parabola minimum.  The semi-fluid path uses the
+  // direct (naive) matcher here — bit-identical to the precomputed cost
+  // field by construction.
+  const auto t0 = Clock::now();
+  const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
+  const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
 #pragma omp parallel for schedule(dynamic, 1) if (parallel)
-    for (int y = 0; y < h; ++y)
-      for (int x = 0; x < w; ++x) {
-        PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
-        // Masked winners can carry an infinite residual; the parabola is
-        // meaningless there (inf - inf), so only refine finite minima.
-        if (!b.any_ok || !std::isfinite(b.error)) continue;
-        MotionParams unused;
-        bool ok = false;
-        const double e0 = b.error;
-        const double exm = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx - 1, b.hy, config, unused, ok,
-            mask0, mask1);
-        const double exp_ = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx + 1, b.hy, config, unused, ok,
-            mask0, mask1);
-        const double eym = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx, b.hy - 1, config, unused, ok,
-            mask0, mask1);
-        const double eyp = evaluate_pixel_hypothesis(
-            g0, g1, db, da, nullptr, x, y, b.hx, b.hy + 1, config, unused, ok,
-            mask0, mask1);
-        // A near-zero center residual means the integer hypothesis is an
-        // (essentially) exact match; the parabola is then degenerate and
-        // neighbor asymmetry would inject spurious fractions.
-        const double dx_denom = exm - 2.0 * e0 + exp_;
-        if (std::isfinite(exm) && std::isfinite(exp_) && dx_denom > 1e-12 &&
-            e0 <= exm && e0 <= exp_ && e0 > 1e-4 * std::min(exm, exp_))
-          b.sub_u = static_cast<float>(
-              std::clamp(0.5 * (exm - exp_) / dx_denom, -0.5, 0.5));
-        const double dy_denom = eym - 2.0 * e0 + eyp;
-        if (std::isfinite(eym) && std::isfinite(eyp) && dy_denom > 1e-12 &&
-            e0 <= eym && e0 <= eyp && e0 > 1e-4 * std::min(eym, eyp))
-          b.sub_v = static_cast<float>(
-              std::clamp(0.5 * (eym - eyp) / dy_denom, -0.5, 0.5));
-      }
-    result.timings.hypothesis_matching += seconds_since(t0);
-  }
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+      // Masked winners can carry an infinite residual; the parabola is
+      // meaningless there (inf - inf), so only refine finite minima.
+      if (!b.any_ok || !std::isfinite(b.error)) continue;
+      MotionParams unused;
+      bool ok = false;
+      const double e0 = b.error;
+      const double exm = evaluate_pixel_hypothesis(
+          *in.before, *in.after, db, da, nullptr, x, y, b.hx - 1, b.hy,
+          config, unused, ok, in.mask_before, in.mask_after);
+      const double exp_ = evaluate_pixel_hypothesis(
+          *in.before, *in.after, db, da, nullptr, x, y, b.hx + 1, b.hy,
+          config, unused, ok, in.mask_before, in.mask_after);
+      const double eym = evaluate_pixel_hypothesis(
+          *in.before, *in.after, db, da, nullptr, x, y, b.hx, b.hy - 1,
+          config, unused, ok, in.mask_before, in.mask_after);
+      const double eyp = evaluate_pixel_hypothesis(
+          *in.before, *in.after, db, da, nullptr, x, y, b.hx, b.hy + 1,
+          config, unused, ok, in.mask_before, in.mask_after);
+      // A near-zero center residual means the integer hypothesis is an
+      // (essentially) exact match; the parabola is then degenerate and
+      // neighbor asymmetry would inject spurious fractions.
+      const double dx_denom = exm - 2.0 * e0 + exp_;
+      if (std::isfinite(exm) && std::isfinite(exp_) && dx_denom > 1e-12 &&
+          e0 <= exm && e0 <= exp_ && e0 > 1e-4 * std::min(exm, exp_))
+        b.sub_u = static_cast<float>(
+            std::clamp(0.5 * (exm - exp_) / dx_denom, -0.5, 0.5));
+      const double dy_denom = eym - 2.0 * e0 + eyp;
+      if (std::isfinite(eym) && std::isfinite(eyp) && dy_denom > 1e-12 &&
+          e0 <= eym && e0 <= eyp && e0 > 1e-4 * std::min(eym, eyp))
+        b.sub_v = static_cast<float>(
+            std::clamp(0.5 * (eym - eyp) / dy_denom, -0.5, 0.5));
+    }
+  timings.hypothesis_matching += seconds_since(t0);
+}
 
-  // --- Collect outputs.
+void collect_track_result(const MatchInput& in, const SmaConfig& config,
+                          const TrackOptions& options,
+                          const std::vector<PixelBest>& best,
+                          TrackResult& result) {
+  (void)config;
+  const int w = in.width();
+  const int h = in.height();
   result.flow = imaging::FlowField(w, h);
   if (options.keep_params) {
     ParamsField pf;
@@ -353,9 +378,16 @@ TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
         result.params->bk.at(x, y) = static_cast<float>(b.params.bk);
       }
     }
+}
 
-  result.timings.total = seconds_since(t_start);
-  return result;
+TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
+                       const TrackOptions& options) {
+  // Legacy entry point: ExecutionPolicy maps onto the two host backends
+  // of the registry.  Kept so the pre-registry call sites (and the
+  // paper-notation ExecutionPolicy tests) continue to work unchanged.
+  return BackendRegistry::instance()
+      .get(backend_name_for(options.policy))
+      .track(input, config, options);
 }
 
 TrackResult track_pair_monocular(const imaging::ImageF& before,

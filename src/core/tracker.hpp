@@ -8,13 +8,14 @@
 // system and scoring the Eq. (3) residual; the minimum-error hypothesis
 // wins (Eq. 7).
 //
-// Execution variants:
-//  * kSequential — the paper's "sequential (un-optimized) version ...
+// Execution variants (all registered as TrackerBackends, core/backend.hpp):
+//  * "sequential" — the paper's "sequential (un-optimized) version ...
 //    used to form a baseline for comparing the correctness of the
 //    parallel algorithm results" (Sec. 4).
-//  * kParallel   — OpenMP over image rows; bit-identical output.
-// The MasPar SIMD executor (maspar/sma_simd.hpp) is a third variant that
-// reuses the same per-pixel kernels layer by layer.
+//  * "openmp"     — OpenMP over image rows; bit-identical output.
+//  * "maspar-sim" — the MasPar SIMD executor (maspar/backend.hpp) driving
+//    the same per-pixel kernels layer by layer.
+// ExecutionPolicy survives as the legacy selector for the first two.
 //
 // Timing is reported in the paper's Table 2 / Table 4 phase buckets:
 // surface fit, compute geometric variables, semi-fluid mapping and
@@ -22,7 +23,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/continuous_model.hpp"
@@ -35,6 +38,16 @@ namespace sma::core {
 enum class ExecutionPolicy {
   kSequential,  ///< single-threaded reference implementation
   kParallel,    ///< OpenMP host-parallel, identical results
+};
+
+/// Base class for backend-specific result attachments (the "extras"
+/// channel).  A TrackerBackend may hang substrate-specific reports off
+/// TrackResult::extras — e.g. the MasPar adapter attaches its full
+/// SimdRunReport (modeled MP-2 wall-clock, PE memory, mesh traffic) —
+/// without the core layer depending on that backend.  Consumers
+/// dynamic_cast to the concrete type they know about.
+struct BackendExtras {
+  virtual ~BackendExtras() = default;
 };
 
 struct TrackOptions {
@@ -70,6 +83,9 @@ struct TrackResult {
   /// Peak bytes held by precomputed semi-fluid cost layers (whole image);
   /// feeds the Sec. 4.3 PE-memory accounting in the benches.
   std::size_t peak_mapping_bytes = 0;
+  /// Backend-specific attachments (null for the host backends).  See
+  /// BackendExtras; shared so TrackResult stays cheaply copyable.
+  std::shared_ptr<const BackendExtras> extras;
 };
 
 /// Inputs to one tracking step.  In stereo mode `surface_*` are the
@@ -95,6 +111,11 @@ struct TrackerInput {
 };
 
 /// Runs the full SMA pipeline on one pair of time steps.
+///
+/// DEPRECATED shim: this now resolves ExecutionPolicy to the matching
+/// registered TrackerBackend ("sequential" / "openmp", see
+/// core/backend.hpp) and delegates.  New code should pick a backend by
+/// name through the BackendRegistry, or use SmaPipeline for sequences.
 TrackResult track_pair(const TrackerInput& input, const SmaConfig& config,
                        const TrackOptions& options = {});
 
@@ -131,6 +152,77 @@ struct PixelBest {
 };
 
 class SemiFluidCostField;  // fwd (semifluid.hpp)
+
+// ---------------------------------------------------------------------------
+// Staged kernels.
+//
+// track_pair is a composition of reusable stages so that (a) every
+// TrackerBackend can share the exact per-pixel arithmetic — the paper's
+// bit-identical-across-substrates contract (Sec. 5.1) — and (b) the
+// SmaPipeline (core/pipeline.hpp) can cache the per-frame geometry
+// stages across consecutive pairs of a sequence.
+// ---------------------------------------------------------------------------
+
+/// Per-frame products of the "Surface fit" + "Compute geometric
+/// variables" phases: the z-surface geometry and, for the semi-fluid
+/// model, the intensity-surface discriminant.
+struct FrameGeometry {
+  surface::GeometricField geom;  ///< geometry of the z-surface
+  imaging::ImageF disc;          ///< semi-fluid discriminant (intensity)
+  bool has_disc = false;
+  double fit_seconds = 0.0;      ///< "Surface fit" phase time
+  double derive_seconds = 0.0;   ///< "Compute geometric variables" time
+};
+
+/// Computes one frame's geometry.  `intensity` may alias `surface`
+/// (monocular mode): the discriminant then comes from the surface fit
+/// itself and no second fit is performed — exactly the aliasing rule
+/// track_pair has always applied.  `need_disc` is the semi-fluid flag.
+FrameGeometry compute_frame_geometry(const imaging::ImageF& surface,
+                                     const imaging::ImageF* intensity,
+                                     const SmaConfig& config, bool parallel,
+                                     bool need_disc);
+
+/// Precomputed inputs to the matching stages: geometry of both frames,
+/// the semi-fluid discriminants (null for the continuous model) and the
+/// optional validity masks.  The pointed-to data must outlive the call.
+struct MatchInput {
+  const surface::GeometricField* before = nullptr;
+  const surface::GeometricField* after = nullptr;
+  const imaging::ImageF* disc_before = nullptr;
+  const imaging::ImageF* disc_after = nullptr;
+  const imaging::ImageU8* mask_before = nullptr;
+  const imaging::ImageU8* mask_after = nullptr;
+
+  int width() const { return before != nullptr ? before->width() : 0; }
+  int height() const { return before != nullptr ? before->height() : 0; }
+};
+
+/// "Semi-fluid mapping" + "Hypothesis matching" phases: the segmented
+/// search over every pixel and hypothesis.  Accumulates phase times into
+/// `timings` and the Sec. 4.3 cost-layer peak into `peak_mapping_bytes`.
+std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
+                                             const SmaConfig& config,
+                                             bool parallel,
+                                             TrackTimings& timings,
+                                             std::size_t& peak_mapping_bytes);
+
+/// Optional parabolic sub-pixel stage (TrackOptions::subpixel); adds its
+/// time to timings.hypothesis_matching.  Identical across backends.
+void refine_subpixel(const MatchInput& in, const SmaConfig& config,
+                     bool parallel, std::vector<PixelBest>& best,
+                     TrackTimings& timings);
+
+/// "Products" stage: packs per-pixel winners into the result's flow
+/// field (and ParamsField when options.keep_params).
+void collect_track_result(const MatchInput& in, const SmaConfig& config,
+                          const TrackOptions& options,
+                          const std::vector<PixelBest>& best,
+                          TrackResult& result);
+
+/// Shared input validation (shape / finiteness / mask checks); throws
+/// std::invalid_argument with the given context prefix.
+void validate_tracker_input(const TrackerInput& input, const char* context);
 
 /// Scans hypothesis rows [hy_min, hy_max] for pixel (x, y), refining
 /// `best` in place.  `cost_field` may be null for the continuous model or

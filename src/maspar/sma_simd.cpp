@@ -11,21 +11,21 @@
 
 namespace sma::maspar {
 
-SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
-                                  const core::SmaConfig& config,
-                                  int image_count) const {
+SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
+                                           const core::SmaConfig& config,
+                                           int image_count,
+                                           const core::TrackOptions& options,
+                                           core::TrackResult* track_out) const {
   config.validate();
-  if (input.surface_before == nullptr || input.surface_after == nullptr ||
-      input.intensity_before == nullptr || input.intensity_after == nullptr)
-    throw std::invalid_argument("MasParExecutor: null input image");
+  if (in.before == nullptr || in.after == nullptr)
+    throw std::invalid_argument("MasParExecutor: null geometry input");
 
   const auto t_start = std::chrono::steady_clock::now();
-  const imaging::ImageF& surf0 = *input.surface_before;
-  const imaging::ImageF& surf1 = *input.surface_after;
-  const int w = surf0.width();
-  const int h = surf0.height();
+  const int w = in.width();
+  const int h = in.height();
 
   SimdRunReport report;
+  core::TrackResult track;
 
   // --- Sec. 4.3 memory planning.
   core::PeMemoryModel mem;
@@ -46,29 +46,13 @@ SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
   report.fits_pe_memory = report.pe_bytes <= spec_.pe_memory_bytes;
   report.layers = map.layers();
 
-  // --- Geometry phases (identical arithmetic to core::track_pair).
-  const bool semifluid = run_config.model == core::MotionModel::kSemiFluid &&
-                         run_config.semifluid_search_radius > 0;
-  surface::GeometryOptions gopts;
-  gopts.patch_radius = run_config.surface_fit_radius;
-  const surface::GeometricField g0 = surface::compute_geometry(surf0, gopts);
-  const surface::GeometricField g1 = surface::compute_geometry(surf1, gopts);
-  imaging::ImageF disc0, disc1;
-  if (semifluid) {
-    const bool alias = input.intensity_before == input.surface_before &&
-                       input.intensity_after == input.surface_after;
-    if (alias) {
-      disc0 = g0.disc;
-      disc1 = g1.disc;
-    } else {
-      disc0 = surface::compute_geometry(*input.intensity_before, gopts).disc;
-      disc1 = surface::compute_geometry(*input.intensity_after, gopts).disc;
-    }
-  }
-
   // --- SIMD schedule: hypothesis-row segments outermost (so the cost
   // layers are built once per segment), then memory layers, then the PE
   // array in lock step.
+  const bool semifluid = run_config.model == core::MotionModel::kSemiFluid &&
+                         run_config.semifluid_search_radius > 0 &&
+                         in.disc_before != nullptr &&
+                         in.disc_after != nullptr;
   const int nzs_x = run_config.z_search_radius;
   const int nzs_y = run_config.z_search_ry();
   const int nss = run_config.effective_nss();
@@ -78,45 +62,48 @@ SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
   for (int hy_min = -nzs_y; hy_min <= nzs_y; hy_min += zseg) {
     const int hy_max = std::min(hy_min + zseg - 1, nzs_y);
     std::optional<core::SemiFluidCostField> field;
-    if (semifluid && run_config.use_precomputed_mapping)
-      field.emplace(disc0, disc1, nzs_x + nss, hy_min - nss, hy_max + nss,
+    if (semifluid && run_config.use_precomputed_mapping) {
+      const auto t0 = std::chrono::steady_clock::now();
+      field.emplace(*in.disc_before, *in.disc_after, nzs_x + nss,
+                    hy_min - nss, hy_max + nss,
                     run_config.semifluid_template_radius);
+      track.timings.semifluid_mapping +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      track.peak_mapping_bytes =
+          std::max(track.peak_mapping_bytes, field->bytes());
+    }
     const core::SemiFluidCostField* fp = field ? &*field : nullptr;
-    const imaging::ImageF* db = semifluid ? &disc0 : nullptr;
-    const imaging::ImageF* da = semifluid ? &disc1 : nullptr;
+    const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
+    const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
 
+    const auto t0 = std::chrono::steady_clock::now();
     for (int mem_layer = 0; mem_layer < map.layers(); ++mem_layer) {
       for (int iy = 0; iy < spec_.nyproc; ++iy) {
         for (int ix = 0; ix < spec_.nxproc; ++ix) {
           int x, y;
           map.to_xy(PixelLocation{ix, iy, mem_layer}, x, y);
           if (x < 0 || y < 0) continue;  // padding slot, PE idles
-          core::scan_hypotheses(g0, g1, db, da, fp, x, y, hy_min, hy_max,
-                                run_config,
+          core::scan_hypotheses(*in.before, *in.after, db, da, fp, x, y,
+                                hy_min, hy_max, run_config,
                                 best[static_cast<std::size_t>(y) * w + x],
-                                input.validity_before, input.validity_after);
+                                in.mask_before, in.mask_after);
         }
       }
     }
+    track.timings.hypothesis_matching +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
 
-  // --- Collect the flow field.
-  report.flow = imaging::FlowField(w, h);
-  for (int y = 0; y < h; ++y)
-    for (int x = 0; x < w; ++x) {
-      const core::PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
-      // Same degradation contract as core::track_pair: unsolved winners
-      // carry infinite error and zero confidence.
-      const bool ok = b.any_ok && b.solved;
-      report.flow.set(
-          x, y,
-          imaging::FlowVector{
-              static_cast<float>(b.ux), static_cast<float>(b.uy),
-              ok ? static_cast<float>(b.error)
-                 : std::numeric_limits<float>::infinity(),
-              static_cast<std::uint8_t>(ok ? 1 : 0),
-              ok ? static_cast<float>(b.coverage) : 0.0f});
-    }
+  // --- Shared sub-pixel and products stages (bit-identical to the host
+  // backends by construction; run_config carries the auto-chosen
+  // segmentation, which does not affect results).
+  if (options.subpixel)
+    core::refine_subpixel(in, run_config, /*parallel=*/false, best,
+                          track.timings);
+  core::collect_track_result(in, run_config, options, best, track);
+  report.flow = track.flow;
 
   // --- Modeled wall-clock and mesh traffic.
   core::Workload workload{w, h, run_config};
@@ -138,6 +125,45 @@ SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
           static_cast<std::uint64_t>(2 * ext + 1) * (2 * ext + 1);
     }
 
+  report.host_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_start)
+                            .count();
+  if (track_out != nullptr) {
+    track.timings.total =
+        track.timings.semifluid_mapping + track.timings.hypothesis_matching;
+    *track_out = std::move(track);
+  }
+  return report;
+}
+
+SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
+                                  const core::SmaConfig& config,
+                                  int image_count) const {
+  config.validate();
+  core::validate_tracker_input(input, "MasParExecutor");
+
+  const auto t_start = std::chrono::steady_clock::now();
+
+  // --- Geometry phases (identical arithmetic to the host backends).
+  const bool semifluid = config.model == core::MotionModel::kSemiFluid &&
+                         config.semifluid_search_radius > 0;
+  const core::FrameGeometry fg0 = core::compute_frame_geometry(
+      *input.surface_before, input.intensity_before, config,
+      /*parallel=*/false, semifluid);
+  const core::FrameGeometry fg1 = core::compute_frame_geometry(
+      *input.surface_after, input.intensity_after, config,
+      /*parallel=*/false, semifluid);
+
+  core::MatchInput mi;
+  mi.before = &fg0.geom;
+  mi.after = &fg1.geom;
+  mi.disc_before = fg0.has_disc ? &fg0.disc : nullptr;
+  mi.disc_after = fg1.has_disc ? &fg1.disc : nullptr;
+  mi.mask_before = input.validity_before;
+  mi.mask_after = input.validity_after;
+
+  SimdRunReport report = run_matching(mi, config, image_count);
+  // host_seconds covers geometry + matching, as before the staged split.
   report.host_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t_start)
                             .count();

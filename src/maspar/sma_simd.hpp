@@ -50,6 +50,18 @@ class MasParExecutor {
                     const core::SmaConfig& config,
                     int image_count = 4) const;
 
+  /// Matching stages only, on precomputed per-frame geometry (the
+  /// staged-kernel seam of core/tracker.hpp): memory planning, the SIMD
+  /// layer-ordered hypothesis search, the shared sub-pixel and products
+  /// stages, and the modeled machine costs.  When `track_out` is
+  /// non-null it receives the full TrackResult (flow, matching-phase
+  /// timings, peak cost-layer bytes, optional ParamsField) — this is
+  /// what the "maspar-sim" TrackerBackend adapter drives.
+  SimdRunReport run_matching(const core::MatchInput& in,
+                             const core::SmaConfig& config, int image_count,
+                             const core::TrackOptions& options = {},
+                             core::TrackResult* track_out = nullptr) const;
+
   const MachineSpec& spec() const { return spec_; }
 
  private:

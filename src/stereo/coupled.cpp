@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "core/backend.hpp"
+#include "core/pipeline.hpp"
 #include "imaging/convolve.hpp"
 #include "imaging/warp.hpp"
 
@@ -53,6 +56,16 @@ CoupledResult coupled_stereo_motion(const imaging::ImageF& left0,
   result.disparity0 = m0.disparity;
   result.disparity1 = m1.disparity;
 
+  // One pipeline across the coupling iterations: the height surfaces are
+  // refit each pass, but the intensity frames never change, so their
+  // geometry (semi-fluid discriminants) is fitted exactly once.
+  core::PipelineOptions popts;
+  popts.backend = options.backend.empty()
+                      ? core::backend_name_for(options.track.policy)
+                      : options.backend;
+  popts.track = options.track;
+  core::SmaPipeline pipeline(options.motion, std::move(popts));
+
   for (int iter = 0; iter < options.iterations; ++iter) {
     // Stage 2: motion with the current surfaces.
     imaging::ImageF z0 =
@@ -68,8 +81,7 @@ CoupledResult coupled_stereo_motion(const imaging::ImageF& left0,
     in.intensity_after = &left1;
     in.surface_before = &z0;
     in.surface_after = &z1;
-    core::TrackResult tracked =
-        core::track_pair(in, options.motion, options.track);
+    core::TrackResult tracked = pipeline.track_pair(in);
     result.flow = std::move(tracked.flow);
 
     // Stage 3: temporal fusion against the ORIGINAL measurements (the

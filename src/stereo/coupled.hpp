@@ -19,6 +19,7 @@
 // whenever the stereo measurement is noisy (bench: coupled ablation).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -38,6 +39,9 @@ struct CoupledOptions {
   double blend = 0.5;
   /// Gaussian smoothing applied to heights before the motion stage.
   double height_smoothing_sigma = 1.0;
+  /// Registry name of the motion backend; empty derives it from
+  /// track.policy.
+  std::string backend;
 };
 
 struct CoupledResult {
