@@ -1,0 +1,150 @@
+// bench_matching_kernel — measures the hypothesis-invariant matching
+// precompute (core/match_precompute.hpp) against the naive per-pixel
+// normal-equation evaluator on a continuous-model Frederic-analog pair.
+//
+// Three variants of the same search (Nzs = Nzt = 4):
+//   naive                --precompute off, the paper's per-hypothesis
+//                        row-by-row normal-equation accumulation
+//   precompute           SoA invariant planes + per-window A^T A tiles
+//   precompute+sliding   adds the incremental row-sliding window sums
+//
+// The bench checks its own answers: the precompute flow must be
+// BIT-IDENTICAL to naive (the equivalence-oracle contract the unit
+// tests enforce), the sliding flow must agree to a small mismatch
+// budget (running sums reassociate floating-point addition).
+//
+// Usage: bench_matching_kernel [--size N] [--repeat N] [--json PATH]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/sma.hpp"
+#include "goes/datasets.hpp"
+
+using namespace sma;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  double match_seconds = 0.0;       // precompute + mapping + hypothesis
+  double precompute_seconds = 0.0;  // invariant-plane build share
+  double wall_seconds = 0.0;        // full track() incl. surface fit
+  imaging::FlowField flow;
+};
+
+VariantResult run_variant(const std::string& name,
+                          const core::TrackerInput& in, core::SmaConfig cfg,
+                          core::PrecomputeMode mode, bool sliding,
+                          int repeat) {
+  cfg.precompute = mode;
+  cfg.precompute_sliding = sliding;
+  const core::TrackerBackend& backend =
+      core::BackendRegistry::instance().get("sequential");
+  VariantResult best;
+  best.name = name;
+  for (int i = 0; i < repeat; ++i) {
+    const core::TrackResult r = backend.track(in, cfg, {});
+    const double match = r.timings.match_precompute +
+                         r.timings.semifluid_mapping +
+                         r.timings.hypothesis_matching;
+    if (i == 0 || match < best.match_seconds) {
+      best.match_seconds = match;
+      best.precompute_seconds = r.timings.match_precompute;
+      best.wall_seconds = r.timings.total;
+    }
+    if (i == 0) best.flow = r.flow;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int size = 96;
+  int repeat = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc)
+      size = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc)
+      repeat = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  core::SmaConfig cfg;
+  cfg.model = core::MotionModel::kContinuous;
+  cfg.surface_fit_radius = 2;
+  cfg.z_search_radius = 4;
+  cfg.z_template_radius = 4;
+
+  const goes::FredericDataset data = goes::make_frederic_analog(size, 31, 3.0);
+  core::TrackerInput in;
+  in.intensity_before = in.surface_before = &data.left0;
+  in.intensity_after = in.surface_after = &data.left1;
+
+  bench::header("Matching kernel — naive vs hypothesis-invariant precompute (" +
+                std::to_string(size) + "x" + std::to_string(size) + ", " +
+                cfg.describe() + ")");
+
+  const VariantResult naive = run_variant(
+      "naive", in, cfg, core::PrecomputeMode::kOff, false, repeat);
+  const VariantResult pre = run_variant(
+      "precompute", in, cfg, core::PrecomputeMode::kOn, false, repeat);
+  const VariantResult slide = run_variant(
+      "precompute+sliding", in, cfg, core::PrecomputeMode::kOn, true, repeat);
+
+  const double npix = static_cast<double>(size) * size;
+  std::printf("  %-22s %12s %12s %10s %14s\n", "variant", "match (s)",
+              "build (s)", "speedup", "pixels/s");
+  for (const VariantResult* v : {&naive, &pre, &slide})
+    std::printf("  %-22s %12.4f %12.4f %9.2fx %14.0f\n", v->name.c_str(),
+                v->match_seconds, v->precompute_seconds,
+                naive.match_seconds / v->match_seconds,
+                npix / v->match_seconds);
+
+  // --- Self-check: the fast path is the same algorithm, not a lookalike.
+  const bool identical = pre.flow == naive.flow;
+  std::printf("\n  precompute flow bit-identical to naive: %s\n",
+              identical ? "yes" : "NO — BUG");
+  int mismatches = 0;
+  double max_d = 0.0;
+  for (int y = 0; y < slide.flow.height(); ++y)
+    for (int x = 0; x < slide.flow.width(); ++x) {
+      const double du = slide.flow.u().at(x, y) - naive.flow.u().at(x, y);
+      const double dv = slide.flow.v().at(x, y) - naive.flow.v().at(x, y);
+      const double d = std::max(std::abs(du), std::abs(dv));
+      if (d > 0.0) ++mismatches;
+      max_d = std::max(max_d, d);
+    }
+  const double mismatch_frac = mismatches / npix;
+  // Running sums reassociate additions, so ties in the hypothesis
+  // ranking may break differently; anything beyond a sliver of pixels
+  // means the window algebra is wrong, not just reassociated.
+  const bool sliding_ok = mismatch_frac <= 0.01;
+  std::printf(
+      "  sliding flow vs naive: %d/%0.f pixels differ (max |d| %.3f): %s\n",
+      mismatches, npix, max_d, sliding_ok ? "within tolerance" : "NO — BUG");
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    for (const VariantResult* v : {&naive, &pre, &slide}) {
+      bench::JsonRecord& rec = report.add(v->name);
+      rec.wall_ms = v->wall_seconds * 1000.0;
+      rec.pixels_per_s = npix / v->match_seconds;
+      rec.config = cfg.describe();
+      rec.extra("match_ms", v->match_seconds * 1000.0)
+          .extra("precompute_build_ms", v->precompute_seconds * 1000.0)
+          .extra("speedup_vs_naive", naive.match_seconds / v->match_seconds)
+          .extra("size", size)
+          .extra("repeat", repeat);
+    }
+    report.write(json_path);
+  }
+  std::printf("\n");
+  return identical && sliding_ok ? 0 : 1;
+}

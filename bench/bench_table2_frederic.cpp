@@ -8,9 +8,10 @@
 //  2. MEASURED on a scaled problem: the same code paths run for real
 //     (sequential vs OpenMP host-parallel vs the SIMD executor), with
 //     the result-identity check the paper performs in Sec. 5.1.
-// Usage: bench_table2_frederic [--backend NAME]
+// Usage: bench_table2_frederic [--backend NAME] [--json PATH]
 //   NAME selects the registry backend compared against the sequential
 //   reference in the measured section (default: openmp).
+//   PATH receives the measured per-phase rows as a JSON record array.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,9 +28,13 @@ using namespace sma;
 
 int main(int argc, char** argv) {
   std::string backend = "openmp";
-  for (int i = 1; i < argc; ++i)
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)
       backend = argv[++i];
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
   // ---------- 1. Paper-scale model ----------
   const core::Workload w{512, 512, core::frederic_config()};
   const maspar::CostModel model;
@@ -115,6 +120,27 @@ int main(int argc, char** argv) {
           simd.extras.get()))
     std::printf("  modeled MP-2 total at this size: %.3f s (speedup %.0fx)\n",
                 mp->report.modeled.total(), mp->report.modeled_speedup);
+
+  if (!json_path.empty()) {
+    const double npix = static_cast<double>(size) * size;
+    bench::JsonReport report;
+    for (const auto& [name, r] :
+         {std::pair<std::string, const core::TrackResult&>{"sequential", seq},
+          {backend, par}}) {
+      bench::JsonRecord& rec = report.add(name);
+      rec.wall_ms = r.timings.total * 1000.0;
+      rec.pixels_per_s = npix / r.timings.total;
+      rec.config = cfg.describe();
+      rec.extra("surface_fit_ms", r.timings.surface_fit * 1000.0)
+          .extra("geometric_vars_ms", r.timings.geometric_vars * 1000.0)
+          .extra("match_precompute_ms", r.timings.match_precompute * 1000.0)
+          .extra("semifluid_mapping_ms", r.timings.semifluid_mapping * 1000.0)
+          .extra("hypothesis_matching_ms",
+                 r.timings.hypothesis_matching * 1000.0)
+          .extra("size", size);
+    }
+    report.write(json_path);
+  }
   std::printf("\n");
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "imaging/image.hpp"
 
@@ -55,5 +57,77 @@ inline std::string fmt_int(long long v, const char* unit = "") {
   std::snprintf(buf, sizeof(buf), "%lld%s", v, unit);
   return buf;
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench reports.  Every record carries the common
+// (name, wall_ms, pixels_per_s, config) quartet plus free-form numeric
+// extras; JsonReport::write emits a JSON array so CI can archive
+// BENCH_*.json artifacts and diff runs without scraping tables.
+// ---------------------------------------------------------------------------
+
+struct JsonRecord {
+  std::string name;
+  double wall_ms = 0.0;
+  double pixels_per_s = 0.0;
+  std::string config;
+  std::vector<std::pair<std::string, double>> extras;
+
+  JsonRecord& extra(const std::string& key, double value) {
+    extras.emplace_back(key, value);
+    return *this;
+  }
+};
+
+class JsonReport {
+ public:
+  JsonRecord& add(const std::string& name) {
+    records_.emplace_back();
+    records_.back().name = name;
+    return records_.back();
+  }
+
+  /// Writes the record array to `path`; returns false (and prints to
+  /// stderr) if the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"pixels_per_s\": %.3f, \"config\": \"%s\"",
+                   escape(r.name).c_str(), r.wall_ms, r.pixels_per_s,
+                   escape(r.config).c_str());
+      for (const auto& [key, value] : r.extras)
+        std::fprintf(f, ", \"%s\": %.6f", escape(key).c_str(), value);
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<JsonRecord> records_;
+};
 
 }  // namespace sma::bench

@@ -13,6 +13,8 @@
 //   --backend NAME         execution backend from the registry:
 //                          sequential | openmp | maspar-sim
 //   --sequential           shorthand for --backend sequential
+//   --precompute MODE      hypothesis-invariant matching precompute:
+//                          auto (default) | on | off
 //   --robust               robust post-processing
 //   --ppm FILE             also write a color-wheel rendering
 //   --inject-faults R      corrupt the input pair with rate-R telemetry
@@ -49,6 +51,7 @@ int usage() {
                "                 [--model cont|semi] [--search N]\n"
                "                 [--template N] [--subpixel] [--sequential]\n"
                "                 [--backend NAME] [--robust] [--ppm FILE]\n"
+               "                 [--precompute auto|on|off]\n"
                "                 [--inject-faults RATE] [--fault-seed N]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
                "                 [--levels N] [--max-disparity N]\n");
@@ -116,6 +119,17 @@ int cmd_track(int argc, char** argv) {
     } else if (a == "--backend") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
       backend = argv[++i];
+    } else if (a == "--precompute") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      const std::string m = argv[++i];
+      if (m == "auto")
+        cfg.precompute = core::PrecomputeMode::kAuto;
+      else if (m == "on")
+        cfg.precompute = core::PrecomputeMode::kOn;
+      else if (m == "off")
+        cfg.precompute = core::PrecomputeMode::kOff;
+      else
+        throw std::runtime_error("--precompute expects auto|on|off");
     } else if (a == "--robust") {
       robust = true;
     } else if (a == "--ppm") {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# run_benches.sh — run the machine-readable benchmark set and leave the
+# JSON artifacts at the repo root (CI uploads BENCH_*.json).
+#
+# Usage: scripts/run_benches.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench/bench_matching_kernel" ]]; then
+  echo "error: $build_dir/bench/bench_matching_kernel not built" >&2
+  echo "       (configure with -DSMA_BUILD_BENCH=ON and build first)" >&2
+  exit 1
+fi
+
+"$build_dir/bench/bench_matching_kernel" \
+  --json "$repo_root/BENCH_matching.json"
+"$build_dir/bench/bench_table2_frederic" \
+  --json "$repo_root/BENCH_table2.json"
+
+echo "bench artifacts:"
+ls -l "$repo_root"/BENCH_*.json

@@ -1,8 +1,11 @@
 #include "core/backend.hpp"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "core/match_precompute.hpp"
 
 namespace sma::core {
 
@@ -37,7 +40,8 @@ class HostBackend final : public TrackerBackend {
     if (options.subpixel)
       refine_subpixel(in, config, parallel_, best, result.timings);
     collect_track_result(in, config, options, best, result);
-    result.timings.total = result.timings.semifluid_mapping +
+    result.timings.total = result.timings.match_precompute +
+                           result.timings.semifluid_mapping +
                            result.timings.hypothesis_matching;
     return result;
   }
@@ -75,9 +79,21 @@ TrackResult TrackerBackend::track(const TrackerInput& input,
   mi.mask_before = input.validity_before;
   mi.mask_after = input.validity_after;
 
+  // Hypothesis-invariant matching precompute: built once per pair here
+  // so every backend's match() — host or SIMD — shares the fast path.
+  std::optional<MatchPrecompute> pre;
+  double pre_seconds = 0.0;
+  if (resolve_precompute(config, mi) == PrecomputeDecision::kFast) {
+    const auto t0 = Clock::now();
+    pre.emplace(fg0.geom, parallel);
+    pre_seconds = seconds_since(t0);
+    mi.precompute = &*pre;
+  }
+
   TrackResult result = match(mi, config, options);
   result.timings.surface_fit = fg0.fit_seconds + fg1.fit_seconds;
   result.timings.geometric_vars = fg0.derive_seconds + fg1.derive_seconds;
+  result.timings.match_precompute += pre_seconds;
   result.timings.total = seconds_since(t_start);
   return result;
 }

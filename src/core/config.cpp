@@ -17,6 +17,11 @@ std::string SmaConfig::describe() const {
        << semifluid_template_size() << "x" << semifluid_template_size();
   os << ", Z=" << effective_segment_rows() << " rows/segment"
      << ", stride=" << template_stride;
+  os << ", precompute="
+     << (precompute == PrecomputeMode::kOff
+             ? "off"
+             : precompute == PrecomputeMode::kOn ? "on" : "auto");
+  if (precompute_sliding) os << "+sliding";
   return os.str();
 }
 

@@ -25,6 +25,18 @@ enum class MotionModel {
   kSemiFluid,   ///< F_semi: per-pixel fragmented correspondences (Eq. 9)
 };
 
+/// Hypothesis-invariant matching precompute (match_precompute.hpp): the
+/// per-pixel weighted design rows and A^T A tiles of the 6x6 normal
+/// equations are built once per before frame instead of once per
+/// (pixel, hypothesis).  Bit-identical to the naive path where eligible
+/// (no masks, no semi-fluid remapping, stride 1); ineligible configs
+/// fall back to naive regardless of the mode.
+enum class PrecomputeMode {
+  kAuto,  ///< engage whenever eligible (currently identical to kOn)
+  kOn,    ///< engage whenever eligible
+  kOff,   ///< always run the naive oracle path
+};
+
 struct SmaConfig {
   MotionModel model = MotionModel::kSemiFluid;
 
@@ -56,6 +68,18 @@ struct SmaConfig {
   /// exact paper behaviour.  Larger strides approximate the error surface
   /// and are an extension used to make paper-scale templates tractable.
   int template_stride = 1;
+
+  /// Hypothesis-invariant normal-equation precompute (see PrecomputeMode
+  /// and match_precompute.hpp).  Distinct from use_precomputed_mapping,
+  /// which is the Sec. 4.1 semi-fluid COST precompute.
+  PrecomputeMode precompute = PrecomputeMode::kAuto;
+
+  /// Sliding tier of the precompute: box-filter/incremental window sums
+  /// for the A^T A tiles plus hoisted row·n targets.  Changes the
+  /// floating-point association order, so it is NOT bit-exact with the
+  /// naive oracle (tolerance-equal); off by default to preserve the
+  /// Sec. 5.1 bit-identity contract across backends.
+  bool precompute_sliding = false;
 
   /// Effective vertical radii (fall back to the square value).
   int z_search_ry() const {

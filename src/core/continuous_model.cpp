@@ -2,49 +2,33 @@
 
 #include <cmath>
 
+#include "core/match_precompute.hpp"
+
 namespace sma::core {
 
 void add_normal_rows(const surface::GeometricField& before,
                      const surface::GeometricField& after, int px, int py,
                      int qx, int qy, linalg::NormalEquations6& ne) {
-  const double zx = before.zx.at_clamped(px, py);
-  const double zy = before.zy.at_clamped(px, py);
-  const double ee = before.ee.at_clamped(px, py);
-  const double gg = before.gg.at_clamped(px, py);
+  // Everything except the A^T b / b^T b targets is hypothesis-invariant:
+  // the weighted rows of (P M)/|m| (P = I - n n^T, weights 1/E, 1/G, 1)
+  // and their A^T A tile come from the canonical per-pixel arithmetic
+  // shared with the MatchPrecompute planes — the two paths stay
+  // bit-identical because they execute the SAME expressions in the SAME
+  // order (DESIGN.md §11).
+  PixelInvariants p;
+  compute_pixel_invariants(before, px, py, p);
 
-  // Unit normal before motion and the norm of the unnormalized normal.
-  const double ni = before.ni.at_clamped(px, py);
-  const double nj = before.nj.at_clamped(px, py);
-  const double nk = before.nk.at_clamped(px, py);
-  const double mnorm = std::sqrt(1.0 + zx * zx + zy * zy);
+  // Observed unit normal after motion; targets b = n_obs - n, kept
+  // unsplit so no association order changes against the fast path.
+  const double bi = static_cast<double>(after.ni.at_clamped(qx, qy)) - p.ni;
+  const double bj = static_cast<double>(after.nj.at_clamped(qx, qy)) - p.nj;
+  const double bk = static_cast<double>(after.nk.at_clamped(qx, qy)) - p.nk;
 
-  // Observed unit normal after motion.
-  const double oi = after.ni.at_clamped(qx, qy);
-  const double oj = after.nj.at_clamped(qx, qy);
-  const double ok = after.nk.at_clamped(qx, qy);
-
-  // dm = M theta, theta = (a_i, b_i, a_j, b_j, a_k, b_k):
-  //   dm_i = -a_k - b_j zx + a_j zy
-  //   dm_j = -b_k - a_i zy + b_i zx
-  //   dm_k =  a_i + b_j
-  const double mi[6] = {0.0, 0.0, zy, -zx, -1.0, 0.0};
-  const double mj[6] = {-zy, zx, 0.0, 0.0, 0.0, -1.0};
-  const double mk[6] = {1.0, 0.0, 0.0, 1.0, 0.0, 0.0};
-
-  // Rows of (P M)/|m| with P = I - n n^T, targets n_obs - n.
-  const double inv = 1.0 / mnorm;
-  linalg::Vec6 row_i, row_j, row_k;
-  for (std::size_t c = 0; c < 6; ++c) {
-    const double proj = ni * mi[c] + nj * mj[c] + nk * mk[c];
-    row_i[c] = (mi[c] - ni * proj) * inv;
-    row_j[c] = (mj[c] - nj * proj) * inv;
-    row_k[c] = (mk[c] - nk * proj) * inv;
-  }
-  // First-fundamental-form weighting (Eqs. 4-5): i rows scale with 1/E,
-  // j rows with 1/G, the k row is unweighted.
-  ne.add_row(row_i, oi - ni, 1.0 / ee);
-  ne.add_row(row_j, oj - nj, 1.0 / gg);
-  ne.add_row(row_k, ok - nk, 1.0);
+  linalg::Vec6 atb;
+  for (int r = 0; r < 6; ++r)
+    atb[r] = p.wri[r] * bi + p.wrj[r] * bj + p.wrk[r] * bk;
+  const double btb = p.wi * (bi * bi) + p.wj * (bj * bj) + bk * bk;
+  ne.add_precomputed(p.tile, atb, btb, 3);
 }
 
 TemplateMapping continuous_mapping(int hx, int hy) {

@@ -1,0 +1,186 @@
+// match_precompute.hpp — hypothesis-invariant precompute for the 6x6
+// normal-equation matching kernel.
+//
+// Every quantity in the linearized normal-consistency system of Eq. (3)
+// except the right-hand-side target depends only on the BEFORE-frame
+// pixel: the three weighted design rows (P M)/|m| with the 1/E, 1/G and
+// 1/|m| factors folded in, their rank-one outer product contribution to
+// A^T A, and the row·n terms that appear when the target b = n_obs - n
+// is split.  The paper makes exactly this move for the MP-2 — "the
+// geometric variables are precomputed" (Sec. 3) — so that the
+// (2N_zs+1)^2 search hypotheses pay only the part of the arithmetic that
+// actually looks at the after frame.
+//
+// MatchPrecompute materializes those invariants once per before frame
+// into contiguous structure-of-arrays double planes (plane-major, one
+// value per pixel per plane) so the per-hypothesis inner loop reduces to
+//
+//   A^T A : summing precomputed 21-entry upper-triangle tiles over the
+//           template window (shared across ALL hypotheses of a pixel),
+//   A^T b : an 18-MAC accumulation of the weighted rows against the
+//           after-frame unit-normal planes,
+//   b^T b : a 3-MAC weighted sum of squares,
+//
+// with branch-free contiguous interior loops the compiler can
+// auto-vectorize.  DESIGN.md §11 derives the split and proves the fast
+// path is BIT-IDENTICAL to the naive oracle: both paths compute the
+// identical floating-point expressions in the identical association
+// order (per-pixel tiles, v-outer/u-inner window order, unsplit target
+// in A^T b), so `NormalEquations6::solve` receives the same bits.
+//
+// The optional SLIDING tier additionally hoists the window sums into
+// separable column sums plus an incremental running window (the
+// classic box-filter recurrence, valid under clamped borders because
+// the window multiset satisfies S(x+1) = S(x) - col(x-r) + col(x+1+r)).
+// Incremental summation changes the association order, so this tier is
+// NOT bit-exact; it is gated behind SmaConfig::precompute_sliding
+// (default off) and tolerance-tested.
+//
+// Fallback contract (resolve_precompute): the fast path engages only
+// when no validity masks are present, the semi-fluid per-pixel
+// remapping is inactive, and template_stride == 1 — otherwise the
+// template window is no longer a fixed box over the before frame and
+// the shared window sums are invalid.  The naive path remains the
+// equivalence oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/continuous_model.hpp"
+#include "core/tracker.hpp"
+#include "surface/geometry.hpp"
+
+namespace sma::core {
+
+/// The per-pixel hypothesis-invariant quantities, in the exact
+/// floating-point form shared by the naive oracle (add_normal_rows) and
+/// the precomputed planes.  `tile` is the pixel's weighted A^T A
+/// contribution, upper triangle in row-major (r <= c) order.
+struct PixelInvariants {
+  double ri[6], rj[6], rk[6];     ///< projected rows (P M)/|m|
+  double wri[6], wrj[6], wrk[6];  ///< weighted rows: rows x {1/E, 1/G, 1}
+  double tile[21];                ///< sum of the three weighted outer products
+  double ni, nj, nk;              ///< unit normal before motion
+  double wi, wj;                  ///< 1/E, 1/G (the k-row weight is 1)
+};
+
+/// Computes the invariants of before-frame pixel (px, py).  This is THE
+/// canonical arithmetic: add_normal_rows and the MatchPrecompute builder
+/// both call it, which is what makes the two paths bit-identical.
+void compute_pixel_invariants(const surface::GeometricField& before, int px,
+                              int py, PixelInvariants& out);
+
+/// Template-window sums of the invariant planes for one (x, y):
+/// everything a hypothesis evaluation needs besides the after frame.
+/// `cn` (= window sum of row·n per parameter) and `snn` (= window sum of
+/// w·n·n) are only filled by the sliding accumulator — the bit-exact
+/// direct evaluator keeps the target unsplit and never needs them.
+struct WindowInvariants {
+  double ata[21];       ///< window sum of the A^T A tiles
+  double cn[6];         ///< window sum of (weighted rows)·n   [sliding only]
+  double snn = 0.0;     ///< window sum of w_i n_i^2 + w_j n_j^2 + n_k^2
+  std::uint64_t rows = 0;  ///< design rows represented (3 per pixel)
+};
+
+/// Precomputed SoA planes for one before frame.  ~53 double planes
+/// (~424 B/pixel); plane-major so each inner loop walks contiguous
+/// memory.
+class MatchPrecompute {
+ public:
+  // Plane indices.  kTile0..+20: A^T A upper triangle; kWri0/kWrj0/kWrk0
+  // +r: weighted row coefficients for parameter r; kNi/kNj/kNk: before
+  // unit normal; kWi/kWj: 1/E, 1/G; kCn0+r: (weighted rows)·n;
+  // kWni/kWnj: w_i n_i, w_j n_j (the k-term reuses kNk); kSnn: w·n·n.
+  static constexpr int kTile0 = 0;
+  static constexpr int kWri0 = 21;
+  static constexpr int kWrj0 = 27;
+  static constexpr int kWrk0 = 33;
+  static constexpr int kNi = 39;
+  static constexpr int kNj = 40;
+  static constexpr int kNk = 41;
+  static constexpr int kWi = 42;
+  static constexpr int kWj = 43;
+  static constexpr int kCn0 = 44;
+  static constexpr int kWni = 50;
+  static constexpr int kWnj = 51;
+  static constexpr int kSnn = 52;
+  static constexpr int kPlanes = 53;
+
+  /// Builds the planes from the before-frame geometry.  `parallel`
+  /// OpenMP-splits the (independent, deterministic) per-row work.
+  explicit MatchPrecompute(const surface::GeometricField& before,
+                           bool parallel = false);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t bytes() const { return data_.size() * sizeof(double); }
+
+  const double* plane(int p) const {
+    return data_.data() + static_cast<std::size_t>(p) * npix_;
+  }
+  const double* plane_row(int p, int y) const {
+    return plane(p) + static_cast<std::size_t>(y) * width_;
+  }
+
+  /// Direct window accumulation of the A^T A tiles for the template box
+  /// centered at (x, y) with half-widths (rx, ry), clamped borders —
+  /// the same pixel multiset, in the same v-outer/u-inner order, as the
+  /// naive template loop.  Fills `out.ata` and `out.rows` only.
+  void accumulate_window(int x, int y, int rx, int ry,
+                         WindowInvariants& out) const;
+
+  /// Sliding-tier accumulation for a whole image row `y` at once:
+  /// separable column sums plus an incremental running window.  Fills
+  /// ata, cn, snn and rows for every x in [0, width).  NOT bit-exact
+  /// with accumulate_window (different association order).
+  void accumulate_window_rows(int y, int rx, int ry,
+                              WindowInvariants* out) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::size_t npix_ = 0;
+  std::vector<double> data_;  // plane-major: [plane][y][x]
+};
+
+/// Evaluates hypothesis (hx, hy) at pixel (x, y) on the precomputed fast
+/// path: A^T A comes from `win`, A^T b / b^T b from the 18-MAC sweep of
+/// the weighted-row planes against the after-frame normals.  Bit-
+/// identical to the naive evaluate_pixel_hypothesis (no masks, no
+/// semi-fluid remap, stride 1).  Returns the Eq. (3) residual.
+double evaluate_hypothesis_precomputed(const MatchPrecompute& pre,
+                                       const surface::GeometricField& after,
+                                       const WindowInvariants& win, int x,
+                                       int y, int hx, int hy, int rx, int ry,
+                                       MotionParams& params_out, bool& ok_out);
+
+/// Sliding-tier evaluation: uses the hoisted `row·n` / `w·n·n` window
+/// sums (win.cn, win.snn) so only the after-dependent sums are computed
+/// per hypothesis.  Tolerance-equal (not bit-equal) to the direct path.
+double evaluate_hypothesis_hoisted(const MatchPrecompute& pre,
+                                   const surface::GeometricField& after,
+                                   const WindowInvariants& win, int x, int y,
+                                   int hx, int hy, int rx, int ry,
+                                   MotionParams& params_out, bool& ok_out);
+
+/// Why the fast path did or did not engage for a given (config, input).
+enum class PrecomputeDecision {
+  kFast,       ///< precompute engages
+  kDisabled,   ///< PrecomputeMode::kOff
+  kMasked,     ///< validity masks present: window multiset varies per pixel
+  kSemiFluid,  ///< per-pixel remapping: correspondents are not a shifted box
+  kStride,     ///< template_stride > 1: sliding window sums invalid
+};
+
+/// The single eligibility rule, shared by every attachment and consumer
+/// site (backend, pipeline, tracker stages, MasPar executor) and
+/// unit-tested directly.  kAuto currently behaves like kOn: the
+/// precompute amortizes after the second hypothesis and even a 1x1
+/// search with subpixel refinement evaluates five.
+PrecomputeDecision resolve_precompute(const SmaConfig& config,
+                                      const MatchInput& in);
+
+}  // namespace sma::core

@@ -5,6 +5,7 @@
 #include <list>
 #include <stdexcept>
 
+#include "core/match_precompute.hpp"
 #include "core/postprocess.hpp"
 #include "core/trajectory.hpp"
 #include "imaging/repair.hpp"
@@ -60,12 +61,18 @@ class GeometryCache {
   struct Entry {
     Key key;
     std::shared_ptr<const surface::GeometricField> geom;
+    /// Hypothesis-invariant matching planes, built lazily the first
+    /// time this frame is the BEFORE frame of an eligible pair and
+    /// reused by every later pair (a frame in a sequence is "before"
+    /// once per pair but may stay cached across channels/iterations).
+    std::shared_ptr<const MatchPrecompute> precompute;
     double fit_seconds = 0.0;
     double derive_seconds = 0.0;
   };
 
   /// Returns the cached entry or null; promotes hits to the front.
-  const Entry* find(const Key& key) {
+  /// Mutable so callers can attach lazily-built precompute planes.
+  Entry* find(const Key& key) {
     for (auto it = entries_.begin(); it != entries_.end(); ++it)
       if (it->key == key) {
         entries_.splice(entries_.begin(), entries_, it);
@@ -74,7 +81,7 @@ class GeometryCache {
     return nullptr;
   }
 
-  const Entry* insert(Entry entry, PipelineStats& stats) {
+  Entry* insert(Entry entry, PipelineStats& stats) {
     entries_.push_front(std::move(entry));
     while (entries_.size() > capacity_) {
       entries_.pop_back();
@@ -115,7 +122,7 @@ std::shared_ptr<const surface::GeometricField> SmaPipeline::frame_geometry(
     const imaging::ImageF& img) {
   const GeometryCache::Key key =
       GeometryCache::make_key(img, config_.surface_fit_radius);
-  if (const GeometryCache::Entry* hit = cache_->find(key)) {
+  if (GeometryCache::Entry* hit = cache_->find(key)) {
     ++stats_.cache_hits;
     return hit->geom;
   }
@@ -139,6 +146,31 @@ std::shared_ptr<const surface::GeometricField> SmaPipeline::frame_geometry(
   stats_.surface_fit_seconds += entry.fit_seconds;
   stats_.geometric_vars_seconds += entry.derive_seconds;
   return cache_->insert(std::move(entry), stats_)->geom;
+}
+
+std::shared_ptr<const MatchPrecompute> SmaPipeline::frame_precompute(
+    const imaging::ImageF& img,
+    const std::shared_ptr<const surface::GeometricField>& geom) {
+  const GeometryCache::Key key =
+      GeometryCache::make_key(img, config_.surface_fit_radius);
+  // Direct list walk, not frame_geometry(): the hit/miss counters are a
+  // documented invariant (one miss per distinct frame) and precompute
+  // attachment must not perturb them.
+  GeometryCache::Entry* entry = cache_->find(key);
+  if (entry != nullptr && entry->precompute != nullptr) {
+    ++stats_.precompute_reuses;
+    return entry->precompute;
+  }
+  ++stats_.precompute_builds;
+  const auto t0 = Clock::now();
+  auto pre = std::make_shared<const MatchPrecompute>(
+      *geom, backend_->capabilities().host_parallel);
+  stats_.match_precompute_seconds += seconds_since(t0);
+  // The frame can be absent if the after-frame lookups evicted it from
+  // a minimal-capacity cache; the planes are still valid for this pair,
+  // they just can't be memoised.
+  if (entry != nullptr) entry->precompute = pre;
+  return pre;
 }
 
 TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
@@ -194,8 +226,18 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
   mi.mask_before = effective.validity_before;
   mi.mask_after = effective.validity_after;
 
+  // --- Stage: match precompute (cached alongside the geometry).
+  std::shared_ptr<const MatchPrecompute> pre;
+  const double pre_before = stats_.match_precompute_seconds;
+  if (resolve_precompute(config_, mi) == PrecomputeDecision::kFast) {
+    pre = frame_precompute(*effective.surface_before, g0);
+    mi.precompute = pre.get();
+  }
+
   // --- Stage: hypothesis matching (delegated to the backend).
   TrackResult result = backend_->match(mi, config_, options_.track);
+  result.timings.match_precompute +=
+      stats_.match_precompute_seconds - pre_before;
   stats_.matching_seconds +=
       result.timings.semifluid_mapping + result.timings.hypothesis_matching;
   result.timings.surface_fit = stats_.surface_fit_seconds - fit_before;

@@ -68,17 +68,26 @@ struct PipelineStats {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
+  /// Hypothesis-invariant match precomputes built / served from the
+  /// geometry cache (match_precompute.hpp).  Builds are lazy: a cached
+  /// frame only pays for its planes the first time it is the BEFORE
+  /// frame of an eligible pair, so these counters are independent of
+  /// the geometry hit/miss invariant above.
+  std::size_t precompute_builds = 0;
+  std::size_t precompute_reuses = 0;
 
   double ingest_seconds = 0.0;       ///< repair pass
   double surface_fit_seconds = 0.0;  ///< patch fits (cache misses only)
   double geometric_vars_seconds = 0.0;
+  double match_precompute_seconds = 0.0;  ///< invariant-plane builds
   double matching_seconds = 0.0;     ///< semifluid mapping + hypothesis search
   double postprocess_seconds = 0.0;  ///< robust_postprocess
   double products_seconds = 0.0;     ///< trajectory chaining etc.
 
   double total_seconds() const {
     return ingest_seconds + surface_fit_seconds + geometric_vars_seconds +
-           matching_seconds + postprocess_seconds + products_seconds;
+           match_precompute_seconds + matching_seconds + postprocess_seconds +
+           products_seconds;
   }
 };
 
@@ -130,6 +139,14 @@ class SmaPipeline {
   /// geometric variables stages).
   std::shared_ptr<const surface::GeometricField> frame_geometry(
       const imaging::ImageF& img);
+
+  /// Hypothesis-invariant matching planes for a BEFORE frame, built
+  /// lazily and attached to the frame's cache entry so later pairs
+  /// (multispectral, coupled-stereo) reuse them.  `geom` must be the
+  /// field frame_geometry() returned for `img`.
+  std::shared_ptr<const MatchPrecompute> frame_precompute(
+      const imaging::ImageF& img,
+      const std::shared_ptr<const surface::GeometricField>& geom);
 
   SmaConfig config_;
   PipelineOptions options_;

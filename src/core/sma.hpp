@@ -18,6 +18,7 @@
 #include "core/continuous_model.hpp"
 #include "core/fault.hpp"
 #include "core/hierarchical.hpp"
+#include "core/match_precompute.hpp"
 #include "core/multispectral.hpp"
 #include "core/pipeline.hpp"
 #include "core/postprocess.hpp"

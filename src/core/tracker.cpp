@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/backend.hpp"
+#include "core/match_precompute.hpp"
 #include "core/semifluid.hpp"
 #include "imaging/stats.hpp"
 
@@ -47,13 +48,9 @@ bool semifluid_active(const MatchInput& in, const SmaConfig& config) {
 
 }  // namespace
 
-// Evaluates ONE hypothesis (hx, hy) at pixel (x, y): builds the template
-// mapping (continuous or semi-fluid), solves the 6x6 system and returns
-// the Eq. (3) residual.  Shared by the search loop and the sub-pixel
-// refinement pass.  Template pixels that a validity mask marks
-// untrustworthy are skipped (exactly like F_semi drops discontinuous
-// pixels); `coverage_out`, when non-null, receives the unmasked fraction
-// of the template.  A fully masked template returns infinite error.
+// The naive per-hypothesis evaluation — documented at the declaration in
+// tracker.hpp, which also carries the default arguments (they used to be
+// duplicated here on the definition).
 double evaluate_pixel_hypothesis(const surface::GeometricField& before,
                                  const surface::GeometricField& after,
                                  const imaging::ImageF* disc_before,
@@ -62,9 +59,9 @@ double evaluate_pixel_hypothesis(const surface::GeometricField& before,
                                  int y, int hx, int hy,
                                  const SmaConfig& config,
                                  MotionParams& params_out, bool& ok_out,
-                                 const imaging::ImageU8* mask_before = nullptr,
-                                 const imaging::ImageU8* mask_after = nullptr,
-                                 double* coverage_out = nullptr) {
+                                 const imaging::ImageU8* mask_before,
+                                 const imaging::ImageU8* mask_after,
+                                 double* coverage_out) {
   const int nzt_x = config.z_template_radius;
   const int nzt_y = config.z_template_ry();
   const int nss = config.effective_nss();
@@ -134,11 +131,42 @@ void scan_hypotheses(const surface::GeometricField& before,
                      const SemiFluidCostField* cost_field, int x, int y,
                      int hy_min, int hy_max, const SmaConfig& config,
                      PixelBest& best, const imaging::ImageU8* mask_before,
-                     const imaging::ImageU8* mask_after) {
+                     const imaging::ImageU8* mask_after,
+                     const MatchPrecompute* pre) {
   const int nzs_x = config.z_search_radius;
   const int nss = config.effective_nss();
   const int nst = config.semifluid_template_radius;
   const bool semifluid = config.model == MotionModel::kSemiFluid && nss > 0;
+
+  if (pre != nullptr) {
+    // Precomputed fast path (callers gate on resolve_precompute, so no
+    // masks, no semi-fluid remap, stride 1): the template's A^T A window
+    // sum is shared by every hypothesis of this pixel and this segment.
+    const int nzt_x = config.z_template_radius;
+    const int nzt_y = config.z_template_ry();
+    WindowInvariants win;
+    pre->accumulate_window(x, y, nzt_x, nzt_y, win);
+    for (int hy = hy_min; hy <= hy_max; ++hy) {
+      for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
+        MotionParams params;
+        bool ok = false;
+        const double error = evaluate_hypothesis_precomputed(
+            *pre, after, win, x, y, hx, hy, nzt_x, nzt_y, params, ok);
+        if (hypothesis_improves(best, error, hx, hy)) {
+          best.solved = ok;
+          best.coverage = 1.0;
+          best.hx = hx;
+          best.hy = hy;
+          best.ux = hx;
+          best.uy = hy;
+          best.error = error;
+          best.params = params;
+          best.any_ok = true;
+        }
+      }
+    }
+    return;
+  }
 
   for (int hy = hy_min; hy <= hy_max; ++hy) {
     for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
@@ -252,6 +280,16 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
   const int zseg = config.effective_segment_rows();
   const bool semifluid = semifluid_active(in, config);
 
+  // Hypothesis-invariant precompute: only consumed when the attaching
+  // layer (backend / pipeline / MasPar executor) built it AND the
+  // eligibility rule holds for this config — re-checked here so a stale
+  // attachment can never corrupt a masked or semi-fluid run.
+  const MatchPrecompute* pre =
+      (in.precompute != nullptr &&
+       resolve_precompute(config, in) == PrecomputeDecision::kFast)
+          ? in.precompute
+          : nullptr;
+
   std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
 
   // Semi-fluid mapping precompute + hypothesis matching, interleaved per
@@ -270,16 +308,51 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
     }
 
     auto t0 = Clock::now();
-    const SemiFluidCostField* field_ptr = field ? &*field : nullptr;
-    const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
-    const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
+    if (pre != nullptr && config.precompute_sliding) {
+      // Sliding tier: one separable box-filter pass of the invariant
+      // planes per image row, shared by all pixels and hypotheses of the
+      // row (not bit-exact — see SmaConfig::precompute_sliding).
+      const int nzt_x = config.z_template_radius;
+      const int nzt_y = config.z_template_ry();
 #pragma omp parallel for schedule(dynamic, 1) if (parallel)
-    for (int y = 0; y < h; ++y)
-      for (int x = 0; x < w; ++x)
-        scan_hypotheses(*in.before, *in.after, db, da, field_ptr, x, y,
-                        hy_min, hy_max, config,
-                        best[static_cast<std::size_t>(y) * w + x],
-                        in.mask_before, in.mask_after);
+      for (int y = 0; y < h; ++y) {
+        std::vector<WindowInvariants> row_win(static_cast<std::size_t>(w));
+        pre->accumulate_window_rows(y, nzt_x, nzt_y, row_win.data());
+        for (int x = 0; x < w; ++x) {
+          PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+          for (int hy = hy_min; hy <= hy_max; ++hy)
+            for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
+              MotionParams params;
+              bool ok = false;
+              const double error = evaluate_hypothesis_hoisted(
+                  *pre, *in.after, row_win[x], x, y, hx, hy, nzt_x, nzt_y,
+                  params, ok);
+              if (hypothesis_improves(b, error, hx, hy)) {
+                b.solved = ok;
+                b.coverage = 1.0;
+                b.hx = hx;
+                b.hy = hy;
+                b.ux = hx;
+                b.uy = hy;
+                b.error = error;
+                b.params = params;
+                b.any_ok = true;
+              }
+            }
+        }
+      }
+    } else {
+      const SemiFluidCostField* field_ptr = field ? &*field : nullptr;
+      const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
+      const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
+#pragma omp parallel for schedule(dynamic, 1) if (parallel)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          scan_hypotheses(*in.before, *in.after, db, da, field_ptr, x, y,
+                          hy_min, hy_max, config,
+                          best[static_cast<std::size_t>(y) * w + x],
+                          in.mask_before, in.mask_after, pre);
+    }
     timings.hypothesis_matching += seconds_since(t0);
   }
   return best;
@@ -298,6 +371,16 @@ void refine_subpixel(const MatchInput& in, const SmaConfig& config,
   const auto t0 = Clock::now();
   const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
   const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
+  // The four neighbor probes reuse the precomputed planes when eligible
+  // (always through the bit-exact direct evaluator, even when the search
+  // itself ran the sliding tier).
+  const MatchPrecompute* pre =
+      (in.precompute != nullptr &&
+       resolve_precompute(config, in) == PrecomputeDecision::kFast)
+          ? in.precompute
+          : nullptr;
+  const int nzt_x = config.z_template_radius;
+  const int nzt_y = config.z_template_ry();
 #pragma omp parallel for schedule(dynamic, 1) if (parallel)
   for (int y = 0; y < h; ++y)
     for (int x = 0; x < w; ++x) {
@@ -308,18 +391,36 @@ void refine_subpixel(const MatchInput& in, const SmaConfig& config,
       MotionParams unused;
       bool ok = false;
       const double e0 = b.error;
-      const double exm = evaluate_pixel_hypothesis(
-          *in.before, *in.after, db, da, nullptr, x, y, b.hx - 1, b.hy,
-          config, unused, ok, in.mask_before, in.mask_after);
-      const double exp_ = evaluate_pixel_hypothesis(
-          *in.before, *in.after, db, da, nullptr, x, y, b.hx + 1, b.hy,
-          config, unused, ok, in.mask_before, in.mask_after);
-      const double eym = evaluate_pixel_hypothesis(
-          *in.before, *in.after, db, da, nullptr, x, y, b.hx, b.hy - 1,
-          config, unused, ok, in.mask_before, in.mask_after);
-      const double eyp = evaluate_pixel_hypothesis(
-          *in.before, *in.after, db, da, nullptr, x, y, b.hx, b.hy + 1,
-          config, unused, ok, in.mask_before, in.mask_after);
+      double exm, exp_, eym, eyp;
+      if (pre != nullptr) {
+        WindowInvariants win;
+        pre->accumulate_window(x, y, nzt_x, nzt_y, win);
+        exm = evaluate_hypothesis_precomputed(*pre, *in.after, win, x, y,
+                                              b.hx - 1, b.hy, nzt_x, nzt_y,
+                                              unused, ok);
+        exp_ = evaluate_hypothesis_precomputed(*pre, *in.after, win, x, y,
+                                               b.hx + 1, b.hy, nzt_x, nzt_y,
+                                               unused, ok);
+        eym = evaluate_hypothesis_precomputed(*pre, *in.after, win, x, y,
+                                              b.hx, b.hy - 1, nzt_x, nzt_y,
+                                              unused, ok);
+        eyp = evaluate_hypothesis_precomputed(*pre, *in.after, win, x, y,
+                                              b.hx, b.hy + 1, nzt_x, nzt_y,
+                                              unused, ok);
+      } else {
+        exm = evaluate_pixel_hypothesis(
+            *in.before, *in.after, db, da, nullptr, x, y, b.hx - 1, b.hy,
+            config, unused, ok, in.mask_before, in.mask_after);
+        exp_ = evaluate_pixel_hypothesis(
+            *in.before, *in.after, db, da, nullptr, x, y, b.hx + 1, b.hy,
+            config, unused, ok, in.mask_before, in.mask_after);
+        eym = evaluate_pixel_hypothesis(
+            *in.before, *in.after, db, da, nullptr, x, y, b.hx, b.hy - 1,
+            config, unused, ok, in.mask_before, in.mask_after);
+        eyp = evaluate_pixel_hypothesis(
+            *in.before, *in.after, db, da, nullptr, x, y, b.hx, b.hy + 1,
+            config, unused, ok, in.mask_before, in.mask_after);
+      }
       // A near-zero center residual means the integer hypothesis is an
       // (essentially) exact match; the parabola is then degenerate and
       // neighbor asymmetry would inject spurious fractions.

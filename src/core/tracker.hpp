@@ -63,9 +63,13 @@ struct TrackOptions {
 };
 
 /// Phase timings in seconds, matching the paper's Table 2 / 4 rows.
+/// `match_precompute` is this reproduction's analogue of the paper's
+/// "geometric variables are precomputed" step on the MP-2 (Sec. 3): the
+/// one-off cost of building the hypothesis-invariant matching planes.
 struct TrackTimings {
   double surface_fit = 0.0;
   double geometric_vars = 0.0;
+  double match_precompute = 0.0;
   double semifluid_mapping = 0.0;
   double hypothesis_matching = 0.0;
   double total = 0.0;
@@ -152,6 +156,8 @@ struct PixelBest {
 };
 
 class SemiFluidCostField;  // fwd (semifluid.hpp)
+class MatchPrecompute;     // fwd (match_precompute.hpp)
+struct WindowInvariants;   // fwd (match_precompute.hpp)
 
 // ---------------------------------------------------------------------------
 // Staged kernels.
@@ -193,6 +199,13 @@ struct MatchInput {
   const imaging::ImageF* disc_after = nullptr;
   const imaging::ImageU8* mask_before = nullptr;
   const imaging::ImageU8* mask_after = nullptr;
+  /// Optional hypothesis-invariant precompute of `before`
+  /// (match_precompute.hpp), attached by TrackerBackend::track and by
+  /// SmaPipeline (which caches it alongside the geometry).  Consumers
+  /// re-check resolve_precompute before using it; when null — or when
+  /// masks / semi-fluid remapping / stride make it ineligible — the
+  /// matching stages run the naive oracle path.
+  const MatchPrecompute* precompute = nullptr;
 
   int width() const { return before != nullptr ? before->width() : 0; }
   int height() const { return before != nullptr ? before->height() : 0; }
@@ -224,11 +237,33 @@ void collect_track_result(const MatchInput& in, const SmaConfig& config,
 /// std::invalid_argument with the given context prefix.
 void validate_tracker_input(const TrackerInput& input, const char* context);
 
+/// Evaluates ONE hypothesis (hx, hy) at pixel (x, y): builds the template
+/// mapping (continuous or semi-fluid), solves the 6x6 system and returns
+/// the Eq. (3) residual.  Shared by the search loop and the sub-pixel
+/// refinement pass, and the oracle the precomputed fast path is tested
+/// bit-identical against.  Template pixels that a validity mask marks
+/// untrustworthy are skipped (exactly like F_semi drops discontinuous
+/// pixels); `coverage_out`, when non-null, receives the unmasked fraction
+/// of the template.  A fully masked template returns infinite error.
+double evaluate_pixel_hypothesis(const surface::GeometricField& before,
+                                 const surface::GeometricField& after,
+                                 const imaging::ImageF* disc_before,
+                                 const imaging::ImageF* disc_after,
+                                 const SemiFluidCostField* cost_field, int x,
+                                 int y, int hx, int hy,
+                                 const SmaConfig& config,
+                                 MotionParams& params_out, bool& ok_out,
+                                 const imaging::ImageU8* mask_before = nullptr,
+                                 const imaging::ImageU8* mask_after = nullptr,
+                                 double* coverage_out = nullptr);
+
 /// Scans hypothesis rows [hy_min, hy_max] for pixel (x, y), refining
 /// `best` in place.  `cost_field` may be null for the continuous model or
 /// the naive (non-precomputed) semi-fluid path.  `mask_before` /
 /// `mask_after` are optional validity masks (see TrackerInput); null
-/// masks reproduce the unmasked pipeline bit for bit.
+/// masks reproduce the unmasked pipeline bit for bit.  A non-null `pre`
+/// switches the per-hypothesis evaluation onto the precomputed fast path
+/// (bit-identical; callers must gate it with resolve_precompute).
 void scan_hypotheses(const surface::GeometricField& before,
                      const surface::GeometricField& after,
                      const imaging::ImageF* disc_before,
@@ -237,6 +272,7 @@ void scan_hypotheses(const surface::GeometricField& before,
                      int hy_min, int hy_max, const SmaConfig& config,
                      PixelBest& best,
                      const imaging::ImageU8* mask_before = nullptr,
-                     const imaging::ImageU8* mask_after = nullptr);
+                     const imaging::ImageU8* mask_after = nullptr,
+                     const MatchPrecompute* pre = nullptr);
 
 }  // namespace sma::core

@@ -36,6 +36,24 @@ class NormalEquations6 {
     ++rows_;
   }
 
+  /// Adds a batch of rows whose moments were already reduced by the
+  /// caller: `ata_upper21` holds the 21 upper-triangle entries of the
+  /// batch's weighted A^T A in row-major (r <= c) order, `atb` / `btb`
+  /// the matching weighted moments, `rows` the number of design rows the
+  /// batch represents.  This is the entry point for the hypothesis-
+  /// invariant match precompute (core/match_precompute.hpp), where the
+  /// A^T A contribution of a whole template window is summed from
+  /// per-pixel tiles outside the search loop.
+  void add_precomputed(const double* ata_upper21, const Vec6& atb, double btb,
+                       std::uint64_t rows) {
+    std::size_t k = 0;
+    for (std::size_t r = 0; r < 6; ++r)
+      for (std::size_t c = r; c < 6; ++c) ata_(r, c) += ata_upper21[k++];
+    atb_ += atb;
+    btb_ += btb;
+    rows_ += rows;
+  }
+
   /// Number of rows accumulated so far.
   std::uint64_t rows() const { return rows_; }
 

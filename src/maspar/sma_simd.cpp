@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/match_precompute.hpp"
 #include "core/semifluid.hpp"
 #include "core/workload.hpp"
 
@@ -57,6 +58,16 @@ SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
   const int nzs_y = run_config.z_search_ry();
   const int nss = run_config.effective_nss();
   const int zseg = run_config.effective_segment_rows();
+  // The hypothesis-invariant precompute is per-PE-layer data on the real
+  // machine; here the attached planes are consumed through the same
+  // shared kernel, gated by the same eligibility rule as the host
+  // backends (the auto-chosen segmentation does not affect it).
+  const core::MatchPrecompute* pre =
+      (in.precompute != nullptr &&
+       core::resolve_precompute(run_config, in) ==
+           core::PrecomputeDecision::kFast)
+          ? in.precompute
+          : nullptr;
   std::vector<core::PixelBest> best(static_cast<std::size_t>(w) * h);
 
   for (int hy_min = -nzs_y; hy_min <= nzs_y; hy_min += zseg) {
@@ -87,7 +98,7 @@ SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
           core::scan_hypotheses(*in.before, *in.after, db, da, fp, x, y,
                                 hy_min, hy_max, run_config,
                                 best[static_cast<std::size_t>(y) * w + x],
-                                in.mask_before, in.mask_after);
+                                in.mask_before, in.mask_after, pre);
         }
       }
     }
@@ -129,8 +140,9 @@ SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
                             std::chrono::steady_clock::now() - t_start)
                             .count();
   if (track_out != nullptr) {
-    track.timings.total =
-        track.timings.semifluid_mapping + track.timings.hypothesis_matching;
+    track.timings.total = track.timings.match_precompute +
+                          track.timings.semifluid_mapping +
+                          track.timings.hypothesis_matching;
     *track_out = std::move(track);
   }
   return report;
@@ -161,6 +173,12 @@ SimdRunReport MasParExecutor::run(const core::TrackerInput& input,
   mi.disc_after = fg1.has_disc ? &fg1.disc : nullptr;
   mi.mask_before = input.validity_before;
   mi.mask_after = input.validity_after;
+
+  std::optional<core::MatchPrecompute> pre;
+  if (core::resolve_precompute(config, mi) == core::PrecomputeDecision::kFast) {
+    pre.emplace(fg0.geom, /*parallel=*/false);
+    mi.precompute = &*pre;
+  }
 
   SimdRunReport report = run_matching(mi, config, image_count);
   // host_seconds covers geometry + matching, as before the staged split.

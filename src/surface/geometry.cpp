@@ -44,10 +44,10 @@ DerivativeField fit_derivatives(const imaging::ImageF& img,
 
   if (opts.use_fast_fitter) {
     const PatchFitter fitter(opts.patch_radius);
-#pragma omp parallel for schedule(static) if (opts.parallel)
-    for (int y = 0; y < h; ++y)
-      for (int x = 0; x < w; ++x)
-        store_derivatives(f, x, y, fitter.fit(img, x, y));
+    fitter.fit_frame(img, opts.parallel,
+                     [&f](int x, int y, const QuadraticPatch& p) {
+                       store_derivatives(f, x, y, p);
+                     });
   } else {
 #pragma omp parallel for schedule(static) if (opts.parallel)
     for (int y = 0; y < h; ++y)

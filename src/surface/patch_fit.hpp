@@ -12,6 +12,8 @@
 // second partial derivatives at the center analytically.
 #pragma once
 
+#include <vector>
+
 #include "imaging/image.hpp"
 #include "linalg/matrix.hpp"
 
@@ -61,6 +63,70 @@ class PatchFitter {
   /// clamped *values* are read but offsets remain window-centered, exactly
   /// as in `fit_patch`).
   QuadraticPatch fit(const imaging::ImageF& img, int x, int y) const;
+
+  /// Whole-frame fit with separable moment accumulation.  The six A^T b
+  /// moments Σ u^a v^b z factor into a horizontal pass (per-pixel
+  /// H_a = Σ_u u^a z, a = 0..2) and a vertical pass combining the H
+  /// planes with v powers — O(radius) per pixel per pass instead of the
+  /// O(radius^2) window scan of fit().  Border clamping is per-axis, so
+  /// the window contents match fit() exactly; only the summation
+  /// association differs (values agree to solver tolerance, not bits).
+  /// emit(x, y, patch) is called once per pixel; rows are independent,
+  /// so emit must only touch pixel (x, y) state when parallel is true.
+  template <typename Emit>
+  void fit_frame(const imaging::ImageF& img, bool parallel,
+                 Emit&& emit) const {
+    const int w = img.width();
+    const int h = img.height();
+    const int r = radius_;
+    const std::size_t npix =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+    std::vector<double> h0(npix), h1(npix), h2(npix);
+#pragma omp parallel for schedule(static) if (parallel)
+    for (int y = 0; y < h; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * w;
+      for (int x = 0; x < w; ++x) {
+        double m0 = 0.0, m1 = 0.0, m2 = 0.0;
+        for (int u = -r; u <= r; ++u) {
+          const double z = img.at_clamped(x + u, y);
+          m0 += z;
+          m1 += u * z;
+          m2 += static_cast<double>(u) * u * z;
+        }
+        h0[row + x] = m0;
+        h1[row + x] = m1;
+        h2[row + x] = m2;
+      }
+    }
+#pragma omp parallel for schedule(static) if (parallel)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) {
+        double s00 = 0.0, s10 = 0.0, s01 = 0.0;
+        double s20 = 0.0, s11 = 0.0, s02 = 0.0;
+        for (int v = -r; v <= r; ++v) {
+          const int yy = v < -y ? 0 : (y + v >= h ? h - 1 : y + v);
+          const std::size_t i = static_cast<std::size_t>(yy) * w + x;
+          s00 += h0[i];
+          s10 += h1[i];
+          s01 += v * h0[i];
+          s20 += h2[i];
+          s11 += v * h1[i];
+          s02 += static_cast<double>(v) * v * h0[i];
+        }
+        // atb ordered like the basis {1, u, v, u^2, uv, v^2}.
+        const linalg::Vec6 c =
+            inv_ata_ * linalg::Vec6{s00, s10, s01, s20, s11, s02};
+        QuadraticPatch p;
+        p.c0 = c[0];
+        p.c1 = c[1];
+        p.c2 = c[2];
+        p.c3 = c[3];
+        p.c4 = c[4];
+        p.c5 = c[5];
+        p.ok = true;
+        emit(x, y, p);
+      }
+  }
 
  private:
   int radius_;

@@ -93,15 +93,28 @@ TEST_P(BackendEquivalence, AllBackendsBitIdentical) {
     in.validity_after = &mask1;
   }
 
+  // The naive evaluator on the sequential backend is the oracle; every
+  // backend must match it BOTH with the hypothesis-invariant precompute
+  // disabled and enabled (the fast path is bit-identical where eligible
+  // and falls back to naive where not).
+  SmaConfig cfg_off = cfg;
+  cfg_off.precompute = PrecomputeMode::kOff;
+  SmaConfig cfg_on = cfg;
+  cfg_on.precompute = PrecomputeMode::kOn;
+
   auto& registry = BackendRegistry::instance();
-  const TrackResult ref = registry.get("sequential").track(in, cfg, options);
+  const TrackResult ref =
+      registry.get("sequential").track(in, cfg_off, options);
   ASSERT_GT(ref.flow.count_valid(), 0u);
-  for (const std::string& name : registry.names()) {
-    if (name == "sequential") continue;
-    const TrackResult r = registry.get(name).track(in, cfg, options);
-    EXPECT_EQ(ref.flow, r.flow)
-        << "backend '" << name << "' diverged from sequential on " << c.name;
-  }
+  for (const std::string& name : registry.names())
+    for (const SmaConfig* variant : {&cfg_off, &cfg_on}) {
+      if (name == "sequential" && variant == &cfg_off) continue;
+      const TrackResult r = registry.get(name).track(in, *variant, options);
+      EXPECT_EQ(ref.flow, r.flow)
+          << "backend '" << name << "' (precompute "
+          << (variant == &cfg_on ? "on" : "off")
+          << ") diverged from sequential on " << c.name;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
