@@ -13,16 +13,26 @@
 // tests enforce), the sliding flow must agree to a small mismatch
 // budget (running sums reassociate floating-point addition).
 //
+// The bench also guards the observability layer's zero-overhead
+// contract: a disabled obs::TraceSpan (no recorder installed) is
+// microbenchmarked, scaled by the number of spans one tracked pair
+// emits, and the projected cost must stay under 2% of the naive
+// matching time.
+//
 // Usage: bench_matching_kernel [--size N] [--repeat N] [--json PATH]
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include <benchmark/benchmark.h>
+
 #include "bench_util.hpp"
 #include "core/sma.hpp"
 #include "goes/datasets.hpp"
+#include "obs/trace.hpp"
 
 using namespace sma;
 
@@ -59,6 +69,34 @@ VariantResult run_variant(const std::string& name,
     if (i == 0) best.flow = r.flow;
   }
   return best;
+}
+
+// Per-span cost of the disabled path (no recorder installed): one
+// relaxed atomic load and a branch at open, one branch at close.
+double measure_disabled_span_seconds() {
+  constexpr int kIters = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    obs::TraceSpan span("bench", "disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return total / kIters;
+}
+
+// How many spans one tracked pair emits, observed by installing a
+// recorder just long enough to count them.
+std::size_t count_spans_per_pair(const core::TrackerInput& in,
+                                 const core::SmaConfig& cfg) {
+  obs::TraceRecorder recorder;
+  obs::set_trace_recorder(&recorder);
+  const core::TrackerBackend& backend =
+      core::BackendRegistry::instance().get("sequential");
+  (void)backend.track(in, cfg, {});
+  obs::set_trace_recorder(nullptr);
+  return recorder.events().size() + static_cast<std::size_t>(recorder.dropped());
 }
 
 }  // namespace
@@ -130,6 +168,18 @@ int main(int argc, char** argv) {
       "  sliding flow vs naive: %d/%0.f pixels differ (max |d| %.3f): %s\n",
       mismatches, npix, max_d, sliding_ok ? "within tolerance" : "NO — BUG");
 
+  // --- Self-check: zero-overhead-when-disabled tracing contract.
+  const double span_seconds = measure_disabled_span_seconds();
+  const std::size_t spans_per_pair = count_spans_per_pair(in, cfg);
+  const double overhead_frac =
+      static_cast<double>(spans_per_pair) * span_seconds / naive.match_seconds;
+  const bool overhead_ok = overhead_frac < 0.02;
+  std::printf(
+      "  disabled tracing: %.1f ns/span x %zu spans/pair = %.4f%% of naive "
+      "match: %s\n",
+      span_seconds * 1e9, spans_per_pair, overhead_frac * 100.0,
+      overhead_ok ? "under 2%" : "OVER BUDGET — BUG");
+
   if (!json_path.empty()) {
     bench::JsonReport report;
     for (const VariantResult* v : {&naive, &pre, &slide}) {
@@ -143,8 +193,13 @@ int main(int argc, char** argv) {
           .extra("size", size)
           .extra("repeat", repeat);
     }
+    bench::JsonRecord& obs_rec = report.add("disabled_tracing_overhead");
+    obs_rec.config = cfg.describe();
+    obs_rec.extra("span_ns", span_seconds * 1e9)
+        .extra("spans_per_pair", static_cast<double>(spans_per_pair))
+        .extra("overhead_frac_vs_naive", overhead_frac);
     report.write(json_path);
   }
   std::printf("\n");
-  return identical && sliding_ok ? 0 : 1;
+  return identical && sliding_ok && overhead_ok ? 0 : 1;
 }

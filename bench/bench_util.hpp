@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "imaging/image.hpp"
+#include "obs/report.hpp"
 
 namespace sma::bench {
 
@@ -61,8 +62,9 @@ inline std::string fmt_int(long long v, const char* unit = "") {
 // ---------------------------------------------------------------------------
 // Machine-readable bench reports.  Every record carries the common
 // (name, wall_ms, pixels_per_s, config) quartet plus free-form numeric
-// extras; JsonReport::write emits a JSON array so CI can archive
-// BENCH_*.json artifacts and diff runs without scraping tables.
+// extras; JsonReport::write serializes through obs::write_run_reports,
+// so BENCH_*.json artifacts share the RunReport shape with
+// `sma_cli --metrics` and SmaPipeline::run_report().
 // ---------------------------------------------------------------------------
 
 struct JsonRecord {
@@ -86,47 +88,24 @@ class JsonReport {
     return records_.back();
   }
 
-  /// Writes the record array to `path`; returns false (and prints to
-  /// stderr) if the file cannot be opened.
+  /// Writes the record array to `path` as a JSON array of RunReports;
+  /// returns false (and prints to stderr) if the file cannot be opened.
   bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
-      return false;
+    std::vector<obs::RunReport> reports;
+    reports.reserve(records_.size());
+    for (const JsonRecord& r : records_) {
+      obs::MetricsRegistry reg;
+      reg.gauge("wall_ms").set(r.wall_ms);
+      reg.gauge("pixels_per_s").set(r.pixels_per_s);
+      for (const auto& [key, value] : r.extras) reg.gauge(key).set(value);
+      obs::RunReport report = obs::build_run_report(r.name, reg);
+      report.config = r.config;
+      reports.push_back(std::move(report));
     }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const JsonRecord& r = records_[i];
-      std::fprintf(f,
-                   "  {\"name\": \"%s\", \"wall_ms\": %.6f, "
-                   "\"pixels_per_s\": %.3f, \"config\": \"%s\"",
-                   escape(r.name).c_str(), r.wall_ms, r.pixels_per_s,
-                   escape(r.config).c_str());
-      for (const auto& [key, value] : r.extras)
-        std::fprintf(f, ", \"%s\": %.6f", escape(key).c_str(), value);
-      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
-    return true;
+    return obs::write_run_reports(path, reports);
   }
 
  private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out.push_back(c);
-    }
-    return out;
-  }
-
   std::vector<JsonRecord> records_;
 };
 

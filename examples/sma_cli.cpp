@@ -21,6 +21,9 @@
 //                          faults (scan-line dropouts, bit noise, dead
 //                          columns), then repair + mask before tracking
 //   --fault-seed N         deterministic fault seed (default 1)
+//   --trace FILE           write a Chrome trace_event JSON timeline of
+//                          the run (open in chrome://tracing / Perfetto)
+//   --metrics FILE         write the run's metrics registry as CSV
 // stereo options:
 //   --levels N             pyramid levels          (default 4)
 //   --max-disparity N      coarsest search range   (default 8)
@@ -28,14 +31,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "core/obs_bridge.hpp"
 #include "core/sma.hpp"
 #include "goes/synth.hpp"
 #include "imaging/colorize.hpp"
 #include "imaging/io.hpp"
 #include "maspar/backend.hpp"
+#include "maspar/sma_simd.hpp"
+#include "obs/trace.hpp"
 #include "stereo/asa.hpp"
 #include "stereo/refine.hpp"
 
@@ -53,6 +60,7 @@ int usage() {
                "                 [--backend NAME] [--robust] [--ppm FILE]\n"
                "                 [--precompute auto|on|off]\n"
                "                 [--inject-faults RATE] [--fault-seed N]\n"
+               "                 [--trace FILE] [--metrics FILE]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
                "                 [--levels N] [--max-disparity N]\n");
   return 2;
@@ -101,6 +109,8 @@ int cmd_track(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 1;
   std::string ppm_path;
+  std::string trace_path;
+  std::string metrics_path;
 
   for (int i = 5; i < argc; ++i) {
     const std::string a = argv[i];
@@ -138,6 +148,12 @@ int cmd_track(int argc, char** argv) {
       fault_rate = double_arg(argc, argv, i);
     } else if (a == "--fault-seed") {
       fault_seed = static_cast<std::uint64_t>(int_arg(argc, argv, i));
+    } else if (a == "--trace") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      trace_path = argv[++i];
+    } else if (a == "--metrics") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      metrics_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return usage();
@@ -158,7 +174,16 @@ int cmd_track(int argc, char** argv) {
               before.height(), pipeline.backend().name().c_str(),
               cfg.describe().c_str());
 
+  // Tracing is opt-in: install a recorder only when --trace asks for one
+  // (the disabled path is a null-check per span).
+  std::optional<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder.emplace();
+    obs::set_trace_recorder(&*recorder);
+  }
+
   core::TrackResult r;
+  core::FaultLog fault_log;
   if (fault_rate > 0.0) {
     // Degraded-input path: corrupt, repair, and track with the masks.
     core::FaultSpec fspec;
@@ -167,12 +192,11 @@ int cmd_track(int argc, char** argv) {
     fspec.bit_noise_rate = fault_rate / 5.0;
     fspec.dead_column_rate = fault_rate / 10.0;
     const core::FaultInjector injector(fspec);
-    core::FaultLog log;
-    injector.corrupt_frame(before, 0, &log);
-    injector.corrupt_frame(after, 1, &log);
+    injector.corrupt_frame(before, 0, &fault_log);
+    injector.corrupt_frame(after, 1, &fault_log);
     std::printf("injected faults (seed %llu): %s\n",
                 static_cast<unsigned long long>(fault_seed),
-                log.summary().c_str());
+                fault_log.summary().c_str());
     const imaging::RepairReport rep0 = imaging::repair_frame(before);
     const imaging::RepairReport rep1 = imaging::repair_frame(after);
     std::printf(
@@ -205,6 +229,29 @@ int cmd_track(int argc, char** argv) {
   if (!ppm_path.empty()) {
     imaging::write_ppm(imaging::colorize_flow(flow), ppm_path);
     std::printf("color rendering -> %s\n", ppm_path.c_str());
+  }
+
+  if (recorder) {
+    obs::set_trace_recorder(nullptr);
+    if (recorder->write_chrome_trace(trace_path))
+      std::printf("trace (%zu spans) -> %s\n", recorder->events().size(),
+                  trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    // Fold every subsystem's tallies into the pipeline registry before
+    // snapshotting: the per-pair timings, the fault layer and (for the
+    // maspar-sim backend) the machine-model report.
+    obs::MetricsRegistry& reg = pipeline.metrics();
+    core::publish_metrics(r.timings, reg);
+    if (fault_rate > 0.0) core::publish_metrics(fault_log, reg);
+    if (const auto* mp =
+            dynamic_cast<const maspar::MasParBackendExtras*>(r.extras.get()))
+      maspar::publish_metrics(mp->report, reg);
+    obs::RunReport report = pipeline.run_report();
+    report.name = "sma_cli track";
+    if (report.write_metrics_csv(metrics_path))
+      std::printf("metrics (%zu) -> %s\n", report.metrics.size(),
+                  metrics_path.c_str());
   }
   return 0;
 }

@@ -24,5 +24,5 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" --timeout 300
 echo "sanitize check passed (${SANITIZERS})"

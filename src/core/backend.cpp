@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/match_precompute.hpp"
+#include "obs/trace.hpp"
 
 namespace sma::core {
 
@@ -60,16 +61,19 @@ TrackResult TrackerBackend::track(const TrackerInput& input,
   validate_tracker_input(input, "track_pair");
 
   const auto t_start = Clock::now();
+  obs::TraceSpan track_span("backend", "track");
   const bool parallel = capabilities().host_parallel;
   const bool semifluid = config.model == MotionModel::kSemiFluid &&
                          config.semifluid_search_radius > 0;
 
+  obs::TraceSpan geometry_span("backend", "frame_geometry");
   const FrameGeometry fg0 =
       compute_frame_geometry(*input.surface_before, input.intensity_before,
                              config, parallel, semifluid);
   const FrameGeometry fg1 =
       compute_frame_geometry(*input.surface_after, input.intensity_after,
                              config, parallel, semifluid);
+  geometry_span.finish();
 
   MatchInput mi;
   mi.before = &fg0.geom;
@@ -85,12 +89,15 @@ TrackResult TrackerBackend::track(const TrackerInput& input,
   double pre_seconds = 0.0;
   if (resolve_precompute(config, mi) == PrecomputeDecision::kFast) {
     const auto t0 = Clock::now();
+    obs::TraceSpan span("backend", "match_precompute");
     pre.emplace(fg0.geom, parallel);
     pre_seconds = seconds_since(t0);
     mi.precompute = &*pre;
   }
 
+  obs::TraceSpan match_span("backend", "matching");
   TrackResult result = match(mi, config, options);
+  match_span.finish();
   result.timings.surface_fit = fg0.fit_seconds + fg1.fit_seconds;
   result.timings.geometric_vars = fg0.derive_seconds + fg1.derive_seconds;
   result.timings.match_precompute += pre_seconds;

@@ -1,0 +1,108 @@
+#include "core/obs_bridge.hpp"
+
+namespace sma::core {
+
+// Completeness guards: these sizes change exactly when a field is added
+// to (or removed from) the structs.  If one fires, update the matching
+// publish_metrics() AND the name list below — tests/test_obs.cpp
+// cross-checks the list against the exported snapshot.
+static_assert(sizeof(PipelineStats) == 7 * sizeof(std::size_t) + 7 * sizeof(double),
+              "PipelineStats changed: update publish_metrics(PipelineStats) "
+              "and pipeline_stats_metric_names()");
+static_assert(sizeof(TrackTimings) == 6 * sizeof(double),
+              "TrackTimings changed: update publish_metrics(TrackTimings) "
+              "and track_timings_metric_names()");
+
+void publish_metrics(const PipelineStats& s, obs::MetricsRegistry& reg) {
+  reg.gauge("pipeline.pairs_tracked").set(static_cast<double>(s.pairs_tracked));
+  reg.gauge("pipeline.surface_fits").set(static_cast<double>(s.surface_fits));
+  reg.gauge("pipeline.cache_hits").set(static_cast<double>(s.cache_hits));
+  reg.gauge("pipeline.cache_misses").set(static_cast<double>(s.cache_misses));
+  reg.gauge("pipeline.cache_evictions")
+      .set(static_cast<double>(s.cache_evictions));
+  reg.gauge("pipeline.precompute_builds")
+      .set(static_cast<double>(s.precompute_builds));
+  reg.gauge("pipeline.precompute_reuses")
+      .set(static_cast<double>(s.precompute_reuses));
+  reg.gauge("pipeline.ingest_seconds").set(s.ingest_seconds);
+  reg.gauge("pipeline.surface_fit_seconds").set(s.surface_fit_seconds);
+  reg.gauge("pipeline.geometric_vars_seconds").set(s.geometric_vars_seconds);
+  reg.gauge("pipeline.match_precompute_seconds")
+      .set(s.match_precompute_seconds);
+  reg.gauge("pipeline.matching_seconds").set(s.matching_seconds);
+  reg.gauge("pipeline.postprocess_seconds").set(s.postprocess_seconds);
+  reg.gauge("pipeline.products_seconds").set(s.products_seconds);
+  // Derived conveniences (not part of the completeness contract).
+  reg.gauge("pipeline.total_seconds").set(s.total_seconds());
+  const double lookups = static_cast<double>(s.cache_hits + s.cache_misses);
+  reg.gauge("pipeline.cache_hit_rate")
+      .set(lookups > 0 ? static_cast<double>(s.cache_hits) / lookups : 0.0);
+}
+
+const std::vector<std::string>& pipeline_stats_metric_names() {
+  static const std::vector<std::string> names = {
+      "pipeline.pairs_tracked",
+      "pipeline.surface_fits",
+      "pipeline.cache_hits",
+      "pipeline.cache_misses",
+      "pipeline.cache_evictions",
+      "pipeline.precompute_builds",
+      "pipeline.precompute_reuses",
+      "pipeline.ingest_seconds",
+      "pipeline.surface_fit_seconds",
+      "pipeline.geometric_vars_seconds",
+      "pipeline.match_precompute_seconds",
+      "pipeline.matching_seconds",
+      "pipeline.postprocess_seconds",
+      "pipeline.products_seconds",
+  };
+  return names;
+}
+
+void publish_metrics(const TrackTimings& t, obs::MetricsRegistry& reg) {
+  reg.gauge("track.surface_fit_seconds").set(t.surface_fit);
+  reg.gauge("track.geometric_vars_seconds").set(t.geometric_vars);
+  reg.gauge("track.match_precompute_seconds").set(t.match_precompute);
+  reg.gauge("track.semifluid_mapping_seconds").set(t.semifluid_mapping);
+  reg.gauge("track.hypothesis_matching_seconds").set(t.hypothesis_matching);
+  reg.gauge("track.total_seconds").set(t.total);
+}
+
+const std::vector<std::string>& track_timings_metric_names() {
+  static const std::vector<std::string> names = {
+      "track.surface_fit_seconds",      "track.geometric_vars_seconds",
+      "track.match_precompute_seconds", "track.semifluid_mapping_seconds",
+      "track.hypothesis_matching_seconds", "track.total_seconds",
+  };
+  return names;
+}
+
+namespace {
+
+constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kScanlineDropout, FaultKind::kBitNoise,
+    FaultKind::kDeadColumn,      FaultKind::kMissingFrame,
+    FaultKind::kStripeFault,     FaultKind::kStripeRetry,
+    FaultKind::kFrameSkipped,    FaultKind::kLineRepaired,
+    FaultKind::kLineMasked,
+};
+
+}  // namespace
+
+void publish_metrics(const FaultLog& log, obs::MetricsRegistry& reg) {
+  for (const FaultKind kind : kAllFaultKinds)
+    reg.gauge(std::string("fault.") + fault_kind_name(kind))
+        .set(static_cast<double>(log.count(kind)));
+}
+
+const std::vector<std::string>& fault_metric_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const FaultKind kind : kAllFaultKinds)
+      out.push_back(std::string("fault.") + fault_kind_name(kind));
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace sma::core

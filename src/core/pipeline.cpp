@@ -6,9 +6,11 @@
 #include <stdexcept>
 
 #include "core/match_precompute.hpp"
+#include "core/obs_bridge.hpp"
 #include "core/postprocess.hpp"
 #include "core/trajectory.hpp"
 #include "imaging/repair.hpp"
+#include "obs/trace.hpp"
 
 namespace sma::core {
 
@@ -105,6 +107,31 @@ SmaPipeline::SmaPipeline(SmaConfig config, PipelineOptions options)
         "SmaPipeline: geometry_cache_capacity must hold at least one pair");
   backend_ = &BackendRegistry::instance().get(options_.backend);
   cache_ = std::make_unique<GeometryCache>(options_.geometry_cache_capacity);
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  // Per-pair latency distribution, registered up front so exports carry
+  // explicit zero buckets before the first pair.
+  metrics_->histogram("pipeline.pair_seconds",
+                      {0.001, 0.01, 0.1, 1.0, 10.0, 100.0});
+  publish_metrics(stats_, *metrics_);
+}
+
+void SmaPipeline::reset_stats() {
+  stats_ = PipelineStats{};
+  metrics_->reset();
+  publish_metrics(stats_, *metrics_);
+}
+
+obs::MetricsRegistry& SmaPipeline::metrics() {
+  publish_metrics(stats_, *metrics_);
+  return *metrics_;
+}
+
+obs::RunReport SmaPipeline::run_report() {
+  obs::RunReport report =
+      obs::build_run_report("sma_pipeline", metrics(), obs::trace_recorder());
+  report.config = config_.describe();
+  report.backend = backend_->name();
+  return report;
 }
 
 SmaPipeline::~SmaPipeline() = default;
@@ -136,12 +163,17 @@ std::shared_ptr<const surface::GeometricField> SmaPipeline::frame_geometry(
   GeometryCache::Entry entry;
   entry.key = key;
   auto t0 = Clock::now();
-  const surface::DerivativeField d = surface::fit_derivatives(img, gopts);
-  entry.fit_seconds = seconds_since(t0);
-  t0 = Clock::now();
-  entry.geom = std::make_shared<surface::GeometricField>(
-      surface::derive_geometry(d, gopts.parallel));
-  entry.derive_seconds = seconds_since(t0);
+  {
+    obs::TraceSpan span("pipeline", "surface_fit");
+    const surface::DerivativeField d = surface::fit_derivatives(img, gopts);
+    entry.fit_seconds = seconds_since(t0);
+    span.finish();
+    t0 = Clock::now();
+    obs::TraceSpan derive_span("pipeline", "geometric_vars");
+    entry.geom = std::make_shared<surface::GeometricField>(
+        surface::derive_geometry(d, gopts.parallel));
+    entry.derive_seconds = seconds_since(t0);
+  }
 
   stats_.surface_fit_seconds += entry.fit_seconds;
   stats_.geometric_vars_seconds += entry.derive_seconds;
@@ -163,8 +195,10 @@ std::shared_ptr<const MatchPrecompute> SmaPipeline::frame_precompute(
   }
   ++stats_.precompute_builds;
   const auto t0 = Clock::now();
+  obs::TraceSpan span("pipeline", "match_precompute");
   auto pre = std::make_shared<const MatchPrecompute>(
       *geom, backend_->capabilities().host_parallel);
+  span.finish();
   stats_.match_precompute_seconds += seconds_since(t0);
   // The frame can be absent if the after-frame lookups evicted it from
   // a minimal-capacity cache; the planes are still valid for this pair,
@@ -174,6 +208,7 @@ std::shared_ptr<const MatchPrecompute> SmaPipeline::frame_precompute(
 }
 
 TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
+  obs::TraceSpan pair_span("pipeline", "track_pair");
   validate_tracker_input(input, "SmaPipeline");
   const bool monocular = input.intensity_before == input.surface_before &&
                          input.intensity_after == input.surface_after;
@@ -188,8 +223,10 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
           "SmaPipeline: the repair stage supports monocular inputs; repair "
           "stereo surfaces upstream and pass validity masks");
     const auto t0 = Clock::now();
+    obs::TraceSpan span("pipeline", "ingest_repair");
     rep0 = imaging::repair_frame(*input.intensity_before);
     rep1 = imaging::repair_frame(*input.intensity_after);
+    span.finish();
     stats_.ingest_seconds += seconds_since(t0);
     effective.intensity_before = effective.surface_before = &rep0.image;
     effective.intensity_after = effective.surface_after = &rep1.image;
@@ -235,7 +272,9 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
   }
 
   // --- Stage: hypothesis matching (delegated to the backend).
+  obs::TraceSpan match_span("pipeline", "matching");
   TrackResult result = backend_->match(mi, config_, options_.track);
+  match_span.finish();
   result.timings.match_precompute +=
       stats_.match_precompute_seconds - pre_before;
   stats_.matching_seconds +=
@@ -247,12 +286,15 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
   // --- Stage: postprocess.
   if (options_.robust) {
     const auto t0 = Clock::now();
+    obs::TraceSpan span("pipeline", "postprocess");
     result.flow = robust_postprocess(result.flow);
     stats_.postprocess_seconds += seconds_since(t0);
   }
 
   result.timings.total = seconds_since(t_start);
   ++stats_.pairs_tracked;
+  metrics_->histogram("pipeline.pair_seconds", {})
+      .observe(result.timings.total);
   return result;
 }
 
@@ -276,6 +318,7 @@ SequenceResult SmaPipeline::track_sequence(
   std::vector<imaging::ImageU8> masks;
   if (options_.repair) {
     const auto t0 = Clock::now();
+    obs::TraceSpan span("pipeline", "ingest_repair");
     repaired.reserve(frames.size());
     masks.reserve(frames.size());
     for (const imaging::ImageF& f : frames) {
@@ -305,6 +348,7 @@ SequenceResult SmaPipeline::track_sequence(
 
     // --- Stage: products (trajectory chaining).
     const auto t0 = Clock::now();
+    obs::TraceSpan span("pipeline", "products");
     tracker.advance(r.flow);
     stats_.products_seconds += seconds_since(t0);
 

@@ -40,6 +40,7 @@
 #include "core/sequence.hpp"
 #include "core/tracker.hpp"
 #include "imaging/image.hpp"
+#include "obs/report.hpp"
 
 namespace sma::core {
 
@@ -128,7 +129,22 @@ class SmaPipeline {
   const PipelineOptions& options() const { return options_; }
 
   const PipelineStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = PipelineStats{}; }
+
+  /// Zeroes the counters AND every metric registered in metrics()
+  /// (including externally published ones, e.g. fault gauges).
+  void reset_stats();
+
+  /// The pipeline's metrics registry with the current PipelineStats
+  /// freshly published (obs_bridge name scheme, "pipeline.*").  External
+  /// layers may publish additional metrics into the same registry (the
+  /// CLI adds fault and backend-extras gauges) and they ride along in
+  /// run_report() / exports.
+  obs::MetricsRegistry& metrics();
+
+  /// One RunReport of everything this pipeline ran: backend + config
+  /// identity, the metrics() snapshot, and — when a global TraceRecorder
+  /// is installed (obs/trace.hpp) — the span rollup.
+  obs::RunReport run_report();
 
   /// Drops all cached geometry (e.g. after mutating frame buffers in
   /// place).
@@ -153,6 +169,9 @@ class SmaPipeline {
   const TrackerBackend* backend_ = nullptr;  // owned by the registry
   PipelineStats stats_;
   std::unique_ptr<GeometryCache> cache_;
+  /// unique_ptr so the pipeline stays movable (the registry owns
+  /// mutexes); created eagerly in the constructor.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
 };
 
 }  // namespace sma::core

@@ -10,6 +10,7 @@
 #include "core/match_precompute.hpp"
 #include "core/semifluid.hpp"
 #include "imaging/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace sma::core {
 
@@ -300,6 +301,7 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
     std::optional<SemiFluidCostField> field;
     if (semifluid && config.use_precomputed_mapping) {
       auto t0 = Clock::now();
+      obs::TraceSpan span("match", "semifluid_mapping");
       field.emplace(*in.disc_before, *in.disc_after, nzs_x + nss,
                     hy_min - nss, hy_max + nss,
                     config.semifluid_template_radius);
@@ -307,6 +309,10 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
       peak_mapping_bytes = std::max(peak_mapping_bytes, field->bytes());
     }
 
+    // Nested under the pipeline's "matching" span: one span per
+    // hypothesis-row segment, so segmented searches (Sec. 4.3) show
+    // their per-segment structure on the trace timeline.
+    obs::TraceSpan segment_span("match", "hypothesis_search");
     auto t0 = Clock::now();
     if (pre != nullptr && config.precompute_sliding) {
       // Sliding tier: one separable box-filter pass of the invariant
@@ -368,6 +374,7 @@ void refine_subpixel(const MatchInput& in, const SmaConfig& config,
   // and interpolate the parabola minimum.  The semi-fluid path uses the
   // direct (naive) matcher here — bit-identical to the precomputed cost
   // field by construction.
+  obs::TraceSpan span("match", "subpixel_refine");
   const auto t0 = Clock::now();
   const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
   const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;

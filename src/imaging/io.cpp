@@ -37,12 +37,18 @@ int read_pnm_int(std::istream& in) {
 // beyond this is a corrupted header, and allocating for it would turn a
 // malformed file into an out-of-memory failure.
 constexpr int kMaxDim = 1 << 16;
+// Total-pixel cap: both edges can individually pass kMaxDim while their
+// product (e.g. 60000 x 60000) still demands a multi-GiB allocation, so
+// the area is bounded separately at the largest plausible GOES full-disk
+// raster (8192^2).
+constexpr std::int64_t kMaxPixels = std::int64_t{1} << 26;
 
 void check_dims(int w, int h, const char* reader, const std::string& path) {
   if (w <= 0 || h <= 0)
     throw std::runtime_error(std::string(reader) + ": non-positive " +
                              "dimensions in " + path);
-  if (w > kMaxDim || h > kMaxDim)
+  if (w > kMaxDim || h > kMaxDim ||
+      std::int64_t{w} * std::int64_t{h} > kMaxPixels)
     throw std::runtime_error(std::string(reader) +
                              ": implausible dimensions (corrupt header?) in " +
                              path);
@@ -155,6 +161,11 @@ ImageF read_pfm(const std::string& path) {
     in.read(reinterpret_cast<char*>(img.row(y)),
             static_cast<std::streamsize>(sizeof(float)) * w);
     if (!in) throw std::runtime_error("read_pfm: truncated " + path);
+    // NaN/Inf samples would silently poison every downstream surface fit
+    // and cost sum; reject them at the boundary.
+    for (int x = 0; x < w; ++x)
+      if (!std::isfinite(img.at(x, y)))
+        throw std::runtime_error("read_pfm: non-finite sample in " + path);
   }
   return img;
 }

@@ -8,6 +8,17 @@ double square(double e) { return e * e; }
 
 }  // namespace
 
+void publish_metrics(const PhaseTimes& times, const std::string& prefix,
+                     obs::MetricsRegistry& reg) {
+  reg.gauge(prefix + ".surface_fit_seconds").set(times.surface_fit);
+  reg.gauge(prefix + ".geometric_vars_seconds").set(times.geometric_vars);
+  reg.gauge(prefix + ".semifluid_mapping_seconds")
+      .set(times.semifluid_mapping);
+  reg.gauge(prefix + ".hypothesis_matching_seconds")
+      .set(times.hypothesis_matching);
+  reg.gauge(prefix + ".total_seconds").set(times.total());
+}
+
 PhaseTimes CostModel::mp2_times(const core::Workload& w,
                                 int image_count) const {
   PhaseTimes t;

@@ -42,8 +42,11 @@
 // one.
 #pragma once
 
+#include <string>
+
 #include "core/workload.hpp"
 #include "maspar/machine.hpp"
+#include "obs/metrics.hpp"
 
 namespace sma::maspar {
 
@@ -59,6 +62,12 @@ struct PhaseTimes {
            hypothesis_matching;
   }
 };
+
+/// Publishes the Table 2/4 phase rows as gauges "<prefix>.surface_fit"
+/// ... "<prefix>.total" (e.g. prefix "maspar.modeled") — the modeled
+/// counterpart of the measured "track.*" timings (core/obs_bridge.hpp).
+void publish_metrics(const PhaseTimes& times, const std::string& prefix,
+                     obs::MetricsRegistry& reg);
 
 class CostModel {
  public:

@@ -1,5 +1,7 @@
 #include "maspar/readout.hpp"
 
+#include "obs/trace.hpp"
+
 namespace sma::maspar {
 
 std::vector<std::pair<int, int>> snake_path(int radius) {
@@ -17,6 +19,7 @@ std::vector<std::pair<int, int>> snake_path(int radius) {
 
 ReadoutResult snake_readout(const imaging::ImageF& img,
                             const DataMapping& map, int radius) {
+  obs::TraceSpan span("maspar", "snake_readout");
   ReadoutResult out;
   PluralImage plural(img, map);
 
@@ -43,6 +46,7 @@ ReadoutResult snake_readout(const imaging::ImageF& img,
 
 ReadoutResult raster_readout(const imaging::ImageF& img,
                              const DataMapping& map, int radius) {
+  obs::TraceSpan span("maspar", "raster_readout");
   ReadoutResult out;
   const int w = map.width();
   const int h = map.height();

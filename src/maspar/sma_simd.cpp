@@ -9,8 +9,30 @@
 #include "core/match_precompute.hpp"
 #include "core/semifluid.hpp"
 #include "core/workload.hpp"
+#include "obs/trace.hpp"
 
 namespace sma::maspar {
+
+void publish_metrics(const SimdRunReport& report, obs::MetricsRegistry& reg) {
+  reg.gauge("maspar.layers").set(report.layers);
+  reg.gauge("maspar.segment_rows").set(report.segment_rows);
+  reg.gauge("maspar.fits_pe_memory").set(report.fits_pe_memory ? 1.0 : 0.0);
+  reg.gauge("maspar.pe_bytes").set(static_cast<double>(report.pe_bytes));
+  publish_metrics(report.modeled, "maspar.modeled", reg);
+  reg.gauge("maspar.modeled_sgi_total_seconds").set(report.modeled_sgi_total);
+  reg.gauge("maspar.modeled_speedup").set(report.modeled_speedup);
+  reg.gauge("maspar.xnet_shifts")
+      .set(static_cast<double>(report.comm.xnet_shifts));
+  reg.gauge("maspar.xnet_words")
+      .set(static_cast<double>(report.comm.xnet_words));
+  reg.gauge("maspar.xnet_word_hops")
+      .set(static_cast<double>(report.comm.xnet_word_hops));
+  reg.gauge("maspar.router_words")
+      .set(static_cast<double>(report.comm.router_words));
+  reg.gauge("maspar.intra_pe_moves")
+      .set(static_cast<double>(report.comm.intra_pe_moves));
+  reg.gauge("maspar.host_seconds").set(report.host_seconds);
+}
 
 SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
                                            const core::SmaConfig& config,
@@ -22,6 +44,7 @@ SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
     throw std::invalid_argument("MasParExecutor: null geometry input");
 
   const auto t_start = std::chrono::steady_clock::now();
+  obs::TraceSpan run_span("maspar", "simd_matching");
   const int w = in.width();
   const int h = in.height();
 
@@ -75,6 +98,7 @@ SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
     std::optional<core::SemiFluidCostField> field;
     if (semifluid && run_config.use_precomputed_mapping) {
       const auto t0 = std::chrono::steady_clock::now();
+      obs::TraceSpan mapping_span("match", "semifluid_mapping");
       field.emplace(*in.disc_before, *in.disc_after, nzs_x + nss,
                     hy_min - nss, hy_max + nss,
                     run_config.semifluid_template_radius);
@@ -88,6 +112,10 @@ SimdRunReport MasParExecutor::run_matching(const core::MatchInput& in,
     const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
     const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
 
+    // One nested span per hypothesis-row segment, mirroring the host
+    // tracker's "match"/"hypothesis_search" spans so both substrates
+    // show the same per-segment structure on a trace timeline.
+    obs::TraceSpan segment_span("match", "hypothesis_search");
     const auto t0 = std::chrono::steady_clock::now();
     for (int mem_layer = 0; mem_layer < map.layers(); ++mem_layer) {
       for (int iy = 0; iy < spec_.nyproc; ++iy) {

@@ -22,6 +22,7 @@
 #include "maspar/cost_model.hpp"
 #include "maspar/data_mapping.hpp"
 #include "maspar/plural.hpp"
+#include "obs/metrics.hpp"
 
 namespace sma::maspar {
 
@@ -37,6 +38,14 @@ struct SimdRunReport {
   CommCounters comm;                ///< template-gather mesh traffic
   double host_seconds = 0.0;        ///< actual time of the simulation
 };
+
+/// Publishes the whole SimdRunReport under "maspar.*": the Sec. 4.3
+/// memory plan (layers, segment_rows, pe_bytes, fits_pe_memory), the
+/// modeled Table 2/4 phase rows ("maspar.modeled.*"), the modeled SGI
+/// comparator + speedup, the X-net/router traffic tallies and the host
+/// simulation time — so the MasPar substrate's report rides in the same
+/// RunReport/CSV exports as the host pipeline's.
+void publish_metrics(const SimdRunReport& report, obs::MetricsRegistry& reg);
 
 class MasParExecutor {
  public:

@@ -1,0 +1,134 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+namespace sma::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string fmt_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+double RunReport::metric(const std::string& metric_name,
+                         double fallback) const {
+  const MetricSnapshot* s = find_metric(metrics, metric_name);
+  return s != nullptr ? s->value : fallback;
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"name\":\"" << json_escape(name) << "\",\"config\":\""
+     << json_escape(config) << "\",\"backend\":\"" << json_escape(backend)
+     << "\",\"metrics\":{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& s = metrics[i];
+    os << (i > 0 ? "," : "") << "\"" << json_escape(s.name)
+       << "\":" << fmt_exact(s.value);
+  }
+  os << "},\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanSummary& s = spans[i];
+    os << (i > 0 ? "," : "") << "{\"cat\":\"" << json_escape(s.category)
+       << "\",\"name\":\"" << json_escape(s.name)
+       << "\",\"count\":" << s.count
+       << ",\"total_us\":" << fmt_exact(s.total_us) << "}";
+  }
+  os << "]}";
+}
+
+bool RunReport::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "RunReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  write_json(out);
+  out << "\n";
+  return out.good();
+}
+
+void RunReport::write_metrics_csv(std::ostream& os) const {
+  obs::write_metrics_csv(os, metrics);
+}
+
+bool RunReport::write_metrics_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "RunReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  write_metrics_csv(out);
+  return out.good();
+}
+
+std::vector<SpanSummary> summarize_spans(const TraceRecorder& recorder) {
+  std::map<std::pair<std::string, std::string>, SpanSummary> rollup;
+  for (const TraceEvent& e : recorder.events()) {
+    SpanSummary& s = rollup[{e.category, e.name}];
+    if (s.count == 0) {
+      s.category = e.category;
+      s.name = e.name;
+    }
+    ++s.count;
+    s.total_us += e.dur_us;
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(rollup.size());
+  for (auto& [key, s] : rollup) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(),
+            [](const SpanSummary& a, const SpanSummary& b) {
+              return a.total_us > b.total_us;
+            });
+  return out;
+}
+
+RunReport build_run_report(std::string name, const MetricsRegistry& registry,
+                           const TraceRecorder* recorder) {
+  RunReport report;
+  report.name = std::move(name);
+  report.metrics = registry.snapshot();
+  if (recorder != nullptr) report.spans = summarize_spans(*recorder);
+  return report;
+}
+
+bool write_run_reports(const std::string& path,
+                       const std::vector<RunReport>& reports) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "write_run_reports: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    reports[i].write_json(out);
+    out << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::printf("wrote %s (%zu records)\n", path.c_str(), reports.size());
+  return out.good();
+}
+
+}  // namespace sma::obs
