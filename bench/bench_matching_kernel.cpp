@@ -2,15 +2,17 @@
 // precompute (core/match_precompute.hpp) against the naive per-pixel
 // normal-equation evaluator on a continuous-model Frederic-analog pair.
 //
-// Three variants of the same search (Nzs = Nzt = 4):
+// Four variants of the same search (Nzs = Nzt = 4):
 //   naive                --precompute off, the paper's per-hypothesis
 //                        row-by-row normal-equation accumulation
 //   precompute           SoA invariant planes + per-window A^T A tiles
 //   precompute+sliding   adds the incremental row-sliding window sums
+//   vector               the `vector` backend: hypothesis-batched SIMD
+//                        lanes over the precompute planes (src/simd/)
 //
-// The bench checks its own answers: the precompute flow must be
-// BIT-IDENTICAL to naive (the equivalence-oracle contract the unit
-// tests enforce), the sliding flow must agree to a small mismatch
+// The bench checks its own answers: the precompute and vector flows
+// must be BIT-IDENTICAL to naive (the equivalence-oracle contract the
+// unit tests enforce), the sliding flow must agree to a small mismatch
 // budget (running sums reassociate floating-point addition).
 //
 // The bench also guards the observability layer's zero-overhead
@@ -30,6 +32,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "core/match_vector.hpp"
 #include "core/sma.hpp"
 #include "goes/datasets.hpp"
 #include "obs/trace.hpp"
@@ -44,18 +47,24 @@ struct VariantResult {
   double precompute_seconds = 0.0;  // invariant-plane build share
   double wall_seconds = 0.0;        // full track() incl. surface fit
   imaging::FlowField flow;
+  core::VectorRunReport vector_report;  // only set by the vector backend
+  bool has_vector_report = false;
 };
 
 VariantResult run_variant(const std::string& name,
+                          const std::string& backend_name,
                           const core::TrackerInput& in, core::SmaConfig cfg,
                           core::PrecomputeMode mode, bool sliding,
                           int repeat) {
   cfg.precompute = mode;
   cfg.precompute_sliding = sliding;
   const core::TrackerBackend& backend =
-      core::BackendRegistry::instance().get("sequential");
+      core::BackendRegistry::instance().get(backend_name);
   VariantResult best;
   best.name = name;
+  // One untimed warm-up pass so page faults and first-touch allocation
+  // are not charged to the min-of-N timings below.
+  (void)backend.track(in, cfg, {});
   for (int i = 0; i < repeat; ++i) {
     const core::TrackResult r = backend.track(in, cfg, {});
     const double match = r.timings.match_precompute +
@@ -66,7 +75,14 @@ VariantResult run_variant(const std::string& name,
       best.precompute_seconds = r.timings.match_precompute;
       best.wall_seconds = r.timings.total;
     }
-    if (i == 0) best.flow = r.flow;
+    if (i == 0) {
+      best.flow = r.flow;
+      if (const auto* vx =
+              dynamic_cast<const core::VectorBackendExtras*>(r.extras.get())) {
+        best.vector_report = vx->report;
+        best.has_vector_report = true;
+      }
+    }
   }
   return best;
 }
@@ -130,25 +146,42 @@ int main(int argc, char** argv) {
                 cfg.describe() + ")");
 
   const VariantResult naive = run_variant(
-      "naive", in, cfg, core::PrecomputeMode::kOff, false, repeat);
+      "naive", "sequential", in, cfg, core::PrecomputeMode::kOff, false,
+      repeat);
   const VariantResult pre = run_variant(
-      "precompute", in, cfg, core::PrecomputeMode::kOn, false, repeat);
+      "precompute", "sequential", in, cfg, core::PrecomputeMode::kOn, false,
+      repeat);
   const VariantResult slide = run_variant(
-      "precompute+sliding", in, cfg, core::PrecomputeMode::kOn, true, repeat);
+      "precompute+sliding", "sequential", in, cfg, core::PrecomputeMode::kOn,
+      true, repeat);
+  const VariantResult vec = run_variant(
+      "vector", "vector", in, cfg, core::PrecomputeMode::kOn, false, repeat);
 
   const double npix = static_cast<double>(size) * size;
   std::printf("  %-22s %12s %12s %10s %14s\n", "variant", "match (s)",
               "build (s)", "speedup", "pixels/s");
-  for (const VariantResult* v : {&naive, &pre, &slide})
+  for (const VariantResult* v : {&naive, &pre, &slide, &vec})
     std::printf("  %-22s %12.4f %12.4f %9.2fx %14.0f\n", v->name.c_str(),
                 v->match_seconds, v->precompute_seconds,
                 naive.match_seconds / v->match_seconds,
                 npix / v->match_seconds);
+  if (vec.has_vector_report) {
+    const core::VectorRunReport& vr = vec.vector_report;
+    std::printf(
+        "  vector dispatch: %s (%d lanes), lane utilization %.3f "
+        "(%lld batched / %lld tail hypotheses)\n",
+        vr.level.c_str(), vr.lanes, vr.lane_utilization,
+        static_cast<long long>(vr.batched_hypotheses),
+        static_cast<long long>(vr.tail_hypotheses));
+  }
 
-  // --- Self-check: the fast path is the same algorithm, not a lookalike.
+  // --- Self-check: the fast paths are the same algorithm, not lookalikes.
   const bool identical = pre.flow == naive.flow;
   std::printf("\n  precompute flow bit-identical to naive: %s\n",
               identical ? "yes" : "NO — BUG");
+  const bool vector_identical = vec.flow == naive.flow;
+  std::printf("  vector flow bit-identical to naive: %s\n",
+              vector_identical ? "yes" : "NO — BUG");
   int mismatches = 0;
   double max_d = 0.0;
   for (int y = 0; y < slide.flow.height(); ++y)
@@ -182,7 +215,8 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     bench::JsonReport report;
-    for (const VariantResult* v : {&naive, &pre, &slide}) {
+    bench::add_environment_record(report);
+    for (const VariantResult* v : {&naive, &pre, &slide, &vec}) {
       bench::JsonRecord& rec = report.add(v->name);
       rec.wall_ms = v->wall_seconds * 1000.0;
       rec.pixels_per_s = npix / v->match_seconds;
@@ -190,8 +224,20 @@ int main(int argc, char** argv) {
       rec.extra("match_ms", v->match_seconds * 1000.0)
           .extra("precompute_build_ms", v->precompute_seconds * 1000.0)
           .extra("speedup_vs_naive", naive.match_seconds / v->match_seconds)
+          .extra("speedup_vs_precompute",
+                 pre.match_seconds / v->match_seconds)
           .extra("size", size)
           .extra("repeat", repeat);
+      if (v->has_vector_report) {
+        const core::VectorRunReport& vr = v->vector_report;
+        rec.extra("simd_level_id", vr.level_id)
+            .extra("simd_lanes", vr.lanes)
+            .extra("lane_utilization", vr.lane_utilization)
+            .extra("batched_hypotheses",
+                   static_cast<double>(vr.batched_hypotheses))
+            .extra("tail_hypotheses",
+                   static_cast<double>(vr.tail_hypotheses));
+      }
     }
     bench::JsonRecord& obs_rec = report.add("disabled_tracing_overhead");
     obs_rec.config = cfg.describe();
@@ -201,5 +247,5 @@ int main(int argc, char** argv) {
     report.write(json_path);
   }
   std::printf("\n");
-  return identical && sliding_ok && overhead_ok ? 0 : 1;
+  return identical && vector_identical && sliding_ok && overhead_ok ? 0 : 1;
 }

@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     const double npix = static_cast<double>(size) * size;
     bench::JsonReport report;
+    bench::add_environment_record(report);
     for (const auto& [name, r] :
          {std::pair<std::string, const core::TrackResult&>{"sequential", seq},
           {backend, par}}) {

@@ -8,12 +8,18 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 #include "imaging/image.hpp"
 #include "obs/report.hpp"
+#include "simd/dispatch.hpp"
 
 namespace sma::bench {
 
@@ -108,5 +114,30 @@ class JsonReport {
  private:
   std::vector<JsonRecord> records_;
 };
+
+/// Stamps an `environment` record into the report so BENCH_*.json
+/// trajectories are comparable across machines and toolchains: compiler
+/// version and build flags (in the record's config string), the active
+/// SIMD dispatch level and its lane width, and the OpenMP thread count
+/// the run was pinned to (scripts/run_benches.sh exports
+/// OMP_NUM_THREADS).
+inline void add_environment_record(JsonReport& report) {
+#if !defined(SMA_BENCH_BUILD_FLAGS)
+#define SMA_BENCH_BUILD_FLAGS "unknown"
+#endif
+  const simd::SimdLevel level = simd::active_level();
+  int omp_threads = 1;
+#if defined(_OPENMP)
+  omp_threads = omp_get_max_threads();
+#endif
+  JsonRecord& rec = report.add("environment");
+  rec.config = std::string("compiler=") + __VERSION__ +
+               "; flags=" SMA_BENCH_BUILD_FLAGS "; simd=" +
+               simd::level_name(level);
+  rec.extra("simd_level_id", static_cast<double>(level));
+  rec.extra("omp_threads", static_cast<double>(omp_threads));
+  if (const char* pinned = std::getenv("OMP_NUM_THREADS"))
+    rec.extra("omp_num_threads_env", std::atof(pinned));
+}
 
 }  // namespace sma::bench

@@ -11,7 +11,7 @@
 //   --template N           z-template radius       (default 4)
 //   --subpixel             parabolic refinement
 //   --backend NAME         execution backend from the registry:
-//                          sequential | openmp | maspar-sim
+//                          sequential | openmp | vector | maspar-sim
 //   --sequential           shorthand for --backend sequential
 //   --precompute MODE      hypothesis-invariant matching precompute:
 //                          auto (default) | on | off
@@ -35,6 +35,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/match_vector.hpp"
 #include "core/obs_bridge.hpp"
 #include "core/sma.hpp"
 #include "goes/synth.hpp"
@@ -226,6 +227,16 @@ int cmd_track(int argc, char** argv) {
           dynamic_cast<const maspar::MasParBackendExtras*>(r.extras.get()))
     std::printf("modeled MP-2: %.3f s (%.1fx over modeled SGI)\n",
                 mp->report.modeled.total(), mp->report.modeled_speedup);
+  if (const auto* vx =
+          dynamic_cast<const core::VectorBackendExtras*>(r.extras.get())) {
+    if (vx->report.vector_path)
+      std::printf("vector dispatch: %s (%d lanes), lane utilization %.3f\n",
+                  vx->report.level.c_str(), vx->report.lanes,
+                  vx->report.lane_utilization);
+    else
+      std::printf("vector backend fell back to the staged path (%s)\n",
+                  vx->report.fallback.c_str());
+  }
   if (!ppm_path.empty()) {
     imaging::write_ppm(imaging::colorize_flow(flow), ppm_path);
     std::printf("color rendering -> %s\n", ppm_path.c_str());
@@ -239,14 +250,18 @@ int cmd_track(int argc, char** argv) {
   }
   if (!metrics_path.empty()) {
     // Fold every subsystem's tallies into the pipeline registry before
-    // snapshotting: the per-pair timings, the fault layer and (for the
-    // maspar-sim backend) the machine-model report.
+    // snapshotting: the per-pair timings, the fault layer and the
+    // backend-specific reports (maspar machine model, vector lane
+    // occupancy).
     obs::MetricsRegistry& reg = pipeline.metrics();
     core::publish_metrics(r.timings, reg);
     if (fault_rate > 0.0) core::publish_metrics(fault_log, reg);
     if (const auto* mp =
             dynamic_cast<const maspar::MasParBackendExtras*>(r.extras.get()))
       maspar::publish_metrics(mp->report, reg);
+    if (const auto* vx =
+            dynamic_cast<const core::VectorBackendExtras*>(r.extras.get()))
+      core::publish_metrics(vx->report, reg);
     obs::RunReport report = pipeline.run_report();
     report.name = "sma_cli track";
     if (report.write_metrics_csv(metrics_path))

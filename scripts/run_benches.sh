@@ -1,6 +1,15 @@
 #!/usr/bin/env bash
-# run_benches.sh — run the machine-readable benchmark set and leave the
-# JSON artifacts at the repo root (CI uploads BENCH_*.json).
+# run_benches.sh — run the machine-readable benchmark set and refresh the
+# JSON artifacts at the repo root.  BENCH_*.json is COMMITTED (see
+# README.md "Benchmark artifacts"): rerun this script and include the
+# refreshed files whenever a change moves the numbers.
+#
+# Measurement hygiene:
+#   * OMP_NUM_THREADS is pinned (default 1) so runs are comparable; the
+#     value used is stamped into each artifact's `environment` record
+#     along with compiler, build flags and the active SIMD level.
+#   * Each bench variant performs one untimed warm-up pass and reports
+#     the min of --repeat timed runs (default 3).
 #
 # Usage: scripts/run_benches.sh [build-dir]
 set -euo pipefail
@@ -8,13 +17,19 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
+export OMP_NUM_THREADS="${OMP_NUM_THREADS:-1}"
+repeat="${SMA_BENCH_REPEAT:-5}"
+
 if [[ ! -x "$build_dir/bench/bench_matching_kernel" ]]; then
   echo "error: $build_dir/bench/bench_matching_kernel not built" >&2
   echo "       (configure with -DSMA_BUILD_BENCH=ON and build first)" >&2
   exit 1
 fi
 
+echo "benches: OMP_NUM_THREADS=$OMP_NUM_THREADS repeat=$repeat"
+
 "$build_dir/bench/bench_matching_kernel" \
+  --repeat "$repeat" \
   --json "$repo_root/BENCH_matching.json"
 "$build_dir/bench/bench_table2_frederic" \
   --json "$repo_root/BENCH_table2.json"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/match_precompute.hpp"
+#include "core/match_vector.hpp"
 #include "obs/trace.hpp"
 
 namespace sma::core {
@@ -110,6 +111,9 @@ BackendRegistry::BackendRegistry() {
       std::make_unique<HostBackend>("sequential", /*parallel=*/false);
   backends_["openmp"] =
       std::make_unique<HostBackend>("openmp", /*parallel=*/true);
+  // SIMD lanes over hypotheses x OpenMP threads over rows; bit-identical
+  // to the host backends on every lane implementation (match_vector.hpp).
+  backends_["vector"] = make_vector_backend();
 }
 
 BackendRegistry& BackendRegistry::instance() {

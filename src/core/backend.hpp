@@ -11,6 +11,9 @@
 // Registered backends:
 //   "sequential" — single-threaded reference (ExecutionPolicy::kSequential)
 //   "openmp"     — host-parallel over rows  (ExecutionPolicy::kParallel)
+//   "vector"     — SIMD lanes over hypotheses inside OpenMP threads over
+//                  rows, runtime-dispatched AVX2/SSE2/NEON/scalar lane
+//                  kernels (core/match_vector.hpp, simd/dispatch.hpp)
 //   "maspar-sim" — MP-2 SIMD-ordered executor with modeled machine costs
 //                  (registered by sma::maspar::register_maspar_backend(),
 //                  maspar/backend.hpp — the core library cannot depend on

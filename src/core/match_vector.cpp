@@ -1,0 +1,241 @@
+#include "core/match_vector.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/match_precompute.hpp"
+#include "obs/trace.hpp"
+
+namespace sma::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+const char* decision_fallback_name(PrecomputeDecision d) {
+  switch (d) {
+    case PrecomputeDecision::kFast:
+      return "sliding";  // only reachable when precompute_sliding is on
+    case PrecomputeDecision::kDisabled:
+      return "precompute-off";
+    case PrecomputeDecision::kMasked:
+      return "masked";
+    case PrecomputeDecision::kSemiFluid:
+      return "semi-fluid";
+    case PrecomputeDecision::kStride:
+      return "stride";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+simd::SimdLevel resolve_kernel_level(simd::SimdLevel request) {
+  switch (request) {
+    case simd::SimdLevel::kAvx2:
+#if defined(SMA_KERNEL_AVX2)
+      return simd::SimdLevel::kAvx2;
+#else
+      [[fallthrough]];
+#endif
+    case simd::SimdLevel::kSse2:
+#if defined(SMA_KERNEL_SSE2)
+      return simd::SimdLevel::kSse2;
+#else
+      return simd::SimdLevel::kScalar;
+#endif
+    case simd::SimdLevel::kNeon:
+#if defined(SMA_KERNEL_NEON)
+      return simd::SimdLevel::kNeon;
+#else
+      return simd::SimdLevel::kScalar;
+#endif
+    case simd::SimdLevel::kScalar:
+      break;
+  }
+  return simd::SimdLevel::kScalar;
+}
+
+PixelKernelFn pixel_kernel_hook(simd::SimdLevel level) {
+  switch (resolve_kernel_level(level)) {
+#if defined(SMA_KERNEL_AVX2)
+    case simd::SimdLevel::kAvx2:
+      return &scan_pixel_avx2;
+#endif
+#if defined(SMA_KERNEL_SSE2)
+    case simd::SimdLevel::kSse2:
+      return &scan_pixel_sse2;
+#endif
+#if defined(SMA_KERNEL_NEON)
+    case simd::SimdLevel::kNeon:
+      return &scan_pixel_neon;
+#endif
+    default:
+      return &scan_pixel_scalar;
+  }
+}
+
+BatchSolveHook batch_solve_hook(simd::SimdLevel level) {
+  BatchSolveHook hook;
+  switch (resolve_kernel_level(level)) {
+#if defined(SMA_KERNEL_AVX2)
+    case simd::SimdLevel::kAvx2:
+      hook.lanes = 4;
+      hook.solve = &batch_solve6_avx2;
+      return hook;
+#endif
+#if defined(SMA_KERNEL_SSE2)
+    case simd::SimdLevel::kSse2:
+      hook.lanes = 2;
+      hook.solve = &batch_solve6_sse2;
+      return hook;
+#endif
+#if defined(SMA_KERNEL_NEON)
+    case simd::SimdLevel::kNeon:
+      hook.lanes = 2;
+      hook.solve = &batch_solve6_neon;
+      return hook;
+#endif
+    default:
+      hook.lanes = 2;  // simd::LaneTraits<ScalarTag>::kLanes
+      hook.solve = &batch_solve6_scalar;
+      return hook;
+  }
+}
+
+int kernel_lanes(simd::SimdLevel level) {
+  return batch_solve_hook(level).lanes;
+}
+
+void publish_metrics(const VectorRunReport& report,
+                     obs::MetricsRegistry& reg) {
+  reg.gauge("vector.level_id").set(static_cast<double>(report.level_id));
+  reg.gauge("vector.lanes").set(static_cast<double>(report.lanes));
+  reg.gauge("vector.vector_path").set(report.vector_path ? 1.0 : 0.0);
+  reg.gauge("vector.batched_hypotheses")
+      .set(static_cast<double>(report.batched_hypotheses));
+  reg.gauge("vector.tail_hypotheses")
+      .set(static_cast<double>(report.tail_hypotheses));
+  reg.gauge("vector.batches").set(static_cast<double>(report.batches));
+  reg.gauge("vector.lane_utilization").set(report.lane_utilization);
+}
+
+namespace {
+
+// The `vector` backend: SIMD lanes over hypotheses inside OpenMP threads
+// over pixel rows — the "threads x lanes" composition of the tentpole.
+class VectorBackend final : public TrackerBackend {
+ public:
+  std::string name() const override { return "vector"; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.host_parallel = true;
+    return caps;
+  }
+
+  TrackResult match(const MatchInput& in, const SmaConfig& config,
+                    const TrackOptions& options) const override {
+    TrackResult result;
+    auto extras = std::make_shared<VectorBackendExtras>();
+    const simd::SimdLevel level =
+        resolve_kernel_level(simd::active_level());
+    extras->report.level = simd::level_name(level);
+    extras->report.level_id = static_cast<int>(level);
+    extras->report.lanes = kernel_lanes(level);
+
+    const PrecomputeDecision decision = resolve_precompute(config, in);
+    std::vector<PixelBest> best;
+    if (in.precompute != nullptr &&
+        decision == PrecomputeDecision::kFast && !config.precompute_sliding) {
+      extras->report.vector_path = true;
+      best = run_vector_search(in, config, level, result.timings,
+                               extras->report);
+    } else {
+      // Fall back to the shared staged path (bit-identical to the host
+      // backends by construction): masked / semi-fluid / stride /
+      // precompute-off configs, and the sliding tier, which trades
+      // bit-exactness for box-filter reuse the lane kernel does not
+      // implement.
+      extras->report.fallback = decision_fallback_name(decision);
+      best = run_hypothesis_search(in, config, /*parallel=*/true,
+                                   result.timings,
+                                   result.peak_mapping_bytes);
+    }
+    if (options.subpixel)
+      refine_subpixel(in, config, /*parallel=*/true, best, result.timings);
+    collect_track_result(in, config, options, best, result);
+    result.timings.total = result.timings.match_precompute +
+                           result.timings.semifluid_mapping +
+                           result.timings.hypothesis_matching;
+    result.extras = std::move(extras);
+    return result;
+  }
+
+ private:
+  static std::vector<PixelBest> run_vector_search(const MatchInput& in,
+                                                  const SmaConfig& config,
+                                                  simd::SimdLevel level,
+                                                  TrackTimings& timings,
+                                                  VectorRunReport& report) {
+    const int w = in.width();
+    const int h = in.height();
+    const int nzt_x = config.z_template_radius;
+    const int nzt_y = config.z_template_ry();
+    const int nzs_x = config.z_search_radius;
+    const int nzs_y = config.z_search_ry();
+    const MatchPrecompute* const pre = in.precompute;
+    const PixelKernelFn kernel = pixel_kernel_hook(level);
+
+    std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
+    obs::TraceSpan span("match", "hypothesis_search");
+    const auto t0 = Clock::now();
+    std::uint64_t batched = 0, tail = 0, batches = 0;
+#pragma omp parallel for schedule(dynamic, 1) \
+    reduction(+ : batched, tail, batches)
+    for (int y = 0; y < h; ++y) {
+      VectorLaneTally tally;
+      for (int x = 0; x < w; ++x) {
+        WindowInvariants win;
+        pre->accumulate_window(x, y, nzt_x, nzt_y, win);
+        VectorKernelArgs args;
+        args.pre = pre;
+        args.after = in.after;
+        args.win = &win;
+        args.x = x;
+        args.y = y;
+        args.rx = nzt_x;
+        args.ry = nzt_y;
+        args.nzs_x = nzs_x;
+        args.hy_min = -nzs_y;
+        args.hy_max = nzs_y;
+        kernel(args, best[static_cast<std::size_t>(y) * w + x], tally);
+      }
+      batched += tally.batched_hypotheses;
+      tail += tally.tail_hypotheses;
+      batches += tally.batches;
+    }
+    timings.hypothesis_matching += seconds_since(t0);
+    report.batched_hypotheses = batched;
+    report.tail_hypotheses = tail;
+    report.batches = batches;
+    const std::uint64_t total = batched + tail;
+    report.lane_utilization =
+        total > 0 ? static_cast<double>(batched) / static_cast<double>(total)
+                  : 0.0;
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TrackerBackend> make_vector_backend() {
+  return std::make_unique<VectorBackend>();
+}
+
+}  // namespace sma::core

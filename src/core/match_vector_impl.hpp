@@ -1,0 +1,227 @@
+// match_vector_impl.hpp — the lane-generic body of the hypothesis-batched
+// scan kernel.  Included ONLY by the per-ISA translation units
+// (match_vector_<isa>.cpp), each of which instantiates scan_pixel_t /
+// batch_solve_soa for its lane tag under the matching target flags.
+//
+// Bit-exactness contract (DESIGN.md §13): a lane is one hypothesis, and
+// every floating-point operation a lane performs — accumulation order
+// over the template window, moment normalization, elimination,
+// residual — is the same operation, on the same values, in the same
+// order as the scalar evaluate_hypothesis_precomputed +
+// NormalEquations6 path.  Three details make that exact rather than
+// approximate:
+//
+//  * moments are "normalized" through add(0, v) before the solve,
+//    because the scalar path accumulates them into a zero-initialized
+//    NormalEquations6 (0.0 + v flushes -0.0 to +0.0);
+//  * the batched elimination replicates solve6's `if (f == 0.0)
+//    continue` and first-strict-max pivot per lane (simd/batch_solve.hpp);
+//  * no FMA anywhere: mul-then-add only, matching -ffp-contract=off.
+//
+// Winner selection keeps the scalar tie-break semantics: a horizontal
+// reduce-min rejects batches that cannot beat the incumbent, and any
+// surviving batch is folded lane by lane (ascending hx) through the
+// shared hypothesis_improves predicate — the identical comparisons the
+// scalar scan would have made.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+
+#include "core/match_precompute.hpp"
+#include "core/match_vector.hpp"
+#include "core/tracker.hpp"
+#include "linalg/gaussian_elimination.hpp"
+#include "simd/batch_solve.hpp"
+#include "simd/lane.hpp"
+
+namespace sma::core::detail {
+
+template <class Tag>
+void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
+                  VectorLaneTally& tally) {
+  using T = simd::LaneTraits<Tag>;
+  using V = typename T::Vec;
+  using M = typename T::Mask;
+  constexpr int N = T::kLanes;
+
+  const MatchPrecompute& pre = *g.pre;
+  const surface::GeometricField& after = *g.after;
+  const int w = pre.width();
+  const int h = pre.height();
+  const int x = g.x, y = g.y, rx = g.rx, ry = g.ry;
+
+  const double* const ni_p = pre.plane(MatchPrecompute::kNi);
+  const double* const nj_p = pre.plane(MatchPrecompute::kNj);
+  const double* const nk_p = pre.plane(MatchPrecompute::kNk);
+  const double* const wi_p = pre.plane(MatchPrecompute::kWi);
+  const double* const wj_p = pre.plane(MatchPrecompute::kWj);
+  const double* rows_p[18];
+  for (int t = 0; t < 18; ++t)
+    rows_p[t] = pre.plane(MatchPrecompute::kWri0 + t);
+
+  const V vzero = T::zero();
+  // The pixel's A^T A window sum, normalized exactly as
+  // NormalEquations6::add_precomputed leaves it (0.0 + v) and broadcast:
+  // every lane shares the same before-frame matrix.
+  V ata[21];
+  for (int k = 0; k < 21; ++k)
+    ata[k] = T::add(vzero, T::broadcast(g.win->ata[k]));
+
+  const bool x_interior = x - rx >= 0 && x + rx < w;
+
+  for (int hy = g.hy_min; hy <= g.hy_max; ++hy) {
+    int hx0 = -g.nzs_x;
+    for (; hx0 + N - 1 <= g.nzs_x; hx0 += N) {
+      // ---- Batched A^T b / b^T b over the template window: lane l is
+      // hypothesis hx0 + l.  Same v-outer / u-inner order and the same
+      // association order per MAC as the scalar evaluator.
+      V atb[6] = {vzero, vzero, vzero, vzero, vzero, vzero};
+      V btb = vzero;
+      // Every lane's correspondent column stays unclamped across the
+      // whole window iff the widest lane's does.
+      const bool contiguous =
+          x_interior && x - rx + hx0 >= 0 && x + rx + hx0 + N - 1 < w;
+      for (int v = -ry; v <= ry; ++v) {
+        const int py = std::clamp(y + v, 0, h - 1);
+        const int qy = std::clamp(py + hy, 0, h - 1);
+        const std::size_t off = static_cast<std::size_t>(py) * w;
+        const float* const a_ni = after.ni.row(qy);
+        const float* const a_nj = after.nj.row(qy);
+        const float* const a_nk = after.nk.row(qy);
+        for (int u = -rx; u <= rx; ++u) {
+          const int px = std::clamp(x + u, 0, w - 1);
+          V oi, oj, ok;
+          if (contiguous) {
+            const int qx0 = px + hx0;
+            oi = T::load_f32(a_ni + qx0);
+            oj = T::load_f32(a_nj + qx0);
+            ok = T::load_f32(a_nk + qx0);
+          } else {
+            // Border batch: per-lane clamped gather into stack buffers,
+            // reproducing the scalar path's qx clamp lane by lane.
+            float gi[N], gj[N], gk[N];
+            for (int l = 0; l < N; ++l) {
+              const int qx = std::clamp(px + hx0 + l, 0, w - 1);
+              gi[l] = a_ni[qx];
+              gj[l] = a_nj[qx];
+              gk[l] = a_nk[qx];
+            }
+            oi = T::load_f32(gi);
+            oj = T::load_f32(gj);
+            ok = T::load_f32(gk);
+          }
+          const std::size_t i = off + px;
+          const V bi = T::sub(oi, T::broadcast(ni_p[i]));
+          const V bj = T::sub(oj, T::broadcast(nj_p[i]));
+          const V bk = T::sub(ok, T::broadcast(nk_p[i]));
+          for (int r = 0; r < 6; ++r) {
+            V t = T::mul(T::broadcast(rows_p[r][i]), bi);
+            t = T::add(t, T::mul(T::broadcast(rows_p[6 + r][i]), bj));
+            t = T::add(t, T::mul(T::broadcast(rows_p[12 + r][i]), bk));
+            atb[r] = T::add(atb[r], t);
+          }
+          V s = T::mul(T::broadcast(wi_p[i]), T::mul(bi, bi));
+          s = T::add(s, T::mul(T::broadcast(wj_p[i]), T::mul(bj, bj)));
+          s = T::add(s, T::mul(bk, bk));
+          btb = T::add(btb, s);
+        }
+      }
+
+      // ---- Normalize moments (add_precomputed's 0.0 + v), eliminate,
+      // score.
+      V atbn[6];
+      for (int r = 0; r < 6; ++r) atbn[r] = T::add(vzero, atb[r]);
+      const V btbn = T::add(vzero, btb);
+      V a_full[36];
+      for (int r = 0; r < 6; ++r)
+        for (int c = 0; c < 6; ++c)
+          a_full[r * 6 + c] =
+              c >= r ? ata[simd::tri21(r, c)] : ata[simd::tri21(c, r)];
+      V b_work[6];
+      for (int r = 0; r < 6; ++r) b_work[r] = atbn[r];
+      V theta[6];
+      const M singular =
+          simd::batch_solve6<Tag>(a_full, b_work, theta, 1e-12);
+      const V err = simd::batch_residual6<Tag>(ata, theta, atbn, btbn);
+
+      const unsigned sing_bits = T::mask_bits(singular);
+      auto& counters = linalg::solve_counters();
+      counters.solves6 += N;
+      counters.singular += std::popcount(sing_bits);
+      tally.batched_hypotheses += N;
+      ++tally.batches;
+
+      // ---- Winner fold: horizontal min prefilter, then the scalar
+      // tie-break per lane in ascending-hx order.
+      double errs[N];
+      T::store(errs, err);
+      double min_err = errs[0];
+      for (int l = 1; l < N; ++l) min_err = std::min(min_err, errs[l]);
+      if (best.any_ok && !(min_err <= best.error)) continue;
+
+      double th[6][N];
+      bool extracted = false;
+      for (int l = 0; l < N; ++l) {
+        const int hx = hx0 + l;
+        if (!hypothesis_improves(best, errs[l], hx, hy)) continue;
+        const bool ok = (sing_bits >> l & 1u) == 0;
+        if (ok && !extracted) {
+          for (int r = 0; r < 6; ++r) T::store(th[r], theta[r]);
+          extracted = true;
+        }
+        best.solved = ok;
+        best.coverage = 1.0;
+        best.hx = hx;
+        best.hy = hy;
+        best.ux = hx;
+        best.uy = hy;
+        best.error = errs[l];
+        best.params =
+            ok ? MotionParams::from_vec({th[0][l], th[1][l], th[2][l],
+                                         th[3][l], th[4][l], th[5][l]})
+               : MotionParams{};
+        best.any_ok = true;
+      }
+    }
+
+    // ---- Scalar tail: search widths that are not a lane multiple.
+    for (; hx0 <= g.nzs_x; ++hx0) {
+      MotionParams params;
+      bool ok = false;
+      const double error = evaluate_hypothesis_precomputed(
+          pre, after, *g.win, x, y, hx0, hy, rx, ry, params, ok);
+      ++tally.tail_hypotheses;
+      if (hypothesis_improves(best, error, hx0, hy)) {
+        best.solved = ok;
+        best.coverage = 1.0;
+        best.hx = hx0;
+        best.hy = hy;
+        best.ux = hx0;
+        best.uy = hy;
+        best.error = error;
+        best.params = params;
+        best.any_ok = true;
+      }
+    }
+  }
+}
+
+/// SoA adapter for the property tests: batches laid out as
+/// element-major [k][lane] double arrays.
+template <class Tag>
+void batch_solve_soa(const double* a, const double* b, double* x,
+                     unsigned char* singular, double eps) {
+  using T = simd::LaneTraits<Tag>;
+  using V = typename T::Vec;
+  constexpr int N = T::kLanes;
+  V av[36], bv[6], xv[6];
+  for (int k = 0; k < 36; ++k) av[k] = T::load(a + k * N);
+  for (int k = 0; k < 6; ++k) bv[k] = T::load(b + k * N);
+  const auto mask = simd::batch_solve6<Tag>(av, bv, xv, eps);
+  for (int k = 0; k < 6; ++k) T::store(x + k * N, xv[k]);
+  const unsigned bits = T::mask_bits(mask);
+  for (int l = 0; l < N; ++l) singular[l] = (bits >> l & 1u) != 0 ? 1 : 0;
+}
+
+}  // namespace sma::core::detail

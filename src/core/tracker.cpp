@@ -22,11 +22,20 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-// Hypothesis tie-break shared with the semi-fluid argmin: prefer strictly
-// smaller error; on exact ties prefer the smaller displacement, then
-// raster order.  Deterministic and independent of segmentation — and of
-// hypothesis visit order, which is what lets every backend evaluate the
-// search in its own schedule and still converge on the same winner.
+// Semi-fluid flag used consistently across the stages: the discriminants
+// must actually be present for the semi-fluid path to engage.
+bool semifluid_active(const MatchInput& in, const SmaConfig& config) {
+  return config.model == MotionModel::kSemiFluid &&
+         config.semifluid_search_radius > 0 && in.disc_before != nullptr &&
+         in.disc_after != nullptr;
+}
+
+}  // namespace
+
+// Documented at the declaration.  Deliberately out-of-line: the per-ISA
+// vector-kernel translation units call it, and an out-of-line call is
+// immune to the comdat/ODR hazards of sharing inline code with a TU
+// built under wider target flags (DESIGN.md §13).
 bool hypothesis_improves(const PixelBest& best, double error, int hx,
                          int hy) {
   if (!best.any_ok) return true;
@@ -38,16 +47,6 @@ bool hypothesis_improves(const PixelBest& best, double error, int hx,
   if (hy != best.hy) return hy < best.hy;
   return hx < best.hx;
 }
-
-// Semi-fluid flag used consistently across the stages: the discriminants
-// must actually be present for the semi-fluid path to engage.
-bool semifluid_active(const MatchInput& in, const SmaConfig& config) {
-  return config.model == MotionModel::kSemiFluid &&
-         config.semifluid_search_radius > 0 && in.disc_before != nullptr &&
-         in.disc_after != nullptr;
-}
-
-}  // namespace
 
 // The naive per-hypothesis evaluation — documented at the declaration in
 // tracker.hpp, which also carries the default arguments (they used to be

@@ -13,6 +13,8 @@
 //    used to form a baseline for comparing the correctness of the
 //    parallel algorithm results" (Sec. 4).
 //  * "openmp"     — OpenMP over image rows; bit-identical output.
+//  * "vector"     — SIMD lanes over search hypotheses inside OpenMP rows
+//    (core/match_vector.hpp); bit-identical output on every lane ISA.
 //  * "maspar-sim" — the MasPar SIMD executor (maspar/backend.hpp) driving
 //    the same per-pixel kernels layer by layer.
 // ExecutionPolicy survives as the legacy selector for the first two.
@@ -256,6 +258,14 @@ double evaluate_pixel_hypothesis(const surface::GeometricField& before,
                                  const imaging::ImageU8* mask_before = nullptr,
                                  const imaging::ImageU8* mask_after = nullptr,
                                  double* coverage_out = nullptr);
+
+/// The shared winner predicate (Eq. 7 argmin with deterministic ties):
+/// prefer strictly smaller error; on exact ties prefer the smaller
+/// displacement |hx|+|hy|, then raster order.  Independent of hypothesis
+/// visit order, which is what lets every backend — including the
+/// lane-batched vector kernel — evaluate the search in its own schedule
+/// and still converge on the same winner.
+bool hypothesis_improves(const PixelBest& best, double error, int hx, int hy);
 
 /// Scans hypothesis rows [hy_min, hy_max] for pixel (x, y), refining
 /// `best` in place.  `cost_field` may be null for the continuous model or

@@ -1,0 +1,63 @@
+#include "simd/dispatch.hpp"
+
+#include <cstdlib>
+
+namespace sma::simd {
+
+const char* level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+std::optional<SimdLevel> parse_level(const std::string& text) {
+  if (text == "scalar") return SimdLevel::kScalar;
+  if (text == "sse2") return SimdLevel::kSse2;
+  if (text == "avx2") return SimdLevel::kAvx2;
+  if (text == "neon") return SimdLevel::kNeon;
+  return std::nullopt;
+}
+
+SimdLevel detect_level() {
+#if defined(SMA_SIMD_FORCE_SCALAR)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  // Advanced SIMD with float64 lanes is architectural on AArch64.
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool level_supported(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return true;
+  const SimdLevel hw = detect_level();
+  if (level == hw) return true;
+  // SSE2 is implied by AVX2 hardware; the NEON/x86 families never mix.
+  return level == SimdLevel::kSse2 && hw == SimdLevel::kAvx2;
+}
+
+SimdLevel active_level() {
+  if (const char* env = std::getenv("SMA_SIMD_LEVEL")) {
+    const std::optional<SimdLevel> parsed = parse_level(env);
+    if (parsed.has_value() && level_supported(*parsed)) return *parsed;
+  }
+  return detect_level();
+}
+
+}  // namespace sma::simd

@@ -1,0 +1,53 @@
+// dispatch.hpp — runtime selection of the SIMD lane implementation.
+//
+// The lane kernels (lane.hpp, core/match_vector_*.cpp) are compiled per
+// instruction set; this module decides, once per process, which of them
+// the `vector` backend should run:
+//
+//   1. compile-time override: -DSMA_SIMD=OFF defines
+//      SMA_SIMD_FORCE_SCALAR and pins the scalar lanes — the CI leg that
+//      proves the portable fallback is bit-identical;
+//   2. environment override: SMA_SIMD_LEVEL=scalar|sse2|avx2|neon
+//      selects a specific level, clamped to what the CPU supports
+//      (requesting avx2 on a non-AVX2 host degrades to detection);
+//   3. CPUID detection: __builtin_cpu_supports on x86-64 (AVX2, then
+//      SSE2 — the architectural baseline), NEON on AArch64, scalar
+//      elsewhere.
+//
+// Because every lane implementation is per-lane bit-exact (lane.hpp),
+// the choice affects throughput only — never results — which is why a
+// single golden artifact covers every dispatch outcome.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sma::simd {
+
+/// The dispatchable lane implementations, in increasing x86 capability
+/// order (kNeon is the separate AArch64 family).  Values are stable:
+/// they are exported as the `vector.level_id` metric.
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Lower-case level name as accepted by SMA_SIMD_LEVEL ("scalar",
+/// "sse2", "avx2", "neon").
+const char* level_name(SimdLevel level);
+
+/// Parses an SMA_SIMD_LEVEL value; nullopt on unknown names (the caller
+/// falls back to detection).  Pure — unit-tested directly.
+std::optional<SimdLevel> parse_level(const std::string& text);
+
+/// What the hardware (and compile-time policy) supports, ignoring the
+/// environment override.
+SimdLevel detect_level();
+
+/// True when `level` can run on this host (scalar always can; wide
+/// levels require hardware support and SMA_SIMD=ON).
+bool level_supported(SimdLevel level);
+
+/// The level the process should use: the SMA_SIMD_LEVEL override when
+/// set, valid and supported, else detect_level().  Computed on every
+/// call (cheap) so tests can flip the environment between runs.
+SimdLevel active_level();
+
+}  // namespace sma::simd

@@ -161,6 +161,7 @@ TEST(BackendRegistry, NamesAndPolicyMapping) {
   EXPECT_NE(registry.find("sequential"), nullptr);
   EXPECT_NE(registry.find("openmp"), nullptr);
   EXPECT_NE(registry.find("maspar-sim"), nullptr);
+  EXPECT_NE(registry.find("vector"), nullptr);
   EXPECT_EQ(registry.find("nosuch"), nullptr);
   EXPECT_THROW(registry.get("nosuch"), std::invalid_argument);
 
@@ -170,6 +171,7 @@ TEST(BackendRegistry, NamesAndPolicyMapping) {
   EXPECT_FALSE(registry.get("sequential").capabilities().host_parallel);
   EXPECT_TRUE(registry.get("openmp").capabilities().host_parallel);
   EXPECT_TRUE(registry.get("maspar-sim").capabilities().modeled_cost);
+  EXPECT_TRUE(registry.get("vector").capabilities().host_parallel);
 }
 
 TEST(BackendRegistry, MasParExtrasExposeModeledReport) {

@@ -136,7 +136,8 @@ TEST(GoldenFlowfield, AllBackendsAndPrecomputeModesBitIdentical) {
   for (const core::SmaConfig& cfg : {golden_config(), continuous}) {
     const imaging::FlowField reference =
         run_pipeline(cfg, "sequential", core::PrecomputeMode::kOff);
-    for (const std::string backend : {"sequential", "openmp", "maspar-sim"}) {
+    for (const std::string backend :
+         {"sequential", "openmp", "maspar-sim", "vector"}) {
       for (const core::PrecomputeMode mode :
            {core::PrecomputeMode::kOff, core::PrecomputeMode::kOn,
             core::PrecomputeMode::kAuto}) {
