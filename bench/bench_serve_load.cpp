@@ -1,0 +1,304 @@
+// bench_serve_load.cpp — closed-loop load benchmark for sma_serve.
+//
+// Runs the daemon stack in-process (Server on an ephemeral port, real
+// sockets, real worker pool) and hammers it with concurrent closed-loop
+// clients, reporting the serving layer's four headline numbers:
+// requests/s, p50/p99 latency, rejection rate and deadline-miss rate.
+// Three scenarios bound the behaviour envelope:
+//
+//   * baseline    — clean frames, no deadlines, workers ~= cores
+//   * overload    — 1 worker, tiny queue: admission control must shed
+//                   load with `overloaded` rejections, not queue delay
+//   * chaos       — frame corruption + worker stalls + tight deadlines:
+//                   the no-crash/no-hang/no-wrong-answer regime
+//
+// Every scenario ends by checking the exactly-once accounting invariant
+// (serve.requests_total == sum of serve.outcome.*) and stamps the
+// result into the JSON record, so a violation shows up as a regression
+// in the committed BENCH_serve.json, not just a test failure.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sma;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::uint8_t> pattern_bytes(int w, int h, double phase) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const double v = 128.0 + 55.0 * std::sin(0.31 * x + phase) *
+                                   std::cos(0.23 * y - 0.5 * phase);
+      bytes.push_back(static_cast<std::uint8_t>(v));
+    }
+  return bytes;
+}
+
+struct Scenario {
+  std::string name;
+  serve::ServeOptions options;
+  int clients = 4;
+  int deadline_ms = 0;  ///< per-request deadline carried on the wire
+  /// Distinct frame pairs cycled across requests; 1 = maximal dedup.
+  int frame_variants = 4;
+};
+
+struct Tally {
+  long sent = 0;
+  long outcomes[serve::kOutcomeCount] = {0, 0, 0, 0, 0};
+  std::vector<double> latencies_ms;
+};
+
+struct Result {
+  double duration_s = 0.0;
+  long total = 0;
+  long ok = 0, degraded = 0, rejected = 0, deadline = 0, error = 0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  double reject_rate = 0.0, deadline_miss_rate = 0.0;
+  bool invariant_ok = false;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+Result run_scenario(const Scenario& scenario, int duration_ms,
+                    int frame_edge) {
+  serve::Server server(scenario.options);
+  server.start();
+  server.run_in_thread();
+
+  // Pre-build the request set outside the timed loop.
+  std::vector<serve::TrackRequest> variants;
+  for (int v = 0; v < scenario.frame_variants; ++v) {
+    serve::TrackRequest req;
+    req.width = frame_edge;
+    req.height = frame_edge;
+    req.fit_radius = 2;
+    req.search_radius = 2;
+    req.template_radius = 2;
+    req.nss = 1;
+    req.nst = 1;
+    req.deadline_ms = scenario.deadline_ms;
+    req.before = pattern_bytes(frame_edge, frame_edge, 0.13 * v);
+    req.after = pattern_bytes(frame_edge, frame_edge, 0.13 * v + 0.35);
+    variants.push_back(std::move(req));
+  }
+
+  std::atomic<std::uint64_t> next_id{1};
+  std::vector<Tally> tallies(static_cast<std::size_t>(scenario.clients));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  const auto until = t0 + std::chrono::milliseconds(duration_ms);
+
+  for (int c = 0; c < scenario.clients; ++c)
+    threads.emplace_back([&, c] {
+      Tally& tally = tallies[static_cast<std::size_t>(c)];
+      serve::Client client;
+      client.connect(scenario.options.host, server.port());
+      while (Clock::now() < until) {
+        serve::TrackRequest req =
+            variants[static_cast<std::size_t>(tally.sent) %
+                     variants.size()];
+        req.id = next_id.fetch_add(1, std::memory_order_relaxed);
+        req.tenant = "client-" + std::to_string(c);
+        const auto sent_at = Clock::now();
+        const serve::TrackResponse resp = client.track(req);
+        tally.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      sent_at)
+                .count());
+        ++tally.sent;
+        ++tally.outcomes[static_cast<int>(resp.outcome)];
+        // Closed loop with polite retry: honour the backpressure hint
+        // (capped so the bench keeps offering load).
+        if (resp.outcome == serve::Outcome::kRejected)
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min(resp.retry_after_ms, 20)));
+      }
+      client.quit();
+    });
+  for (std::thread& t : threads) t.join();
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  server.request_drain();
+  server.wait();
+
+  Result r;
+  r.duration_s = duration_s;
+  std::vector<double> latencies;
+  for (const Tally& t : tallies) {
+    r.total += t.sent;
+    r.ok += t.outcomes[0];
+    r.degraded += t.outcomes[1];
+    r.rejected += t.outcomes[2];
+    r.deadline += t.outcomes[3];
+    r.error += t.outcomes[4];
+    latencies.insert(latencies.end(), t.latencies_ms.begin(),
+                     t.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  r.requests_per_s = r.total / duration_s;
+  r.p50_ms = percentile(latencies, 0.50);
+  r.p99_ms = percentile(latencies, 0.99);
+  r.reject_rate = r.total > 0 ? static_cast<double>(r.rejected) / r.total : 0;
+  r.deadline_miss_rate =
+      r.total > 0 ? static_cast<double>(r.deadline) / r.total : 0;
+
+  // Exactly-once accounting: the server's view must match the sum of
+  // its outcome counters AND the client-side tally.
+  const double server_total =
+      server.metrics().counter("serve.requests_total").value();
+  double server_sum = 0.0;
+  for (serve::Outcome o :
+       {serve::Outcome::kOk, serve::Outcome::kDegraded,
+        serve::Outcome::kRejected, serve::Outcome::kDeadline,
+        serve::Outcome::kError})
+    server_sum += server.outcome_count(o);
+  r.invariant_ok = server_total == server_sum &&
+                   server_total == static_cast<double>(r.total);
+  return r;
+}
+
+void print_result(const Scenario& scenario, const Result& r) {
+  bench::header("sma_serve load: " + scenario.name);
+  std::printf("  clients=%d workers=%zu queue=%zu deadline_ms=%d chaos=%d\n",
+              scenario.clients, scenario.options.workers,
+              scenario.options.admission.queue_capacity, scenario.deadline_ms,
+              scenario.options.chaos.enabled ? 1 : 0);
+  std::printf("  requests            %8ld  (%.1f req/s over %.2f s)\n",
+              r.total, r.requests_per_s, r.duration_s);
+  std::printf("  ok/degraded         %8ld / %ld\n", r.ok, r.degraded);
+  std::printf("  rejected            %8ld  (rate %.3f)\n", r.rejected,
+              r.reject_rate);
+  std::printf("  deadline misses     %8ld  (rate %.3f)\n", r.deadline,
+              r.deadline_miss_rate);
+  std::printf("  errors              %8ld\n", r.error);
+  std::printf("  latency p50 / p99   %8.2f / %.2f ms\n", r.p50_ms, r.p99_ms);
+  std::printf("  accounting invariant %s\n",
+              r.invariant_ok ? "OK" : "VIOLATED");
+}
+
+void record(bench::JsonReport& report, const Scenario& scenario,
+            const Result& r, int frame_edge) {
+  bench::JsonRecord& rec = report.add("serve_load_" + scenario.name);
+  rec.wall_ms = r.duration_s * 1000.0;
+  rec.pixels_per_s = (r.ok + r.degraded) *
+                     static_cast<double>(frame_edge) * frame_edge /
+                     r.duration_s;
+  rec.config = "clients=" + std::to_string(scenario.clients) +
+               "; workers=" + std::to_string(scenario.options.workers) +
+               "; queue=" +
+               std::to_string(scenario.options.admission.queue_capacity) +
+               "; frame=" + std::to_string(frame_edge) + "x" +
+               std::to_string(frame_edge) +
+               "; deadline_ms=" + std::to_string(scenario.deadline_ms) +
+               (scenario.options.chaos.enabled ? "; chaos=on" : "; chaos=off");
+  rec.extra("requests_total", static_cast<double>(r.total));
+  rec.extra("requests_per_s", r.requests_per_s);
+  rec.extra("ok", static_cast<double>(r.ok));
+  rec.extra("degraded", static_cast<double>(r.degraded));
+  rec.extra("rejected", static_cast<double>(r.rejected));
+  rec.extra("deadline", static_cast<double>(r.deadline));
+  rec.extra("error", static_cast<double>(r.error));
+  rec.extra("p50_ms", r.p50_ms);
+  rec.extra("p99_ms", r.p99_ms);
+  rec.extra("reject_rate", r.reject_rate);
+  rec.extra("deadline_miss_rate", r.deadline_miss_rate);
+  rec.extra("accounting_invariant_ok", r.invariant_ok ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 2000;
+  int frame_edge = 32;
+  std::size_t workers = std::max(2u, std::thread::hardware_concurrency() / 2);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int& out) { if (i + 1 < argc) out = std::atoi(argv[++i]); };
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg == "--duration-ms") next(duration_ms);
+    else if (arg == "--frame-edge") next(frame_edge);
+    else if (arg == "--workers") { int w = 0; next(w); if (w > 0) workers = static_cast<std::size_t>(w); }
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--duration-ms N]"
+                   " [--frame-edge N] [--workers N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "baseline";
+    s.options.workers = workers;
+    s.clients = static_cast<int>(workers) * 2;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "overload";
+    s.options.workers = 1;
+    s.options.admission.queue_capacity = 2;
+    s.options.admission.retry_after_ms = 25;
+    s.clients = 8;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "chaos";
+    s.options.workers = workers;
+    s.options.chaos.enabled = true;
+    s.options.chaos.seed = 0xc4a05;
+    s.options.chaos.frame_fault_rate = 0.3;
+    s.options.chaos.fault_intensity = 0.06;
+    s.options.chaos.stall_rate = 0.25;
+    s.options.chaos.stall_ms = 60;
+    s.options.chaos.slow_read_rate = 0.25;
+    s.options.chaos.slow_read_bytes = 2048;
+    // One client per worker: deadline misses then come from chaos
+    // stalls and corruption-repair overhead, not queueing delay.
+    s.clients = static_cast<int>(workers);
+    s.deadline_ms = 200;
+    scenarios.push_back(s);
+  }
+
+  bench::JsonReport report;
+  bench::add_environment_record(report);
+  bool all_invariants_hold = true;
+  for (const Scenario& scenario : scenarios) {
+    const Result r = run_scenario(scenario, duration_ms, frame_edge);
+    print_result(scenario, r);
+    record(report, scenario, r, frame_edge);
+    all_invariants_hold = all_invariants_hold && r.invariant_ok;
+  }
+
+  if (!json_path.empty() && !report.write(json_path)) return 1;
+  if (!all_invariants_hold) {
+    std::fprintf(stderr, "FATAL: exactly-once accounting violated\n");
+    return 1;
+  }
+  return 0;
+}

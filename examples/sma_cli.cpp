@@ -44,6 +44,7 @@
 #include "maspar/backend.hpp"
 #include "maspar/sma_simd.hpp"
 #include "obs/trace.hpp"
+#include "serve/error.hpp"
 #include "stereo/asa.hpp"
 #include "stereo/refine.hpp"
 
@@ -91,7 +92,7 @@ int cmd_synth(const std::string& prefix) {
 }
 
 int cmd_track(int argc, char** argv) {
-  if (argc < 6) return usage();
+  if (argc < 5) return usage();
   const std::string before_path = argv[2];
   const std::string after_path = argv[3];
   const std::string out_path = argv[4];
@@ -314,8 +315,13 @@ int main(int argc, char** argv) {
     if (cmd == "track") return cmd_track(argc, argv);
     if (cmd == "stereo") return cmd_stereo(argc, argv);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    // Map onto the serve error taxonomy so scripts distinguish bad
+    // flags (2) from missing files (3) from bugs (4) — the same codes
+    // sma_serve / sma_client exit with (serve/error.hpp).
+    const sma::serve::ServeError code = sma::serve::classify_exception(e);
+    std::fprintf(stderr, "error (%s): %s\n",
+                 sma::serve::serve_error_name(code), e.what());
+    return sma::serve::exit_code(code);
   }
   return usage();
 }

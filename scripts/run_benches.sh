@@ -33,6 +33,8 @@ echo "benches: OMP_NUM_THREADS=$OMP_NUM_THREADS repeat=$repeat"
   --json "$repo_root/BENCH_matching.json"
 "$build_dir/bench/bench_table2_frederic" \
   --json "$repo_root/BENCH_table2.json"
+"$build_dir/bench/bench_serve_load" \
+  --json "$repo_root/BENCH_serve.json"
 
 echo "bench artifacts:"
 ls -l "$repo_root"/BENCH_*.json

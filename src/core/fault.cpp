@@ -34,7 +34,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kMissingFrame: return "missing-frame";
     case FaultKind::kStripeFault: return "stripe-fault";
     case FaultKind::kStripeRetry: return "stripe-retry";
-    case FaultKind::kFrameSkipped: return "frame-skipped";
+    case FaultKind::kStripeSkip: return "stripe-skip";
     case FaultKind::kLineRepaired: return "line-repaired";
     case FaultKind::kLineMasked: return "line-masked";
   }
@@ -53,9 +53,12 @@ std::string FaultLog::summary() const {
       FaultKind::kScanlineDropout, FaultKind::kBitNoise,
       FaultKind::kDeadColumn,      FaultKind::kMissingFrame,
       FaultKind::kStripeFault,     FaultKind::kStripeRetry,
-      FaultKind::kFrameSkipped,    FaultKind::kLineRepaired,
+      FaultKind::kStripeSkip,      FaultKind::kLineRepaired,
       FaultKind::kLineMasked,
   };
+  static_assert(sizeof(kAll) / sizeof(kAll[0]) == kFaultKindCount,
+                "FaultKind changed: update FaultLog::summary and "
+                "obs_bridge.cpp's kAllFaultKinds");
   std::ostringstream out;
   bool any = false;
   for (const FaultKind k : kAll) {

@@ -17,6 +17,7 @@
 // the pipeline bit-identical to the fault-free build.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,10 +35,16 @@ enum class FaultKind {
   kMissingFrame,     ///< entire frame lost (filled with the dropout value)
   kStripeFault,      ///< modeled MPDA RAID-3 stripe-read failure
   kStripeRetry,      ///< one bounded re-read attempt (detail = backoff s)
-  kFrameSkipped,     ///< retries exhausted; frame interpolated instead
+  kStripeSkip,       ///< retries exhausted; skip-and-interpolate engaged
   kLineRepaired,     ///< repair layer interpolated a dropped line
   kLineMasked,       ///< repair layer gave up; line marked invalid
 };
+
+/// Number of FaultKind values.  obs_bridge.cpp static_asserts its
+/// all-kinds export list against this, so adding a kind without
+/// registering its "fault.*" gauge fails the build — the same
+/// completeness contract the sizeof checks give the stats structs.
+inline constexpr std::size_t kFaultKindCount = 9;
 
 /// Human-readable name of a fault kind ("scanline-dropout", ...).
 const char* fault_kind_name(FaultKind kind);

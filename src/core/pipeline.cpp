@@ -3,8 +3,10 @@
 #include <array>
 #include <chrono>
 #include <list>
+#include <mutex>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "core/match_precompute.hpp"
 #include "core/obs_bridge.hpp"
 #include "core/postprocess.hpp"
@@ -20,6 +22,10 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void check_cancel(const CancelToken* cancel, const char* stage) {
+  if (cancel != nullptr) cancel->check(stage);
 }
 
 }  // namespace
@@ -107,6 +113,7 @@ SmaPipeline::SmaPipeline(SmaConfig config, PipelineOptions options)
         "SmaPipeline: geometry_cache_capacity must hold at least one pair");
   backend_ = &BackendRegistry::instance().get(options_.backend);
   cache_ = std::make_unique<GeometryCache>(options_.geometry_cache_capacity);
+  state_mutex_ = std::make_unique<std::mutex>();
   metrics_ = std::make_unique<obs::MetricsRegistry>();
   // Per-pair latency distribution, registered up front so exports carry
   // explicit zero buckets before the first pair.
@@ -116,13 +123,22 @@ SmaPipeline::SmaPipeline(SmaConfig config, PipelineOptions options)
 }
 
 void SmaPipeline::reset_stats() {
-  stats_ = PipelineStats{};
+  PipelineStats zeroed;
+  {
+    std::scoped_lock lock(*state_mutex_);
+    stats_ = zeroed;
+  }
   metrics_->reset();
-  publish_metrics(stats_, *metrics_);
+  publish_metrics(zeroed, *metrics_);
 }
 
 obs::MetricsRegistry& SmaPipeline::metrics() {
-  publish_metrics(stats_, *metrics_);
+  PipelineStats snapshot;
+  {
+    std::scoped_lock lock(*state_mutex_);
+    snapshot = stats_;
+  }
+  publish_metrics(snapshot, *metrics_);
   return *metrics_;
 }
 
@@ -143,18 +159,27 @@ void SmaPipeline::set_config(const SmaConfig& config) {
   config_ = config;
 }
 
-void SmaPipeline::clear_cache() { cache_->clear(); }
+void SmaPipeline::clear_cache() {
+  std::scoped_lock lock(*state_mutex_);
+  cache_->clear();
+}
 
-std::shared_ptr<const surface::GeometricField> SmaPipeline::frame_geometry(
+SmaPipeline::GeomLookup SmaPipeline::frame_geometry(
     const imaging::ImageF& img) {
   const GeometryCache::Key key =
       GeometryCache::make_key(img, config_.surface_fit_radius);
-  if (GeometryCache::Entry* hit = cache_->find(key)) {
-    ++stats_.cache_hits;
-    return hit->geom;
+  {
+    std::scoped_lock lock(*state_mutex_);
+    if (GeometryCache::Entry* hit = cache_->find(key)) {
+      ++stats_.cache_hits;
+      return {hit->geom, 0.0, 0.0};
+    }
+    // Count the miss (and the fit about to happen) before releasing the
+    // lock: the invariant is "every fit performed is a counted miss",
+    // even if a concurrent caller races us to the insert below.
+    ++stats_.cache_misses;
+    ++stats_.surface_fits;
   }
-  ++stats_.cache_misses;
-  ++stats_.surface_fits;
 
   surface::GeometryOptions gopts;
   gopts.patch_radius = config_.surface_fit_radius;
@@ -175,43 +200,69 @@ std::shared_ptr<const surface::GeometricField> SmaPipeline::frame_geometry(
     entry.derive_seconds = seconds_since(t0);
   }
 
+  GeomLookup out{entry.geom, entry.fit_seconds, entry.derive_seconds};
+  std::scoped_lock lock(*state_mutex_);
   stats_.surface_fit_seconds += entry.fit_seconds;
   stats_.geometric_vars_seconds += entry.derive_seconds;
-  return cache_->insert(std::move(entry), stats_)->geom;
+  // A concurrent caller may have inserted the same frame while we were
+  // fitting; keep the incumbent (its precompute planes may already be
+  // attached) and drop our duplicate.
+  if (GeometryCache::Entry* raced = cache_->find(key)) {
+    out.geom = raced->geom;
+    return out;
+  }
+  cache_->insert(std::move(entry), stats_);
+  return out;
 }
 
-std::shared_ptr<const MatchPrecompute> SmaPipeline::frame_precompute(
+SmaPipeline::PreLookup SmaPipeline::frame_precompute(
     const imaging::ImageF& img,
     const std::shared_ptr<const surface::GeometricField>& geom) {
   const GeometryCache::Key key =
       GeometryCache::make_key(img, config_.surface_fit_radius);
-  // Direct list walk, not frame_geometry(): the hit/miss counters are a
-  // documented invariant (one miss per distinct frame) and precompute
-  // attachment must not perturb them.
-  GeometryCache::Entry* entry = cache_->find(key);
-  if (entry != nullptr && entry->precompute != nullptr) {
-    ++stats_.precompute_reuses;
-    return entry->precompute;
+  {
+    // Direct list walk, not frame_geometry(): the hit/miss counters are
+    // a documented invariant (one miss per distinct frame) and
+    // precompute attachment must not perturb them.
+    std::scoped_lock lock(*state_mutex_);
+    GeometryCache::Entry* entry = cache_->find(key);
+    if (entry != nullptr && entry->precompute != nullptr) {
+      ++stats_.precompute_reuses;
+      return {entry->precompute, 0.0};
+    }
+    ++stats_.precompute_builds;
   }
-  ++stats_.precompute_builds;
   const auto t0 = Clock::now();
   obs::TraceSpan span("pipeline", "match_precompute");
   auto pre = std::make_shared<const MatchPrecompute>(
       *geom, backend_->capabilities().host_parallel);
   span.finish();
-  stats_.match_precompute_seconds += seconds_since(t0);
+  const double seconds = seconds_since(t0);
+  std::scoped_lock lock(*state_mutex_);
+  stats_.match_precompute_seconds += seconds;
   // The frame can be absent if the after-frame lookups evicted it from
   // a minimal-capacity cache; the planes are still valid for this pair,
-  // they just can't be memoised.
-  if (entry != nullptr) entry->precompute = pre;
-  return pre;
+  // they just can't be memoised.  Under a concurrent duplicate build the
+  // first writer wins.
+  GeometryCache::Entry* entry = cache_->find(key);
+  if (entry != nullptr) {
+    if (entry->precompute == nullptr) entry->precompute = pre;
+    return {entry->precompute, seconds};
+  }
+  return {pre, seconds};
 }
 
 TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
+  return track_pair(input, nullptr);
+}
+
+TrackResult SmaPipeline::track_pair(const TrackerInput& input,
+                                    const CancelToken* cancel) {
   obs::TraceSpan pair_span("pipeline", "track_pair");
   validate_tracker_input(input, "SmaPipeline");
   const bool monocular = input.intensity_before == input.surface_before &&
                          input.intensity_after == input.surface_after;
+  check_cancel(cancel, "ingest");
 
   // --- Stage: ingest / repair.
   TrackerInput effective = input;
@@ -227,7 +278,9 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
     rep0 = imaging::repair_frame(*input.intensity_before);
     rep1 = imaging::repair_frame(*input.intensity_after);
     span.finish();
-    stats_.ingest_seconds += seconds_since(t0);
+    const double seconds = seconds_since(t0);
+    std::scoped_lock lock(*state_mutex_);
+    stats_.ingest_seconds += seconds;
     effective.intensity_before = effective.surface_before = &rep0.image;
     effective.intensity_after = effective.surface_after = &rep1.image;
     effective.validity_before = &rep0.validity;
@@ -238,21 +291,36 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
   const auto t_start = Clock::now();
   const bool semifluid = config_.model == MotionModel::kSemiFluid &&
                          config_.semifluid_search_radius > 0;
-  const double fit_before = stats_.surface_fit_seconds;
-  const double derive_before = stats_.geometric_vars_seconds;
 
-  const auto g0 = frame_geometry(*effective.surface_before);
-  const auto g1 = frame_geometry(*effective.surface_after);
+  check_cancel(cancel, "surface_fit");
+  const GeomLookup l0 = frame_geometry(*effective.surface_before);
+  check_cancel(cancel, "surface_fit");
+  const GeomLookup l1 = frame_geometry(*effective.surface_after);
+  const auto& g0 = l0.geom;
+  const auto& g1 = l1.geom;
+  double fit_seconds = l0.fit_seconds + l1.fit_seconds;
+  double derive_seconds = l0.derive_seconds + l1.derive_seconds;
   std::shared_ptr<const surface::GeometricField> gi0, gi1;
   if (semifluid) {
+    check_cancel(cancel, "geometric_vars");
     // Monocular aliasing short-circuits without a cache lookup, so the
     // hit/miss counters describe distinct rasters only.
-    gi0 = effective.intensity_before == effective.surface_before
-              ? g0
-              : frame_geometry(*effective.intensity_before);
-    gi1 = effective.intensity_after == effective.surface_after
-              ? g1
-              : frame_geometry(*effective.intensity_after);
+    if (effective.intensity_before == effective.surface_before) {
+      gi0 = g0;
+    } else {
+      const GeomLookup li = frame_geometry(*effective.intensity_before);
+      gi0 = li.geom;
+      fit_seconds += li.fit_seconds;
+      derive_seconds += li.derive_seconds;
+    }
+    if (effective.intensity_after == effective.surface_after) {
+      gi1 = g1;
+    } else {
+      const GeomLookup li = frame_geometry(*effective.intensity_after);
+      gi1 = li.geom;
+      fit_seconds += li.fit_seconds;
+      derive_seconds += li.derive_seconds;
+    }
   }
 
   MatchInput mi;
@@ -264,35 +332,46 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
   mi.mask_after = effective.validity_after;
 
   // --- Stage: match precompute (cached alongside the geometry).
+  check_cancel(cancel, "match_precompute");
   std::shared_ptr<const MatchPrecompute> pre;
-  const double pre_before = stats_.match_precompute_seconds;
+  double pre_seconds = 0.0;
   if (resolve_precompute(config_, mi) == PrecomputeDecision::kFast) {
-    pre = frame_precompute(*effective.surface_before, g0);
+    PreLookup pl = frame_precompute(*effective.surface_before, g0);
+    pre = std::move(pl.pre);
+    pre_seconds = pl.seconds;
     mi.precompute = pre.get();
   }
 
   // --- Stage: hypothesis matching (delegated to the backend).
+  check_cancel(cancel, "matching");
   obs::TraceSpan match_span("pipeline", "matching");
   TrackResult result = backend_->match(mi, config_, options_.track);
   match_span.finish();
-  result.timings.match_precompute +=
-      stats_.match_precompute_seconds - pre_before;
-  stats_.matching_seconds +=
-      result.timings.semifluid_mapping + result.timings.hypothesis_matching;
-  result.timings.surface_fit = stats_.surface_fit_seconds - fit_before;
-  result.timings.geometric_vars =
-      stats_.geometric_vars_seconds - derive_before;
+  result.timings.match_precompute += pre_seconds;
+  result.timings.surface_fit = fit_seconds;
+  result.timings.geometric_vars = derive_seconds;
+  {
+    std::scoped_lock lock(*state_mutex_);
+    stats_.matching_seconds +=
+        result.timings.semifluid_mapping + result.timings.hypothesis_matching;
+  }
 
   // --- Stage: postprocess.
+  check_cancel(cancel, "postprocess");
   if (options_.robust) {
     const auto t0 = Clock::now();
     obs::TraceSpan span("pipeline", "postprocess");
     result.flow = robust_postprocess(result.flow);
-    stats_.postprocess_seconds += seconds_since(t0);
+    const double seconds = seconds_since(t0);
+    std::scoped_lock lock(*state_mutex_);
+    stats_.postprocess_seconds += seconds;
   }
 
   result.timings.total = seconds_since(t_start);
-  ++stats_.pairs_tracked;
+  {
+    std::scoped_lock lock(*state_mutex_);
+    ++stats_.pairs_tracked;
+  }
   metrics_->histogram("pipeline.pair_seconds", {})
       .observe(result.timings.total);
   return result;
@@ -308,10 +387,12 @@ TrackResult SmaPipeline::track_pair(const imaging::ImageF& before,
 
 SequenceResult SmaPipeline::track_sequence(
     const std::vector<imaging::ImageF>& frames,
-    const std::vector<std::pair<double, double>>& seeds) {
+    const std::vector<std::pair<double, double>>& seeds,
+    const CancelToken* cancel) {
   if (frames.size() < 2)
     throw std::invalid_argument(
         "SmaPipeline::track_sequence: need at least two frames");
+  check_cancel(cancel, "ingest");
 
   // --- Stage: ingest / repair, once per frame (not per pair).
   std::vector<imaging::ImageF> repaired;
@@ -326,7 +407,9 @@ SequenceResult SmaPipeline::track_sequence(
       repaired.push_back(std::move(rep.image));
       masks.push_back(std::move(rep.validity));
     }
-    stats_.ingest_seconds += seconds_since(t0);
+    const double seconds = seconds_since(t0);
+    std::scoped_lock lock(*state_mutex_);
+    stats_.ingest_seconds += seconds;
   }
   const std::vector<imaging::ImageF>& seq =
       options_.repair ? repaired : frames;
@@ -337,6 +420,7 @@ SequenceResult SmaPipeline::track_sequence(
 
   TrajectoryTracker tracker(seeds);
   for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    check_cancel(cancel, "sequence_pair");
     TrackerInput in;
     in.intensity_before = in.surface_before = &seq[i];
     in.intensity_after = in.surface_after = &seq[i + 1];
@@ -344,13 +428,17 @@ SequenceResult SmaPipeline::track_sequence(
       in.validity_before = &masks[i];
       in.validity_after = &masks[i + 1];
     }
-    TrackResult r = track_pair(in);
+    TrackResult r = track_pair(in, cancel);
 
     // --- Stage: products (trajectory chaining).
     const auto t0 = Clock::now();
     obs::TraceSpan span("pipeline", "products");
     tracker.advance(r.flow);
-    stats_.products_seconds += seconds_since(t0);
+    const double seconds = seconds_since(t0);
+    {
+      std::scoped_lock lock(*state_mutex_);
+      stats_.products_seconds += seconds;
+    }
 
     result.timings.push_back(r.timings);
     result.flows.push_back(std::move(r.flow));

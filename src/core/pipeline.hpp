@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,6 +44,8 @@
 #include "obs/report.hpp"
 
 namespace sma::core {
+
+class CancelToken;  // core/cancel.hpp
 
 struct PipelineOptions {
   /// Registry name of the matching backend ("sequential", "openmp",
@@ -107,6 +110,12 @@ class SmaPipeline {
   /// any frame raster the pipeline has seen before.
   TrackResult track_pair(const TrackerInput& input);
 
+  /// Cancellable variant: `cancel` (may be null) is polled at the
+  /// checkpoints between stages; a fired token unwinds the call with
+  /// core::CancelledError before the next stage starts.  Work already
+  /// committed to the shared cache stays valid.
+  TrackResult track_pair(const TrackerInput& input, const CancelToken* cancel);
+
   /// Monocular convenience: intensity doubles as the surface.
   TrackResult track_pair(const imaging::ImageF& before,
                          const imaging::ImageF& after);
@@ -114,10 +123,12 @@ class SmaPipeline {
   /// Tracks every consecutive pair of a monocular sequence; each frame's
   /// geometry is fitted once.  Optional seeds are chained into
   /// Lagrangian trajectories (products stage).  Throws on fewer than
-  /// two frames.
+  /// two frames.  A non-null `cancel` is checked once per pair on top of
+  /// the per-stage checkpoints.
   SequenceResult track_sequence(
       const std::vector<imaging::ImageF>& frames,
-      const std::vector<std::pair<double, double>>& seeds = {});
+      const std::vector<std::pair<double, double>>& seeds = {},
+      const CancelToken* cancel = nullptr);
 
   /// Replaces the tracking config (e.g. per-pyramid-level windows).  The
   /// geometry cache keys on the surface-fit radius, so entries fitted
@@ -151,16 +162,29 @@ class SmaPipeline {
   void clear_cache();
 
  private:
+  /// Per-call products of a cached geometry lookup: the field plus the
+  /// seconds THIS call spent fitting (zero on a hit), so concurrent
+  /// callers attribute their own work without reading global deltas.
+  struct GeomLookup {
+    std::shared_ptr<const surface::GeometricField> geom;
+    double fit_seconds = 0.0;
+    double derive_seconds = 0.0;
+  };
+
   /// Geometry of one frame raster via the cache (surface fit +
   /// geometric variables stages).
-  std::shared_ptr<const surface::GeometricField> frame_geometry(
-      const imaging::ImageF& img);
+  GeomLookup frame_geometry(const imaging::ImageF& img);
 
   /// Hypothesis-invariant matching planes for a BEFORE frame, built
   /// lazily and attached to the frame's cache entry so later pairs
   /// (multispectral, coupled-stereo) reuse them.  `geom` must be the
-  /// field frame_geometry() returned for `img`.
-  std::shared_ptr<const MatchPrecompute> frame_precompute(
+  /// field frame_geometry() returned for `img`.  Returns the planes and
+  /// the build seconds this call paid (zero on a reuse).
+  struct PreLookup {
+    std::shared_ptr<const MatchPrecompute> pre;
+    double seconds = 0.0;
+  };
+  PreLookup frame_precompute(
       const imaging::ImageF& img,
       const std::shared_ptr<const surface::GeometricField>& geom);
 
@@ -169,6 +193,17 @@ class SmaPipeline {
   const TrackerBackend* backend_ = nullptr;  // owned by the registry
   PipelineStats stats_;
   std::unique_ptr<GeometryCache> cache_;
+  /// Guards cache_ and stats_ so a worker pool may call track_pair
+  /// concurrently on one pipeline (src/serve/).  Compute runs OUTSIDE
+  /// the lock; only lookups, inserts and counter merges hold it, so
+  /// critical sections are microseconds.  Two threads missing the same
+  /// frame simultaneously both fit it (both counted — the "one miss per
+  /// distinct frame" invariant is exact single-threaded, an upper bound
+  /// under contention); the loser's entry is discarded on insert.
+  /// set_config(), reset_stats() and clear_cache() must still be
+  /// externally quiesced against in-flight track calls.  unique_ptr so
+  /// the pipeline stays movable.
+  std::unique_ptr<std::mutex> state_mutex_;
   /// unique_ptr so the pipeline stays movable (the registry owns
   /// mutexes); created eagerly in the constructor.
   std::unique_ptr<obs::MetricsRegistry> metrics_;

@@ -64,6 +64,10 @@ void write_flow_text(const FlowField& flow, const std::string& path,
                      int stride) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_flow_text: cannot open " + path);
+  write_flow_text(flow, out, stride);
+}
+
+void write_flow_text(const FlowField& flow, std::ostream& out, int stride) {
   out << "# width " << flow.width() << " height " << flow.height()
       << " stride " << stride << "\n";
   for (int y = 0; y < flow.height(); y += stride)

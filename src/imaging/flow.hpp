@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,13 @@ double mean_angular_error_deg(const FlowField& flow, const FlowField& truth,
 /// Writes the flow as whitespace-separated "x y u v error valid" rows —
 /// the format consumed by the plotting scripts and the Fig. 6 harness.
 void write_flow_text(const FlowField& flow, const std::string& path,
+                     int stride = 1);
+
+/// Stream variant of the same serialization — byte-identical to the
+/// file the path overload writes.  The serving layer (src/serve/) ships
+/// this as the wire payload so a served response can be `cmp`-equal to
+/// a one-shot `sma_cli` output file.
+void write_flow_text(const FlowField& flow, std::ostream& out,
                      int stride = 1);
 
 /// Reads the text format written by `write_flow_text` with stride 1.

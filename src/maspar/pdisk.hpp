@@ -109,9 +109,13 @@ class FrameStream {
       if (!recovered) {
         degrade_frame(idx);
         ++frames_skipped_;
+        // Retry exhaustion is its own auditable event ("skip-and-
+        // interpolate engaged"), exported as the fault.stripe-skip gauge
+        // by core::publish_metrics(FaultLog) — distinct from the
+        // per-attempt kStripeRetry records above.
         if (log_ != nullptr)
-          log_->record(core::FaultKind::kFrameSkipped,
-                       static_cast<int>(idx));
+          log_->record(core::FaultKind::kStripeSkip, static_cast<int>(idx),
+                       policy_.max_retries);
       }
     }
     return f;

@@ -131,4 +131,28 @@ bool write_run_reports(const std::string& path,
   return out.good();
 }
 
+double histogram_quantile(const MetricSnapshot& snap, double q) {
+  if (snap.kind != MetricKind::kHistogram) return snap.value;
+  if (snap.count == 0 || snap.buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(snap.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = snap.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      if (i >= snap.bounds.size()) return snap.bounds.back();
+      const double lo = i == 0 ? 0.0 : snap.bounds[i - 1];
+      const double hi = snap.bounds[i];
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+    }
+    cumulative += in_bucket;
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
 }  // namespace sma::obs

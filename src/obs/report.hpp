@@ -64,4 +64,15 @@ std::vector<SpanSummary> summarize_spans(const TraceRecorder& recorder);
 bool write_run_reports(const std::string& path,
                        const std::vector<RunReport>& reports);
 
+/// Quantile estimate from a histogram snapshot (q in [0, 1]), linearly
+/// interpolated inside the winning bucket the way Prometheus's
+/// histogram_quantile does: the lower edge of the first bucket is 0,
+/// the overflow bucket reports its lower edge (the last bound) since
+/// its upper edge is unbounded.  Returns 0 for empty histograms and
+/// NaN-free results always; non-histogram snapshots return `snap.value`
+/// unchanged (a counter/gauge is its own every-quantile).  The serving
+/// layer's STATS summary and the load bench both read p50/p99 through
+/// this.
+double histogram_quantile(const MetricSnapshot& snap, double q);
+
 }  // namespace sma::obs

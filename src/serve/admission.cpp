@@ -1,0 +1,39 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sma::serve {
+
+void TokenBucket::refill(Clock::time_point now) {
+  if (!primed_) {
+    last_ = now;
+    primed_ = true;
+    return;
+  }
+  if (now <= last_) return;
+  const double elapsed =
+      std::chrono::duration<double>(now - last_).count();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_acquire(Clock::time_point now) {
+  if (rate_ <= 0.0) return true;
+  refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+int TokenBucket::millis_until_available(Clock::time_point now) const {
+  if (rate_ <= 0.0 || tokens_ >= 1.0) return 0;
+  // Deficit tokens / rate, rounded up so a retry at the hinted time
+  // actually finds a token.
+  const double seconds = (1.0 - tokens_) / rate_;
+  return static_cast<int>(std::ceil(seconds * 1000.0));
+}
+
+}  // namespace sma::serve

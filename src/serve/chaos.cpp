@@ -1,0 +1,46 @@
+#include "serve/chaos.hpp"
+
+namespace sma::serve {
+
+namespace {
+
+/// splitmix64 — the same mixer family the core fault layer uses, so
+/// chaos decisions inherit its order-independence and replayability.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double ChaosEngine::uniform(std::uint64_t klass, std::uint64_t id) const {
+  const std::uint64_t h = mix64(mix64(options_.seed ^ klass) ^ id);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool ChaosEngine::corrupt_frames(std::uint64_t request_id) const {
+  return options_.enabled &&
+         uniform(0x0f4a7e, request_id) < options_.frame_fault_rate;
+}
+
+bool ChaosEngine::stall(std::uint64_t request_id) const {
+  return options_.enabled &&
+         uniform(0x57a11, request_id) < options_.stall_rate;
+}
+
+bool ChaosEngine::throttle_connection(std::uint64_t conn_id) const {
+  return options_.enabled &&
+         uniform(0x510e0, conn_id) < options_.slow_read_rate;
+}
+
+core::FaultSpec ChaosEngine::fault_spec(std::uint64_t request_id) const {
+  core::FaultSpec spec;
+  spec.seed = mix64(options_.seed ^ request_id);
+  spec.scanline_dropout_rate = options_.fault_intensity;
+  spec.bit_noise_rate = options_.fault_intensity * 0.1;
+  return spec;
+}
+
+}  // namespace sma::serve

@@ -1,0 +1,79 @@
+// chaos.hpp — the serving layer's deterministic chaos harness.
+//
+// `sma_serve --chaos` turns this on: a seedable adversary that corrupts
+// request frames (through the GOES fault model, core/fault.hpp), stalls
+// workers, and throttles connection reads — the three failure surfaces
+// a long-running tracking daemon actually has (bad telemetry, slow
+// compute, slow networks).  Like FaultInjector, every decision is a pure
+// hash of (seed, class, id): replaying the same seed against the same
+// request ids reproduces the same faults regardless of thread timing, so
+// a chaos failure found in CI can be replayed locally.
+//
+// The invariant chaos mode exists to enforce: NO CRASH, NO HANG, NO
+// WRONG ANSWER.  Frame corruption must surface as `degraded` (repair
+// engaged) — never as a wrong `ok`; stalls must surface as `deadline`
+// when a deadline is armed — never as a hang; throttled reads must slow
+// a connection — never wedge the IO loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/fault.hpp"
+
+namespace sma::serve {
+
+struct ChaosOptions {
+  bool enabled = false;
+  std::uint64_t seed = 0xc4a05;
+
+  /// Per request: probability its frames pass through the fault
+  /// injector before tracking.
+  double frame_fault_rate = 0.0;
+  /// Fault intensity applied to a chosen request's frames (scan-line
+  /// dropout rate per row; bit noise per pixel runs at a tenth of it).
+  double fault_intensity = 0.05;
+  /// Per request: probability the worker stalls for stall_ms before
+  /// starting (models a compute hiccup; trips tight deadlines).
+  double stall_rate = 0.0;
+  int stall_ms = 50;
+  /// Per connection: probability its reads are throttled to
+  /// slow_read_bytes per IO-loop pass (models a trickling client).
+  double slow_read_rate = 0.0;
+  std::size_t slow_read_bytes = 4096;
+
+  bool any() const {
+    return enabled && (frame_fault_rate > 0.0 || stall_rate > 0.0 ||
+                       slow_read_rate > 0.0);
+  }
+};
+
+/// Stateless decision source; safe to query from any thread.
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(ChaosOptions options = {}) : options_(options) {}
+
+  const ChaosOptions& options() const { return options_; }
+
+  /// Should this request's frames be corrupted before tracking?
+  bool corrupt_frames(std::uint64_t request_id) const;
+
+  /// Should the worker stall before starting this request?
+  bool stall(std::uint64_t request_id) const;
+
+  /// Should this connection's reads be throttled for its lifetime?
+  bool throttle_connection(std::uint64_t conn_id) const;
+
+  /// The fault spec to corrupt a chosen request's frames with — seeded
+  /// per request so two corrupted requests see different defects.
+  core::FaultSpec fault_spec(std::uint64_t request_id) const;
+
+  /// Deterministic uniform draw in [0, 1) for (class, id) — exposed for
+  /// tests of the determinism contract.
+  double uniform(std::uint64_t klass, std::uint64_t id) const;
+
+ private:
+  ChaosOptions options_;
+};
+
+}  // namespace sma::serve

@@ -1,0 +1,122 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace sma::serve {
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "Client: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::invalid_argument("Client: bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    throw std::system_error(err, std::generic_category(),
+                            "Client: connect " + host);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbox_.clear();
+}
+
+void Client::send_all(const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "Client: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::fill() {
+  char buf[65536];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n < 0) {
+    if (errno == EINTR) return true;
+    throw std::system_error(errno, std::generic_category(), "Client: recv");
+  }
+  if (n == 0) return false;
+  inbox_.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+std::string Client::read_line() {
+  while (true) {
+    const std::size_t nl = inbox_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbox_.substr(0, nl);
+      inbox_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (!fill())
+      throw std::runtime_error("Client: connection closed mid-line");
+  }
+}
+
+void Client::read_exact(std::string& out, std::size_t n) {
+  while (inbox_.size() < n) {
+    if (!fill())
+      throw std::runtime_error("Client: connection closed mid-payload");
+  }
+  out.assign(inbox_, 0, n);
+  inbox_.erase(0, n);
+}
+
+TrackResponse Client::track(const TrackRequest& request) {
+  send_all(format_request(request));
+  const std::string header = read_line();
+  TrackResponse resp;
+  std::size_t payload_bytes = 0;
+  if (!parse_response_header(header, resp, payload_bytes))
+    throw std::runtime_error("Client: malformed response: " +
+                             header.substr(0, 80));
+  if (payload_bytes > 0) read_exact(resp.payload, payload_bytes);
+  return resp;
+}
+
+std::string Client::ping() {
+  send_all("PING\n");
+  return read_line();
+}
+
+std::string Client::stats() {
+  send_all("STATS\n");
+  return read_line();
+}
+
+void Client::quit() {
+  if (fd_ >= 0) send_all("QUIT\n");
+  close();
+}
+
+}  // namespace sma::serve

@@ -1,0 +1,59 @@
+// client.hpp — blocking line-protocol client for sma_serve.
+//
+// The one implementation of the client side of the wire, shared by the
+// sma_client CLI, tests/test_serve.cpp and bench/bench_serve_load.cpp —
+// so the protocol has exactly two speakers and a framing bug cannot
+// hide in a test-only reimplementation.  Blocking sockets on purpose:
+// callers that want concurrency run one Client per thread (the load
+// bench does exactly that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace sma::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Throws std::system_error on connect failure.
+  void connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one TRACK request and blocks for its response (header +
+  /// payload).  Throws std::runtime_error on a broken connection or
+  /// malformed response framing.
+  TrackResponse track(const TrackRequest& request);
+
+  /// PING round-trip; returns the response line ("PONG").
+  std::string ping();
+
+  /// STATS round-trip; returns the full stats line.
+  std::string stats();
+
+  /// Sends QUIT and closes.
+  void quit();
+
+  void close();
+
+ private:
+  void send_all(const std::string& data);
+  /// Next '\n'-terminated line (stripped); throws on EOF mid-line.
+  std::string read_line();
+  /// Exactly n bytes into out; throws on EOF.
+  void read_exact(std::string& out, std::size_t n);
+  bool fill();
+
+  int fd_ = -1;
+  std::string inbox_;
+};
+
+}  // namespace sma::serve

@@ -1,0 +1,73 @@
+#include "serve/error.hpp"
+
+#include <ios>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+namespace sma::serve {
+
+const char* serve_error_name(ServeError code) {
+  switch (code) {
+    case ServeError::kOk: return "ok";
+    case ServeError::kConfig: return "config";
+    case ServeError::kIo: return "io";
+    case ServeError::kProtocol: return "protocol";
+    case ServeError::kOverloaded: return "overloaded";
+    case ServeError::kRateLimited: return "rate-limited";
+    case ServeError::kShutdown: return "shutdown";
+    case ServeError::kDeadline: return "deadline";
+    case ServeError::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ServeError serve_error_from_name(std::string_view name) {
+  for (ServeError code :
+       {ServeError::kOk, ServeError::kConfig, ServeError::kIo,
+        ServeError::kProtocol, ServeError::kOverloaded,
+        ServeError::kRateLimited, ServeError::kShutdown, ServeError::kDeadline,
+        ServeError::kInternal}) {
+    if (name == serve_error_name(code)) return code;
+  }
+  return ServeError::kInternal;
+}
+
+int exit_code(ServeError code) {
+  switch (code) {
+    case ServeError::kOk: return 0;
+    case ServeError::kConfig: return 2;
+    case ServeError::kIo: return 3;
+    case ServeError::kInternal: return 4;
+    case ServeError::kProtocol: return 5;
+    case ServeError::kOverloaded:
+    case ServeError::kRateLimited:
+    case ServeError::kShutdown: return 6;
+    case ServeError::kDeadline: return 7;
+  }
+  return 4;
+}
+
+ServeError classify_exception(const std::exception& e) {
+  // Order matters: ios_base::failure derives from system_error which
+  // derives from runtime_error; invalid_argument from logic_error.
+  if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr ||
+      dynamic_cast<const std::system_error*>(&e) != nullptr)
+    return ServeError::kIo;
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr)
+    return ServeError::kConfig;
+  if (dynamic_cast<const std::runtime_error*>(&e) != nullptr) {
+    // The imaging/tools I/O layer reports failures as runtime_errors with
+    // conventional prefixes ("read_pgm: cannot open ...", "write_flow_text:
+    // cannot open ...", "...: truncated ...").
+    const std::string what = e.what();
+    for (const char* needle :
+         {"cannot open", "truncated", "read_", "write_", "unexpected EOF",
+          "PNM:"}) {
+      if (what.find(needle) != std::string::npos) return ServeError::kIo;
+    }
+  }
+  return ServeError::kInternal;
+}
+
+}  // namespace sma::serve

@@ -1,0 +1,82 @@
+#include "serve/frame_store.hpp"
+
+namespace sma::serve {
+
+namespace {
+
+/// FNV-1a over dims + payload.  64-bit content hash; a collision would
+/// silently alias two distinct frames, but at 2^-64 per pair across a
+/// 64-entry cache that is far below the bit-error rate of the disks the
+/// frames came from.
+std::uint64_t content_hash(int width, int height,
+                           const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(width));
+  mix(static_cast<std::uint64_t>(height));
+  for (std::uint8_t b : bytes) mix(b);
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const imaging::ImageF> FrameStore::intern(
+    int width, int height, const std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t key = content_hash(width, height, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->width == width &&
+        it->second->height == height) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->image;
+    }
+  }
+
+  // Decode outside the lock — this is the expensive part.
+  auto image = std::make_shared<imaging::ImageF>(width, height);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      image->at(x, y) = static_cast<float>(
+          bytes[static_cast<std::size_t>(y) * width + x]);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end() && it->second->width == width &&
+      it->second->height == height) {
+    // Raced with another interner; adopt the incumbent so both callers
+    // share one pointer (the whole point of the store).
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->image;
+  }
+  ++misses_;
+  lru_.push_front(Entry{key, image, width, height});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return image;
+}
+
+std::size_t FrameStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t FrameStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t FrameStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace sma::serve

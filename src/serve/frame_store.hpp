@@ -1,0 +1,61 @@
+// frame_store.hpp — content-addressed frame interning for the server.
+//
+// The pipeline's GeometryCache keys on the frame's DATA POINTER (plus
+// dims/config/fingerprint) — the right key inside one process where a
+// sequence reuses ImageF buffers, but useless across the wire, where
+// every request materializes fresh buffers.  FrameStore restores the
+// reuse: it hashes the raw u8 payload and hands back ONE canonical
+// shared ImageF per distinct content, so when tenant A and tenant B
+// post the same GOES frame (or one tenant re-posts a frame as the
+// `before` of the next pair), the pipeline sees the same pointer and
+// its geometry cache hits — cross-tenant surface-fit dedup without
+// re-keying the cache itself.
+//
+// LRU-bounded like the geometry cache; a hit refreshes recency.  The
+// canonical images are shared_ptr<const ImageF> so an eviction never
+// invalidates a frame an in-flight request still tracks against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace sma::serve {
+
+class FrameStore {
+ public:
+  explicit FrameStore(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns the canonical ImageF for this exact (width, height, bytes)
+  /// content, converting u8 samples to the same 0..255 float values
+  /// read_pgm produces (the lossless-transport contract).  Thread-safe.
+  std::shared_ptr<const imaging::ImageF> intern(
+      int width, int height, const std::vector<std::uint8_t>& bytes);
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const imaging::ImageF> image;
+    int width;
+    int height;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace sma::serve

@@ -1,0 +1,320 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace sma::serve {
+
+namespace {
+
+/// Splits "k=v" tokens off a header line.  `msg=` swallows the rest of
+/// the line so messages may contain spaces.
+struct TokenScanner {
+  std::string_view rest;
+
+  bool next(std::string_view& key, std::string_view& value) {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty()) return false;
+    const std::size_t eq = rest.find('=');
+    if (eq == std::string_view::npos) return false;
+    key = rest.substr(0, eq);
+    rest.remove_prefix(eq + 1);
+    if (key == "msg") {
+      value = rest;
+      rest = {};
+      return true;
+    }
+    const std::size_t sp = rest.find(' ');
+    value = rest.substr(0, sp);
+    rest = sp == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(sp + 1);
+    return true;
+  }
+};
+
+bool parse_long(std::string_view v, long& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::string tmp(v);
+  const long parsed = std::strtol(tmp.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = parsed;
+  return true;
+}
+
+bool parse_int(std::string_view v, int& out) {
+  long l = 0;
+  if (!parse_long(v, l)) return false;
+  out = static_cast<int>(l);
+  return true;
+}
+
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::string tmp(v);
+  const unsigned long long parsed = std::strtoull(tmp.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = parsed;
+  return true;
+}
+
+bool parse_double(std::string_view v, double& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::string tmp(v);
+  const double parsed = std::strtod(tmp.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  out = parsed;
+  return true;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kDegraded: return "degraded";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kDeadline: return "deadline";
+    case Outcome::kError: return "error";
+  }
+  return "error";
+}
+
+Outcome outcome_from_name(std::string_view name) {
+  for (Outcome o : {Outcome::kOk, Outcome::kDegraded, Outcome::kRejected,
+                    Outcome::kDeadline, Outcome::kError}) {
+    if (name == outcome_name(o)) return o;
+  }
+  return Outcome::kError;
+}
+
+std::string TrackRequest::config_signature() const {
+  std::ostringstream sig;
+  sig << "model=" << model << ";fit=" << fit_radius
+      << ";search=" << search_radius << ";template=" << template_radius
+      << ";nss=" << nss << ";nst=" << nst << ";subpixel=" << (subpixel ? 1 : 0)
+      << ";robust=" << (robust ? 1 : 0);
+  return sig.str();
+}
+
+std::string format_request(const TrackRequest& req) {
+  std::ostringstream out;
+  out << "TRACK id=" << req.id << " tenant=" << req.tenant
+      << " w=" << req.width << " h=" << req.height
+      << " deadline_ms=" << req.deadline_ms << " model=" << req.model
+      << " fit=" << req.fit_radius << " search=" << req.search_radius
+      << " template=" << req.template_radius << " nss=" << req.nss
+      << " nst=" << req.nst << " subpixel=" << (req.subpixel ? 1 : 0)
+      << " robust=" << (req.robust ? 1 : 0);
+  if (!req.backend.empty()) out << " backend=" << req.backend;
+  out << "\n"
+      << hex_encode(req.before.data(), req.before.size()) << "\n"
+      << hex_encode(req.after.data(), req.after.size()) << "\n";
+  return out.str();
+}
+
+std::string format_response(const TrackResponse& resp) {
+  std::ostringstream out;
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.3f", resp.wall_ms);
+  out << "RESP id=" << resp.id << " outcome=" << outcome_name(resp.outcome)
+      << " code=" << serve_error_name(resp.code)
+      << " retry_after_ms=" << resp.retry_after_ms << " valid=" << resp.valid
+      << " total=" << resp.total << " wall_ms=" << wall
+      << " faults=" << resp.faults << " bytes=" << resp.payload.size()
+      << " msg=" << resp.message << "\n";
+  out << resp.payload;
+  return out.str();
+}
+
+bool parse_response_header(std::string_view line, TrackResponse& resp,
+                           std::size_t& payload_bytes) {
+  payload_bytes = 0;
+  if (line.substr(0, 5) != "RESP ") return false;
+  TokenScanner scan{line.substr(5)};
+  std::string_view key, value;
+  bool saw_outcome = false;
+  while (scan.next(key, value)) {
+    long l = 0;
+    if (key == "id") {
+      if (!parse_u64(value, resp.id)) return false;
+    } else if (key == "outcome") {
+      resp.outcome = outcome_from_name(value);
+      saw_outcome = true;
+    } else if (key == "code") {
+      resp.code = serve_error_from_name(value);
+    } else if (key == "retry_after_ms") {
+      if (!parse_int(value, resp.retry_after_ms)) return false;
+    } else if (key == "valid") {
+      if (!parse_long(value, resp.valid)) return false;
+    } else if (key == "total") {
+      if (!parse_long(value, resp.total)) return false;
+    } else if (key == "wall_ms") {
+      if (!parse_double(value, resp.wall_ms)) return false;
+    } else if (key == "faults") {
+      if (!parse_long(value, resp.faults)) return false;
+    } else if (key == "bytes") {
+      if (!parse_long(value, l) || l < 0) return false;
+      payload_bytes = static_cast<std::size_t>(l);
+    } else if (key == "msg") {
+      resp.message = std::string(value);
+    }
+    // Unknown keys are skipped: older clients tolerate newer servers.
+  }
+  return saw_outcome;
+}
+
+std::string hex_encode(const std::uint8_t* data, std::size_t n) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out;
+  out.resize(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = digits[data[i] >> 4];
+    out[2 * i + 1] = digits[data[i] & 0xF];
+  }
+  return out;
+}
+
+bool hex_decode(std::string_view hex, std::vector<std::uint8_t>& out) {
+  if (hex.size() % 2 != 0) return false;
+  out.clear();
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+RequestParser::Event RequestParser::fail(std::string message) {
+  error_ = std::move(message);
+  state_ = State::kPoisoned;
+  return Event::kError;
+}
+
+bool RequestParser::take_line(std::string& line) {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    // Bound the unterminated-line buffer: the longest legal line is a
+    // payload row of 2 * kMaxFrameEdge^2 hex chars.
+    return false;
+  }
+  line.assign(buffer_, 0, nl);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buffer_.erase(0, nl + 1);
+  return true;
+}
+
+RequestParser::Event RequestParser::next(TrackRequest& request) {
+  std::string line;
+  while (true) {
+    switch (state_) {
+      case State::kPoisoned:
+        return Event::kError;
+
+      case State::kHeader: {
+        if (!take_line(line)) {
+          const std::size_t max_line =
+              2 * static_cast<std::size_t>(kMaxFrameEdge) * kMaxFrameEdge + 16;
+          if (buffer_.size() > max_line) return fail("request line too long");
+          return Event::kNeedMore;
+        }
+        if (line.empty()) continue;  // tolerate blank keep-alive lines
+        if (line == "PING") return Event::kPing;
+        if (line == "STATS") return Event::kStats;
+        if (line == "QUIT") return Event::kQuit;
+        if (line.rfind("TRACK", 0) != 0 ||
+            (line.size() > 5 && line[5] != ' '))
+          return fail("unknown command: " + line.substr(0, 32));
+
+        partial_ = TrackRequest{};
+        TokenScanner scan{std::string_view(line).substr(5)};
+        std::string_view key, value;
+        int flag = 0;
+        while (scan.next(key, value)) {
+          if (key == "id") {
+            if (!parse_u64(value, partial_.id)) return fail("bad id");
+          } else if (key == "tenant") {
+            if (value.empty()) return fail("empty tenant");
+            partial_.tenant = std::string(value);
+          } else if (key == "w") {
+            if (!parse_int(value, partial_.width)) return fail("bad w");
+          } else if (key == "h") {
+            if (!parse_int(value, partial_.height)) return fail("bad h");
+          } else if (key == "deadline_ms") {
+            if (!parse_int(value, partial_.deadline_ms) ||
+                partial_.deadline_ms < 0)
+              return fail("bad deadline_ms");
+          } else if (key == "model") {
+            if (value != "semi" && value != "cont")
+              return fail("bad model (want semi|cont)");
+            partial_.model = std::string(value);
+          } else if (key == "fit") {
+            if (!parse_int(value, partial_.fit_radius)) return fail("bad fit");
+          } else if (key == "search") {
+            if (!parse_int(value, partial_.search_radius))
+              return fail("bad search");
+          } else if (key == "template") {
+            if (!parse_int(value, partial_.template_radius))
+              return fail("bad template");
+          } else if (key == "nss") {
+            if (!parse_int(value, partial_.nss)) return fail("bad nss");
+          } else if (key == "nst") {
+            if (!parse_int(value, partial_.nst)) return fail("bad nst");
+          } else if (key == "subpixel") {
+            if (!parse_int(value, flag)) return fail("bad subpixel");
+            partial_.subpixel = flag != 0;
+          } else if (key == "robust") {
+            if (!parse_int(value, flag)) return fail("bad robust");
+            partial_.robust = flag != 0;
+          } else if (key == "backend") {
+            partial_.backend = std::string(value);
+          }
+          // Unknown keys are skipped (forward compatibility).
+        }
+        if (partial_.width <= 0 || partial_.height <= 0 ||
+            partial_.width > kMaxFrameEdge || partial_.height > kMaxFrameEdge)
+          return fail("bad frame dimensions");
+        state_ = State::kBefore;
+        continue;
+      }
+
+      case State::kBefore:
+      case State::kAfter: {
+        const std::size_t want =
+            2 * static_cast<std::size_t>(partial_.width) * partial_.height;
+        if (!take_line(line)) {
+          if (buffer_.size() > want + 2) return fail("payload line too long");
+          return Event::kNeedMore;
+        }
+        if (line.size() != want) return fail("payload length mismatch");
+        std::vector<std::uint8_t>& dst =
+            state_ == State::kBefore ? partial_.before : partial_.after;
+        if (!hex_decode(line, dst)) return fail("payload not hex");
+        if (state_ == State::kBefore) {
+          state_ = State::kAfter;
+          continue;
+        }
+        state_ = State::kHeader;
+        request = std::move(partial_);
+        partial_ = TrackRequest{};
+        return Event::kTrack;
+      }
+    }
+  }
+}
+
+}  // namespace sma::serve

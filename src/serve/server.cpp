@@ -1,0 +1,481 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "core/obs_bridge.hpp"
+#include "obs/report.hpp"
+
+namespace sma::serve {
+
+namespace {
+
+/// Latency buckets for serve.request_seconds, millisecond-scale tracking
+/// requests up through paper-scale multi-second searches.
+const std::vector<double> kLatencyBounds = {
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+/// Per-connection IO state, owned by the IO thread exclusively.
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  RequestParser parser;
+  std::string outbox;
+  /// QUIT or a protocol error: stop reading, flush, then close.
+  bool close_after_flush = false;
+  bool stop_reading = false;
+  /// Chaos slow-read mode caps bytes consumed per IO pass.
+  bool throttled = false;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      pipelines_(options_.backend, options_.geometry_cache_capacity),
+      frames_(options_.frame_cache_capacity),
+      chaos_(options_.chaos) {
+  if (options_.workers == 0)
+    throw std::invalid_argument("Server: workers >= 1 required");
+  if (options_.admission.queue_capacity == 0)
+    throw std::invalid_argument("Server: queue_capacity >= 1 required");
+  // Pre-register the invariant counters so exports show explicit zeros.
+  metrics_.counter("serve.requests_total");
+  metrics_.counter("serve.connections_total");
+  metrics_.counter("serve.protocol_errors");
+  for (Outcome o : {Outcome::kOk, Outcome::kDegraded, Outcome::kRejected,
+                    Outcome::kDeadline, Outcome::kError})
+    metrics_.counter(std::string("serve.outcome.") + outcome_name(o));
+  for (ServeError code : {ServeError::kOverloaded, ServeError::kRateLimited,
+                          ServeError::kShutdown})
+    metrics_.counter(std::string("serve.rejected.") + serve_error_name(code));
+  metrics_.histogram("serve.request_seconds", kLatencyBounds);
+  metrics_.gauge("serve.queue_depth");
+  metrics_.gauge("serve.in_flight");
+  metrics_.gauge("serve.frame_dedup_hits");
+  metrics_.gauge("serve.frame_dedup_misses");
+
+  pool_ = std::make_unique<WorkerPool>(
+      options_.workers, options_.admission.queue_capacity, pipelines_,
+      frames_, chaos_,
+      [this](const Job& job, TrackResponse response) {
+        {
+          std::lock_guard<std::mutex> lock(completions_mutex_);
+          completions_.push_back(Completion{job.conn_id, job.request.tenant,
+                                            std::move(response)});
+        }
+        wake();
+      });
+}
+
+Server::~Server() {
+  request_drain();
+  wait();
+  pool_->drain();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  const int w = wake_write_.exchange(-1);
+  if (w >= 0) ::close(w);
+}
+
+void Server::start() {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) throw_errno("Server: pipe");
+  wake_read_ = pipefd[0];
+  set_nonblocking(wake_read_);
+  set_nonblocking(pipefd[1]);
+  wake_write_.store(pipefd[1]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("Server: socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("Server: bad host " + options_.host);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno("Server: bind");
+  if (::listen(listen_fd_, 64) != 0) throw_errno("Server: listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0)
+    throw_errno("Server: getsockname");
+  port_ = ntohs(bound.sin_port);
+}
+
+void Server::run_in_thread() {
+  run_thread_ = std::thread([this] { run(); });
+}
+
+void Server::wait() {
+  if (run_thread_.joinable()) run_thread_.join();
+}
+
+void Server::request_drain() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::wake() noexcept {
+  const int fd = wake_write_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::run() {
+  while (true) {
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+    }
+
+    process_completions();
+
+    if (draining_ && submitted_ == completed_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (!drain_grace_armed_) {
+        drain_grace_armed_ = true;
+        drain_grace_until_ =
+            now + std::chrono::milliseconds(options_.drain_flush_ms);
+      }
+      bool flushed = true;
+      for (const auto& [id, conn] : conns_)
+        if (!conn->outbox.empty()) flushed = false;
+      if (flushed || now >= drain_grace_until_) break;
+    }
+
+    io_pass(draining_ ? 20 : 100);
+  }
+
+  pool_->drain();
+  process_completions();
+  flush_metrics();
+  conns_.clear();
+}
+
+void Server::io_pass(int timeout_ms) {
+  // Close connections whose flush finished.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& c = *it->second;
+    if (c.close_after_flush && c.outbox.empty())
+      it = conns_.erase(it);
+    else
+      ++it;
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;  // 0 = listener / wake pipe
+  fds.reserve(conns_.size() + 2);
+  ids.reserve(conns_.size() + 2);
+
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    ids.push_back(0);
+  }
+  fds.push_back(pollfd{wake_read_, POLLIN, 0});
+  ids.push_back(0);
+
+  for (const auto& [id, conn] : conns_) {
+    short events = 0;
+    if (!conn->stop_reading) events |= POLLIN;
+    if (!conn->outbox.empty()) events |= POLLOUT;
+    if (events == 0) continue;
+    fds.push_back(pollfd{conn->fd, events, 0});
+    ids.push_back(id);
+  }
+
+  if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
+    if (errno != EINTR) throw_errno("Server: poll");
+    return;
+  }
+
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const pollfd& p = fds[i];
+    if (p.revents == 0) continue;
+    if (p.fd == wake_read_) {
+      char buf[256];
+      while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+      }
+      continue;
+    }
+    if (p.fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    const std::uint64_t id = ids[i];
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Connection& conn = *it->second;
+    bool keep = true;
+    if ((p.revents & (POLLERR | POLLNVAL)) != 0) keep = false;
+    if (keep && (p.revents & POLLIN) != 0) keep = read_ready(conn);
+    if (keep && (p.revents & POLLOUT) != 0) keep = write_ready(conn);
+    if (keep && (p.revents & POLLHUP) != 0 && conn.outbox.empty())
+      keep = false;
+    if (!keep) close_connection(id);
+  }
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN, or a racing drain closed the listener
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->throttled = chaos_.throttle_connection(conn->id);
+    metrics_.counter("serve.connections_total").inc();
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+bool Server::read_ready(Connection& conn) {
+  char buf[65536];
+  std::size_t budget = sizeof(buf);
+  if (conn.throttled)
+    budget = std::max<std::size_t>(
+        1, std::min(budget, options_.chaos.slow_read_bytes));
+  const ssize_t n = ::read(conn.fd, buf, budget);
+  if (n == 0) return false;  // peer closed
+  if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+
+  conn.parser.feed(buf, static_cast<std::size_t>(n));
+  TrackRequest request;
+  while (!conn.stop_reading) {
+    const RequestParser::Event event = conn.parser.next(request);
+    if (event == RequestParser::Event::kNeedMore) break;
+    if (!handle_message(conn, event, request)) break;
+  }
+  return true;
+}
+
+bool Server::write_ready(Connection& conn) {
+  const ssize_t n =
+      ::write(conn.fd, conn.outbox.data(), conn.outbox.size());
+  if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  conn.outbox.erase(0, static_cast<std::size_t>(n));
+  return true;
+}
+
+bool Server::handle_message(Connection& conn, RequestParser::Event event,
+                            TrackRequest& request) {
+  switch (event) {
+    case RequestParser::Event::kPing:
+      conn.outbox += "PONG\n";
+      return true;
+    case RequestParser::Event::kStats:
+      conn.outbox += stats_line();
+      return true;
+    case RequestParser::Event::kQuit:
+      conn.close_after_flush = true;
+      conn.stop_reading = true;
+      return false;
+    case RequestParser::Event::kError: {
+      metrics_.counter("serve.protocol_errors").inc();
+      TrackResponse resp;
+      resp.outcome = Outcome::kError;
+      resp.code = ServeError::kProtocol;
+      resp.message = conn.parser.error();
+      conn.outbox += format_response(resp);
+      conn.close_after_flush = true;
+      conn.stop_reading = true;
+      return false;
+    }
+    case RequestParser::Event::kTrack:
+      admit(conn, std::move(request));
+      return true;
+    case RequestParser::Event::kNeedMore:
+      return false;
+  }
+  return false;
+}
+
+void Server::admit(Connection& conn, TrackRequest request) {
+  metrics_.counter("serve.requests_total").inc();
+  metrics_.counter("serve.tenant." + request.tenant + ".requests").inc();
+  const std::uint64_t id = request.id;
+  const std::string tenant = request.tenant;
+
+  if (draining_) {
+    reject(conn, id, tenant, ServeError::kShutdown,
+           options_.admission.retry_after_ms);
+    return;
+  }
+
+  if (options_.admission.tenant_rate > 0.0) {
+    auto [it, inserted] = buckets_.try_emplace(
+        tenant, options_.admission.tenant_rate,
+        options_.admission.tenant_burst);
+    const auto now = TokenBucket::Clock::now();
+    if (!it->second.try_acquire(now)) {
+      reject(conn, id, tenant, ServeError::kRateLimited,
+             std::max(1, it->second.millis_until_available(now)));
+      return;
+    }
+  }
+
+  Job job;
+  job.conn_id = conn.id;
+  job.cancel = std::make_shared<core::CancelToken>();
+  const int deadline_ms = request.deadline_ms > 0
+                              ? request.deadline_ms
+                              : options_.default_deadline_ms;
+  if (deadline_ms > 0)
+    job.cancel->set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  job.admitted_at = std::chrono::steady_clock::now();
+  job.request = std::move(request);
+
+  if (!pool_->submit(std::move(job))) {
+    reject(conn, id, tenant, ServeError::kOverloaded,
+           options_.admission.retry_after_ms);
+    return;
+  }
+  ++submitted_;
+}
+
+void Server::reject(Connection& conn, std::uint64_t id,
+                    const std::string& tenant, ServeError code,
+                    int retry_after_ms) {
+  TrackResponse resp;
+  resp.id = id;
+  resp.outcome = Outcome::kRejected;
+  resp.code = code;
+  resp.retry_after_ms = retry_after_ms;
+  resp.message = serve_error_name(code);
+  metrics_.counter(std::string("serve.rejected.") + serve_error_name(code))
+      .inc();
+  account(resp, tenant);
+  conn.outbox += format_response(resp);
+}
+
+void Server::account(const TrackResponse& response,
+                     const std::string& tenant) {
+  metrics_
+      .counter(std::string("serve.outcome.") + outcome_name(response.outcome))
+      .inc();
+  metrics_
+      .counter("serve.tenant." + tenant + ".outcome." +
+               outcome_name(response.outcome))
+      .inc();
+}
+
+void Server::process_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& comp : batch) {
+    ++completed_;
+    account(comp.response, comp.tenant);
+    metrics_.histogram("serve.request_seconds", kLatencyBounds)
+        .observe(comp.response.wall_ms / 1000.0);
+    auto it = conns_.find(comp.conn_id);
+    // A vanished connection drops the bytes, never the accounting.
+    if (it != conns_.end())
+      it->second->outbox += format_response(comp.response);
+  }
+  metrics_.gauge("serve.queue_depth")
+      .set(static_cast<double>(pool_->queue_depth()));
+  metrics_.gauge("serve.in_flight")
+      .set(static_cast<double>(submitted_ - completed_));
+}
+
+void Server::close_connection(std::uint64_t conn_id) {
+  conns_.erase(conn_id);
+}
+
+double Server::outcome_count(Outcome outcome) {
+  return metrics_
+      .counter(std::string("serve.outcome.") + outcome_name(outcome))
+      .value();
+}
+
+std::string Server::stats_line() {
+  const auto snap = metrics_.snapshot();
+  const auto value = [&](const std::string& name) {
+    const obs::MetricSnapshot* s = obs::find_metric(snap, name);
+    return s != nullptr ? s->value : 0.0;
+  };
+  const obs::MetricSnapshot* latency =
+      obs::find_metric(snap, "serve.request_seconds");
+  const double p50 =
+      latency != nullptr ? obs::histogram_quantile(*latency, 0.5) : 0.0;
+  const double p99 =
+      latency != nullptr ? obs::histogram_quantile(*latency, 0.99) : 0.0;
+  const core::PipelineStats agg = pipelines_.aggregate_stats();
+
+  std::ostringstream out;
+  out << "STATS requests=" << static_cast<long>(value("serve.requests_total"))
+      << " ok=" << static_cast<long>(value("serve.outcome.ok"))
+      << " degraded=" << static_cast<long>(value("serve.outcome.degraded"))
+      << " rejected=" << static_cast<long>(value("serve.outcome.rejected"))
+      << " deadline=" << static_cast<long>(value("serve.outcome.deadline"))
+      << " error=" << static_cast<long>(value("serve.outcome.error"))
+      << " queue_depth=" << pool_->queue_depth()
+      << " in_flight=" << (submitted_ - completed_)
+      << " dedup_hits=" << frames_.hits()
+      << " dedup_misses=" << frames_.misses()
+      << " pipelines=" << pipelines_.pipeline_count()
+      << " geometry_hits=" << agg.cache_hits
+      << " surface_fits=" << agg.surface_fits << " p50_ms=" << p50 * 1000.0
+      << " p99_ms=" << p99 * 1000.0 << "\n";
+  return out.str();
+}
+
+void Server::flush_metrics() {
+  metrics_.gauge("serve.frame_dedup_hits")
+      .set(static_cast<double>(frames_.hits()));
+  metrics_.gauge("serve.frame_dedup_misses")
+      .set(static_cast<double>(frames_.misses()));
+  metrics_.gauge("serve.queue_depth").set(0.0);
+  metrics_.gauge("serve.in_flight")
+      .set(static_cast<double>(submitted_ - completed_));
+  // Aggregate pipeline counters ride along under the standard
+  // "pipeline.*" names (core/obs_bridge.hpp scheme).
+  core::publish_metrics(pipelines_.aggregate_stats(), metrics_);
+  if (!options_.metrics_path.empty())
+    metrics_.write_csv(options_.metrics_path);
+}
+
+}  // namespace sma::serve

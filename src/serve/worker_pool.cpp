@@ -1,0 +1,198 @@
+#include "serve/worker_pool.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "imaging/flow.hpp"
+#include "imaging/repair.hpp"
+#include "serve/error.hpp"
+
+namespace sma::serve {
+
+core::SmaConfig PipelineManager::config_from(const TrackRequest& request) {
+  core::SmaConfig config;
+  config.model = request.model == "cont" ? core::MotionModel::kContinuous
+                                         : core::MotionModel::kSemiFluid;
+  config.surface_fit_radius = request.fit_radius;
+  config.z_search_radius = request.search_radius;
+  config.z_template_radius = request.template_radius;
+  config.semifluid_search_radius = request.nss;
+  config.semifluid_template_radius = request.nst;
+  config.validate();
+  return config;
+}
+
+core::SmaPipeline& PipelineManager::pipeline_for(const TrackRequest& request) {
+  const std::string backend =
+      request.backend.empty() ? default_backend_ : request.backend;
+  const std::string key = request.config_signature() + ";backend=" + backend;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pipelines_.find(key);
+  if (it != pipelines_.end()) return *it->second;
+
+  core::PipelineOptions options;
+  options.backend = backend;
+  options.track.subpixel = request.subpixel;
+  options.robust = request.robust;
+  options.geometry_cache_capacity = geometry_cache_capacity_;
+  auto pipeline = std::make_unique<core::SmaPipeline>(config_from(request),
+                                                      options);
+  core::SmaPipeline& ref = *pipeline;
+  pipelines_.emplace(key, std::move(pipeline));
+  return ref;
+}
+
+std::size_t PipelineManager::pipeline_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pipelines_.size();
+}
+
+core::PipelineStats PipelineManager::aggregate_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  core::PipelineStats total;
+  for (const auto& [key, pipeline] : pipelines_) {
+    const core::PipelineStats& s = pipeline->stats();
+    total.pairs_tracked += s.pairs_tracked;
+    total.surface_fits += s.surface_fits;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_evictions += s.cache_evictions;
+    total.precompute_builds += s.precompute_builds;
+    total.precompute_reuses += s.precompute_reuses;
+    total.ingest_seconds += s.ingest_seconds;
+    total.surface_fit_seconds += s.surface_fit_seconds;
+    total.geometric_vars_seconds += s.geometric_vars_seconds;
+    total.match_precompute_seconds += s.match_precompute_seconds;
+    total.matching_seconds += s.matching_seconds;
+    total.postprocess_seconds += s.postprocess_seconds;
+    total.products_seconds += s.products_seconds;
+  }
+  return total;
+}
+
+WorkerPool::WorkerPool(std::size_t workers, std::size_t queue_capacity,
+                       PipelineManager& pipelines, FrameStore& frames,
+                       const ChaosEngine& chaos, Completion on_complete)
+    : pipelines_(pipelines), frames_(frames), chaos_(chaos),
+      on_complete_(std::move(on_complete)), queue_(queue_capacity) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_main(); });
+}
+
+WorkerPool::~WorkerPool() { drain(); }
+
+bool WorkerPool::submit(Job job) { return queue_.try_push(std::move(job)); }
+
+void WorkerPool::drain() {
+  std::call_once(drained_, [this] {
+    queue_.stop();
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+  });
+}
+
+void WorkerPool::worker_main() {
+  while (auto job = queue_.pop()) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    TrackResponse response = process(*job);
+    if (on_complete_) on_complete_(*job, std::move(response));
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+TrackResponse WorkerPool::process(const Job& job) {
+  const auto start = std::chrono::steady_clock::now();
+  const TrackRequest& req = job.request;
+  const core::CancelToken* cancel = job.cancel.get();
+
+  TrackResponse resp;
+  resp.id = req.id;
+  resp.total = static_cast<long>(req.width) * req.height;
+
+  auto finish = [&](Outcome outcome, ServeError code, std::string message) {
+    resp.outcome = outcome;
+    resp.code = code;
+    resp.message = std::move(message);
+    resp.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return resp;
+  };
+
+  try {
+    // A job that sat in the queue past its deadline fails fast, before
+    // any pipeline work.
+    if (cancel != nullptr) cancel->check("admission");
+
+    if (chaos_.stall(req.id)) {
+      // Cooperative stall: sleep in slices so an armed deadline turns a
+      // chaos stall into a `deadline` outcome, never a hang.
+      const auto until =
+          start + std::chrono::milliseconds(chaos_.options().stall_ms);
+      while (std::chrono::steady_clock::now() < until) {
+        if (cancel != nullptr && cancel->expired()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (cancel != nullptr) cancel->check("chaos_stall");
+    }
+
+    core::SmaPipeline& pipeline = pipelines_.pipeline_for(req);
+    const auto before = frames_.intern(req.width, req.height, req.before);
+    const auto after = frames_.intern(req.width, req.height, req.after);
+
+    imaging::FlowField flow;
+    bool degraded = false;
+    if (chaos_.corrupt_frames(req.id)) {
+      // Corrupt COPIES — the canonical interned frames must stay
+      // pristine for other requests sharing them.
+      imaging::ImageF dirty_before = *before;
+      imaging::ImageF dirty_after = *after;
+      core::FaultLog log;
+      const core::FaultInjector injector(chaos_.fault_spec(req.id));
+      injector.corrupt_frame(dirty_before, 0, &log);
+      injector.corrupt_frame(dirty_after, 1, &log);
+      resp.faults = static_cast<long>(log.size());
+
+      const imaging::RepairReport rep_before =
+          imaging::repair_frame(dirty_before);
+      const imaging::RepairReport rep_after =
+          imaging::repair_frame(dirty_after);
+      degraded =
+          !log.empty() || !rep_before.clean() || !rep_after.clean();
+
+      core::TrackerInput input;
+      input.intensity_before = &rep_before.image;
+      input.surface_before = &rep_before.image;
+      input.intensity_after = &rep_after.image;
+      input.surface_after = &rep_after.image;
+      input.validity_before = &rep_before.validity;
+      input.validity_after = &rep_after.validity;
+      flow = pipeline.track_pair(input, cancel).flow;
+    } else {
+      core::TrackerInput input;
+      input.intensity_before = before.get();
+      input.surface_before = before.get();
+      input.intensity_after = after.get();
+      input.surface_after = after.get();
+      flow = pipeline.track_pair(input, cancel).flow;
+    }
+
+    resp.valid = static_cast<long>(flow.count_valid());
+    std::ostringstream payload;
+    write_flow_text(flow, payload);
+    resp.payload = payload.str();
+    return finish(degraded ? Outcome::kDegraded : Outcome::kOk,
+                  ServeError::kOk, degraded ? "repair engaged" : "");
+  } catch (const core::CancelledError& e) {
+    return finish(Outcome::kDeadline, ServeError::kDeadline, e.what());
+  } catch (const std::exception& e) {
+    return finish(Outcome::kError, classify_exception(e), e.what());
+  } catch (...) {
+    return finish(Outcome::kError, ServeError::kInternal,
+                  "unknown exception");
+  }
+}
+
+}  // namespace sma::serve

@@ -1,0 +1,132 @@
+// worker_pool.hpp — the compute side of sma_serve: shared pipelines
+// keyed by config signature, and the worker threads that run admitted
+// requests to one of the five terminal outcomes.
+//
+// PipelineManager is the multi-tenant heart of the tentpole: every
+// request whose config_signature() matches shares ONE SmaPipeline — and
+// therefore one geometry cache — no matter which tenant or connection
+// it arrived on.  Combined with FrameStore's content interning, two
+// tenants posting the same GOES frame under the same config hit the
+// same cached surface fit.  SmaPipeline::track_pair is thread-safe for
+// exactly this use (see pipeline.hpp's state_mutex_ contract).
+//
+// WorkerPool::process() is the one function that enforces the outcome
+// taxonomy: whatever happens inside — deadline expiry, chaos stall,
+// frame corruption, a throwing backend — the job leaves as exactly one
+// TrackResponse whose outcome is ok / degraded / deadline / error
+// (rejections never reach a worker; the server bounces them at
+// admission).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/pipeline.hpp"
+#include "serve/admission.hpp"
+#include "serve/chaos.hpp"
+#include "serve/frame_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace sma::serve {
+
+/// One SmaPipeline per distinct config signature, created on first use.
+/// Thread-safe; pipeline references stay valid for the manager's
+/// lifetime (pipelines are never evicted — config cardinality is tiny
+/// in practice, one or two presets per tenant fleet).
+class PipelineManager {
+ public:
+  explicit PipelineManager(std::string default_backend = "sequential",
+                           std::size_t geometry_cache_capacity = 16)
+      : default_backend_(std::move(default_backend)),
+        geometry_cache_capacity_(geometry_cache_capacity) {}
+
+  /// The shared pipeline for this request's config.  Throws
+  /// std::invalid_argument on an invalid config or unknown backend
+  /// (mapped to a config-error outcome by the caller).
+  core::SmaPipeline& pipeline_for(const TrackRequest& request);
+
+  /// Builds the SmaConfig a request describes (exposed so sma_cli parity
+  /// checks and tests construct the exact served config).
+  static core::SmaConfig config_from(const TrackRequest& request);
+
+  std::size_t pipeline_count() const;
+
+  /// Sum of PipelineStats over every managed pipeline — the aggregate
+  /// the server publishes as pipeline.* metrics.
+  core::PipelineStats aggregate_stats() const;
+
+  const std::string& default_backend() const { return default_backend_; }
+
+ private:
+  const std::string default_backend_;
+  const std::size_t geometry_cache_capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<core::SmaPipeline>> pipelines_;
+};
+
+/// One admitted request in flight: the parsed request, the connection
+/// to answer on, and the cancellation token armed with its deadline.
+struct Job {
+  TrackRequest request;
+  std::uint64_t conn_id = 0;
+  std::shared_ptr<core::CancelToken> cancel;
+  std::chrono::steady_clock::time_point admitted_at{};
+};
+
+/// Fixed-size worker pool draining a bounded queue of Jobs.  Completion
+/// is delivered through a callback (the server's completion queue +
+/// self-pipe); the callback runs on the worker thread and must be
+/// cheap and thread-safe.
+class WorkerPool {
+ public:
+  using Completion =
+      std::function<void(const Job& job, TrackResponse response)>;
+
+  WorkerPool(std::size_t workers, std::size_t queue_capacity,
+             PipelineManager& pipelines, FrameStore& frames,
+             const ChaosEngine& chaos, Completion on_complete);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// False when the queue is full or draining — the caller rejects.
+  bool submit(Job job);
+
+  /// Graceful drain: stops intake, lets queued + in-flight jobs finish,
+  /// joins the workers.  Idempotent.
+  void drain();
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs one job to a terminal response (public for the unit tests,
+  /// which exercise the taxonomy without sockets or threads).
+  TrackResponse process(const Job& job);
+
+ private:
+  void worker_main();
+
+  PipelineManager& pipelines_;
+  FrameStore& frames_;
+  const ChaosEngine& chaos_;
+  Completion on_complete_;
+  BoundedQueue<Job> queue_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::vector<std::thread> threads_;
+  std::once_flag drained_;
+};
+
+}  // namespace sma::serve

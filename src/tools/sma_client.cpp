@@ -1,0 +1,192 @@
+// sma_client.cpp — line-protocol client CLI for sma_serve.
+//
+//   sma_client track <before.pgm> <after.pgm> <out_flow.txt>
+//              [--host H] [--port P] [--tenant NAME] [--deadline-ms MS]
+//              [--id N] [--model cont|semi] [--fit N] [--search N]
+//              [--template N] [--nss N] [--nst N] [--subpixel] [--robust]
+//              [--backend NAME]
+//   sma_client ping  [--host H] [--port P]
+//   sma_client stats [--host H] [--port P]
+//
+// The track defaults mirror `sma_cli track` exactly, so
+//   sma_cli    track a.pgm b.pgm flow_cli.txt
+//   sma_client track a.pgm b.pgm flow_served.txt
+// must produce cmp-identical flow files against a healthy server — the
+// bit-identity half of the chaos invariant.  Exit codes follow the
+// serve error taxonomy (serve/error.hpp): 0 ok, 2 config, 3 io,
+// 4 internal, 5 protocol, 6 rejected, 7 deadline.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "imaging/io.hpp"
+#include "serve/client.hpp"
+#include "serve/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace sma;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sma_client track <before.pgm> <after.pgm> <out_flow.txt>\n"
+      "             [--host H] [--port P] [--tenant NAME]\n"
+      "             [--deadline-ms MS] [--id N] [--model cont|semi]\n"
+      "             [--fit N] [--search N] [--template N] [--nss N]\n"
+      "             [--nst N] [--subpixel] [--robust] [--backend NAME]\n"
+      "  sma_client ping  [--host H] [--port P]\n"
+      "  sma_client stats [--host H] [--port P]\n");
+  return 2;
+}
+
+const char* value_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc)
+    throw std::invalid_argument(std::string("missing value for ") + argv[i]);
+  return argv[++i];
+}
+
+/// PGM frames are 8-bit and read_pgm maps samples to exact float values
+/// 0..255, so the u8 round-trip is lossless (the protocol's transport
+/// contract).
+std::vector<std::uint8_t> to_bytes(const imaging::ImageF& img) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(img.width()) * img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      bytes.push_back(static_cast<std::uint8_t>(img.at(x, y)));
+  return bytes;
+}
+
+int cmd_track(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string before_path = argv[2];
+  const std::string after_path = argv[3];
+  const std::string out_path = argv[4];
+
+  std::string host = "127.0.0.1";
+  int port = 7446;
+  serve::TrackRequest req;
+  req.id = 1;
+
+  for (int i = 5; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host")
+      host = value_arg(argc, argv, i);
+    else if (a == "--port")
+      port = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--tenant")
+      req.tenant = value_arg(argc, argv, i);
+    else if (a == "--deadline-ms")
+      req.deadline_ms = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--id")
+      req.id = static_cast<std::uint64_t>(std::atoll(value_arg(argc, argv, i)));
+    else if (a == "--model")
+      req.model = value_arg(argc, argv, i);
+    else if (a == "--fit")
+      req.fit_radius = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--search")
+      req.search_radius = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--template")
+      req.template_radius = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--nss")
+      req.nss = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--nst")
+      req.nst = std::atoi(value_arg(argc, argv, i));
+    else if (a == "--subpixel")
+      req.subpixel = true;
+    else if (a == "--robust")
+      req.robust = true;
+    else if (a == "--backend")
+      req.backend = value_arg(argc, argv, i);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  const imaging::ImageF before = imaging::read_pgm(before_path);
+  const imaging::ImageF after = imaging::read_pgm(after_path);
+  if (before.width() != after.width() || before.height() != after.height())
+    throw std::invalid_argument("frame dimensions differ");
+  req.width = before.width();
+  req.height = before.height();
+  req.before = to_bytes(before);
+  req.after = to_bytes(after);
+
+  serve::Client client;
+  client.connect(host, port);
+  const serve::TrackResponse resp = client.track(req);
+  client.quit();
+
+  std::fprintf(stderr,
+               "id=%llu outcome=%s code=%s valid=%ld/%ld wall_ms=%.3f "
+               "faults=%ld retry_after_ms=%d%s%s\n",
+               static_cast<unsigned long long>(resp.id),
+               serve::outcome_name(resp.outcome),
+               serve::serve_error_name(resp.code), resp.valid, resp.total,
+               resp.wall_ms, resp.faults, resp.retry_after_ms,
+               resp.message.empty() ? "" : " msg=",
+               resp.message.c_str());
+
+  if (!resp.payload.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out)
+      throw std::runtime_error("sma_client: cannot open " + out_path);
+    out.write(resp.payload.data(),
+              static_cast<std::streamsize>(resp.payload.size()));
+    if (!out.good())
+      throw std::runtime_error("sma_client: write failed: " + out_path);
+    std::fprintf(stderr, "flow (%zu bytes) -> %s\n", resp.payload.size(),
+                 out_path.c_str());
+  }
+  return serve::exit_code(resp.code);
+}
+
+int cmd_line(int argc, char** argv, bool ping) {
+  std::string host = "127.0.0.1";
+  int port = 7446;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host")
+      host = value_arg(argc, argv, i);
+    else if (a == "--port")
+      port = std::atoi(value_arg(argc, argv, i));
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return usage();
+    }
+  }
+  serve::Client client;
+  client.connect(host, port);
+  const std::string line = ping ? client.ping() : client.stats();
+  client.quit();
+  std::printf("%s\n", line.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "track") return cmd_track(argc, argv);
+    if (cmd == "ping") return cmd_line(argc, argv, true);
+    if (cmd == "stats") return cmd_line(argc, argv, false);
+  } catch (const std::exception& e) {
+    const serve::ServeError code = serve::classify_exception(e);
+    std::fprintf(stderr, "sma_client: %s error: %s\n",
+                 serve::serve_error_name(code), e.what());
+    return serve::exit_code(code);
+  }
+  return usage();
+}

@@ -166,13 +166,13 @@ TEST(FaultLog, CountsAndSummary) {
   FaultLog log;
   log.record(FaultKind::kScanlineDropout, 0, 3);
   log.record(FaultKind::kScanlineDropout, 0, 9);
-  log.record(FaultKind::kFrameSkipped, 4);
+  log.record(FaultKind::kStripeSkip, 4);
   EXPECT_EQ(log.size(), 3u);
   EXPECT_EQ(log.count(FaultKind::kScanlineDropout), 2u);
   EXPECT_EQ(log.count(FaultKind::kDeadColumn), 0u);
   const std::string s = log.summary();
   EXPECT_NE(s.find("scanline-dropout"), std::string::npos);
-  EXPECT_NE(s.find("frame-skipped"), std::string::npos);
+  EXPECT_NE(s.find("stripe-skip"), std::string::npos);
   log.clear();
   EXPECT_TRUE(log.empty());
 }

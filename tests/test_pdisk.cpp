@@ -115,7 +115,7 @@ TEST(FrameStream, StripeFaultRetryAdvancesModeledClock) {
   EXPECT_EQ(faulty.bytes_read(), 2 * clean.bytes_read());
   EXPECT_EQ(log.count(core::FaultKind::kStripeFault), 1u);
   EXPECT_EQ(log.count(core::FaultKind::kStripeRetry), 1u);
-  EXPECT_EQ(log.count(core::FaultKind::kFrameSkipped), 0u);
+  EXPECT_EQ(log.count(core::FaultKind::kStripeSkip), 0u);
   EXPECT_EQ(faulty.frames_skipped(), 0u);
 }
 
@@ -143,7 +143,7 @@ TEST(FrameStream, PersistentStripeFaultDegradesToInterpolation) {
   EXPECT_EQ(f1.at(0, 0), 1.5f);  // avg of repaired f0 (=1) and f2 (=2)
   EXPECT_EQ(fs.frames_skipped(), 2u);
   EXPECT_EQ(log.count(core::FaultKind::kStripeRetry), 4u);  // 2 per frame
-  EXPECT_EQ(log.count(core::FaultKind::kFrameSkipped), 2u);
+  EXPECT_EQ(log.count(core::FaultKind::kStripeSkip), 2u);
   // Backoff doubles: retry events carry 1 ms then 2 ms.
   double total_backoff = 0.0;
   for (const core::FaultEvent& e : log.events())
