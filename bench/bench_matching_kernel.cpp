@@ -43,6 +43,7 @@ namespace {
 
 struct VariantResult {
   std::string name;
+  std::string backend;              // registry backend that ran the variant
   double match_seconds = 0.0;       // precompute + mapping + hypothesis
   double precompute_seconds = 0.0;  // invariant-plane build share
   double wall_seconds = 0.0;        // full track() incl. surface fit
@@ -62,6 +63,7 @@ VariantResult run_variant(const std::string& name,
       core::BackendRegistry::instance().get(backend_name);
   VariantResult best;
   best.name = name;
+  best.backend = backend_name;
   // One untimed warm-up pass so page faults and first-touch allocation
   // are not charged to the min-of-N timings below.
   (void)backend.track(in, cfg, {});
@@ -221,6 +223,7 @@ int main(int argc, char** argv) {
       rec.wall_ms = v->wall_seconds * 1000.0;
       rec.pixels_per_s = npix / v->match_seconds;
       rec.config = cfg.describe();
+      rec.backend = v->backend;
       rec.extra("match_ms", v->match_seconds * 1000.0)
           .extra("precompute_build_ms", v->precompute_seconds * 1000.0)
           .extra("speedup_vs_naive", naive.match_seconds / v->match_seconds)

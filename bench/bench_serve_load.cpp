@@ -200,6 +200,7 @@ void print_result(const Scenario& scenario, const Result& r) {
 void record(bench::JsonReport& report, const Scenario& scenario,
             const Result& r, int frame_edge) {
   bench::JsonRecord& rec = report.add("serve_load_" + scenario.name);
+  rec.backend = scenario.options.backend;
   rec.wall_ms = r.duration_s * 1000.0;
   rec.pixels_per_s = (r.ok + r.degraded) *
                      static_cast<double>(frame_edge) * frame_edge /

@@ -10,11 +10,19 @@
 //     the result-identity check the paper performs in Sec. 5.1.
 // Usage: bench_table2_frederic [--backend NAME] [--json PATH]
 //   NAME selects the registry backend compared against the sequential
-//   reference in the measured section (default: openmp).
+//   reference in the measured section (default: tiled).
 //   PATH receives the measured per-phase rows as a JSON record array.
+//
+// The measured section ends with a thread-scaling sweep: the tiled
+// work-stealing backend at 1, 2, 4, ... threads (pool resized to the
+// sweep maximum, each run capped via SmaConfig::threads), emitting a
+// speedup/efficiency curve into the JSON and asserting FlowField
+// bit-identity against the sequential reference at every width.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/sma.hpp"
@@ -23,11 +31,12 @@
 #include "maspar/cost_model.hpp"
 #include "maspar/instruction_model.hpp"
 #include "maspar/sma_simd.hpp"
+#include "sched/scheduler.hpp"
 
 using namespace sma;
 
 int main(int argc, char** argv) {
-  std::string backend = "openmp";
+  std::string backend = "tiled";
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)
@@ -121,6 +130,42 @@ int main(int argc, char** argv) {
     std::printf("  modeled MP-2 total at this size: %.3f s (speedup %.0fx)\n",
                 mp->report.modeled.total(), mp->report.modeled_speedup);
 
+  // ---------- 3. Thread-scaling sweep (tiled work-stealing backend) ----------
+  // Widths 1, 2, 4, ... up to at least 4 (so the curve exists even on a
+  // 1-core box, where it honestly records ~1x: the shared pool is
+  // resized to the sweep maximum, and each run is capped through
+  // SmaConfig::threads — the same budget mechanism sma_serve uses).
+  sched::ThreadPool& pool = sched::ThreadPool::shared();
+  const int hw = sched::ThreadPool::default_threads();
+  std::vector<int> widths;
+  for (int t = 1; t < std::max(hw, 4); t *= 2) widths.push_back(t);
+  widths.push_back(std::max(hw, 4));
+  pool.resize(widths.back());
+
+  bench::header("Thread scaling — tiled backend (" +
+                std::to_string(std::max(hw, 4)) + "-wide pool, " +
+                std::to_string(hw) + " hardware thread(s))");
+  bench::row_header("threads", "total (s) / speedup");
+  struct SweepPoint {
+    int threads;
+    core::TrackResult result;
+  };
+  std::vector<SweepPoint> sweep;
+  bool sweep_identical = true;
+  for (const int t : widths) {
+    core::SmaConfig tcfg = cfg;
+    tcfg.threads = t;
+    sweep.push_back({t, registry.get("tiled").track(in, tcfg, {})});
+    sweep_identical = sweep_identical && sweep.back().result.flow == seq.flow;
+  }
+  const double t1 = sweep.front().result.timings.total;
+  for (const SweepPoint& p : sweep)
+    bench::row("tiled, " + std::to_string(p.threads) + " thread(s)",
+               bench::fmt(p.result.timings.total),
+               bench::fmt(t1 / p.result.timings.total, "x", 2));
+  std::printf("  bit-identical to sequential at every width: %s\n",
+              sweep_identical ? "yes (paper Sec. 5.1 criterion)" : "NO — BUG");
+
   if (!json_path.empty()) {
     const double npix = static_cast<double>(size) * size;
     bench::JsonReport report;
@@ -132,12 +177,31 @@ int main(int argc, char** argv) {
       rec.wall_ms = r.timings.total * 1000.0;
       rec.pixels_per_s = npix / r.timings.total;
       rec.config = cfg.describe();
+      rec.backend = name;
       rec.extra("surface_fit_ms", r.timings.surface_fit * 1000.0)
           .extra("geometric_vars_ms", r.timings.geometric_vars * 1000.0)
           .extra("match_precompute_ms", r.timings.match_precompute * 1000.0)
           .extra("semifluid_mapping_ms", r.timings.semifluid_mapping * 1000.0)
           .extra("hypothesis_matching_ms",
                  r.timings.hypothesis_matching * 1000.0)
+          .extra("size", size);
+    }
+    // The efficiency curve: one record per sweep width, so trajectory
+    // tooling can plot speedup_vs_1t/efficiency straight from the JSON.
+    for (const SweepPoint& p : sweep) {
+      bench::JsonRecord& rec =
+          report.add("tiled-threads-" + std::to_string(p.threads));
+      rec.wall_ms = p.result.timings.total * 1000.0;
+      rec.pixels_per_s = npix / p.result.timings.total;
+      core::SmaConfig tcfg = cfg;
+      tcfg.threads = p.threads;
+      rec.config = tcfg.describe();
+      rec.backend = "tiled";
+      rec.extra("threads", p.threads)
+          .extra("speedup_vs_1t", t1 / p.result.timings.total)
+          .extra("efficiency", t1 / p.result.timings.total / p.threads)
+          .extra("identical_to_sequential",
+                 p.result.flow == seq.flow ? 1.0 : 0.0)
           .extra("size", size);
     }
     report.write(json_path);

@@ -78,6 +78,10 @@ struct JsonRecord {
   double wall_ms = 0.0;
   double pixels_per_s = 0.0;
   std::string config;
+  /// Tracker backend that produced this measurement ("" for records that
+  /// involve none, e.g. the environment stamp — the JSON then carries an
+  /// empty "backend" honestly rather than a fabricated one).
+  std::string backend;
   std::vector<std::pair<std::string, double>> extras;
 
   JsonRecord& extra(const std::string& key, double value) {
@@ -101,11 +105,16 @@ class JsonReport {
     reports.reserve(records_.size());
     for (const JsonRecord& r : records_) {
       obs::MetricsRegistry reg;
-      reg.gauge("wall_ms").set(r.wall_ms);
-      reg.gauge("pixels_per_s").set(r.pixels_per_s);
+      // Timing gauges only for records that measured something: the
+      // environment stamp (and any other annotation record) leaves
+      // wall_ms/pixels_per_s at 0 and must not export zeroed timings
+      // that downstream trajectory plots would read as "took 0 ms".
+      if (r.wall_ms != 0.0) reg.gauge("wall_ms").set(r.wall_ms);
+      if (r.pixels_per_s != 0.0) reg.gauge("pixels_per_s").set(r.pixels_per_s);
       for (const auto& [key, value] : r.extras) reg.gauge(key).set(value);
       obs::RunReport report = obs::build_run_report(r.name, reg);
       report.config = r.config;
+      report.backend = r.backend;
       reports.push_back(std::move(report));
     }
     return obs::write_run_reports(path, reports);
@@ -118,9 +127,11 @@ class JsonReport {
 /// Stamps an `environment` record into the report so BENCH_*.json
 /// trajectories are comparable across machines and toolchains: compiler
 /// version and build flags (in the record's config string), the active
-/// SIMD dispatch level and its lane width, and the OpenMP thread count
-/// the run was pinned to (scripts/run_benches.sh exports
-/// OMP_NUM_THREADS).
+/// SIMD dispatch level, the OpenMP thread count, and the scheduler
+/// thread pinning in effect (scripts/run_benches.sh pins
+/// OMP_NUM_THREADS / SMA_THREADS only on bit-identity-sensitive legs,
+/// so both env values are recorded when present).  The record carries
+/// no wall_ms/pixels_per_s — it measures nothing.
 inline void add_environment_record(JsonReport& report) {
 #if !defined(SMA_BENCH_BUILD_FLAGS)
 #define SMA_BENCH_BUILD_FLAGS "unknown"
@@ -138,6 +149,8 @@ inline void add_environment_record(JsonReport& report) {
   rec.extra("omp_threads", static_cast<double>(omp_threads));
   if (const char* pinned = std::getenv("OMP_NUM_THREADS"))
     rec.extra("omp_num_threads_env", std::atof(pinned));
+  if (const char* pinned = std::getenv("SMA_THREADS"))
+    rec.extra("sma_threads_env", std::atof(pinned));
 }
 
 }  // namespace sma::bench

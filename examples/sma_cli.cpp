@@ -11,10 +11,17 @@
 //   --template N           z-template radius       (default 4)
 //   --subpixel             parabolic refinement
 //   --backend NAME         execution backend from the registry:
-//                          sequential | openmp | vector | maspar-sim
+//                          sequential | tiled | vector | maspar-sim
+//                          (openmp = retired alias of tiled)
 //   --sequential           shorthand for --backend sequential
 //   --precompute MODE      hypothesis-invariant matching precompute:
 //                          auto (default) | on | off
+//   --threads N            cap this run's tile executors (0 = the whole
+//                          shared pool; pool width = SMA_THREADS or the
+//                          hardware count)
+//   --tile WxH             scheduler tile shape (default: autotuned)
+//   --fast-math            tolerance-gated fast profile: FMA in the
+//                          vector kernel (NOT bit-exact)
 //   --robust               robust post-processing
 //   --ppm FILE             also write a color-wheel rendering
 //   --inject-faults R      corrupt the input pair with rate-R telemetry
@@ -61,6 +68,7 @@ int usage() {
                "                 [--template N] [--subpixel] [--sequential]\n"
                "                 [--backend NAME] [--robust] [--ppm FILE]\n"
                "                 [--precompute auto|on|off]\n"
+               "                 [--threads N] [--tile WxH] [--fast-math]\n"
                "                 [--inject-faults RATE] [--fault-seed N]\n"
                "                 [--trace FILE] [--metrics FILE]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
@@ -142,6 +150,18 @@ int cmd_track(int argc, char** argv) {
         cfg.precompute = core::PrecomputeMode::kOff;
       else
         throw std::runtime_error("--precompute expects auto|on|off");
+    } else if (a == "--threads") {
+      cfg.threads = int_arg(argc, argv, i);
+    } else if (a == "--tile") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      const std::string t = argv[++i];
+      const auto xpos = t.find('x');
+      if (xpos == std::string::npos)
+        throw std::runtime_error("--tile expects WxH, e.g. 32x32");
+      cfg.tile_width = std::atoi(t.substr(0, xpos).c_str());
+      cfg.tile_height = std::atoi(t.substr(xpos + 1).c_str());
+    } else if (a == "--fast-math") {
+      cfg.fast_math = true;
     } else if (a == "--robust") {
       robust = true;
     } else if (a == "--ppm") {
@@ -256,6 +276,7 @@ int cmd_track(int argc, char** argv) {
     // occupancy).
     obs::MetricsRegistry& reg = pipeline.metrics();
     core::publish_metrics(r.timings, reg);
+    core::publish_metrics(sched::ThreadPool::shared().stats(), reg);
     if (fault_rate > 0.0) core::publish_metrics(fault_log, reg);
     if (const auto* mp =
             dynamic_cast<const maspar::MasParBackendExtras*>(r.extras.get()))

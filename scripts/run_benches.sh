@@ -5,8 +5,19 @@
 # refreshed files whenever a change moves the numbers.
 #
 # Measurement hygiene:
-#   * OMP_NUM_THREADS is pinned (default 1) so runs are comparable; the
-#     value used is stamped into each artifact's `environment` record
+#   * Thread pinning is PER LEG, not global.  The matching-kernel
+#     micro-bench is pinned to one thread (OMP_NUM_THREADS=1,
+#     SMA_THREADS=1): it compares per-variant kernel cycle costs and
+#     asserts bit-identity between variants, so background pool workers
+#     or OMP fan-out would only add timing noise to its min-of-N runs.
+#     The table2 leg must NOT be pinned — it owns the 1..N thread-scaling
+#     sweep (resizing the shared scheduler pool itself) and its
+#     FlowField determinism contract holds at every thread count, so a
+#     global single-thread pin would silently flatten the efficiency
+#     curve to one point.  The serve load bench likewise runs unpinned:
+#     it measures the daemon under real worker/scheduler concurrency.
+#     Whatever pinning applies is stamped into each artifact's
+#     `environment` record (omp_num_threads_env / sma_threads_env)
 #     along with compiler, build flags and the active SIMD level.
 #   * Each bench variant performs one untimed warm-up pass and reports
 #     the min of --repeat timed runs (default 3).
@@ -17,7 +28,6 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-export OMP_NUM_THREADS="${OMP_NUM_THREADS:-1}"
 repeat="${SMA_BENCH_REPEAT:-5}"
 
 if [[ ! -x "$build_dir/bench/bench_matching_kernel" ]]; then
@@ -26,13 +36,17 @@ if [[ ! -x "$build_dir/bench/bench_matching_kernel" ]]; then
   exit 1
 fi
 
-echo "benches: OMP_NUM_THREADS=$OMP_NUM_THREADS repeat=$repeat"
+echo "benches: repeat=$repeat (matching-kernel leg pinned to 1 thread)"
 
-"$build_dir/bench/bench_matching_kernel" \
+# Bit-identity/comparability-sensitive leg: single-kernel costs, pinned.
+OMP_NUM_THREADS=1 SMA_THREADS=1 \
+  "$build_dir/bench/bench_matching_kernel" \
   --repeat "$repeat" \
   --json "$repo_root/BENCH_matching.json"
+# Thread-scaling leg: manages its own pool width, must stay unpinned.
 "$build_dir/bench/bench_table2_frederic" \
   --json "$repo_root/BENCH_table2.json"
+# Serve load leg: measures real worker/scheduler concurrency, unpinned.
 "$build_dir/bench/bench_serve_load" \
   --json "$repo_root/BENCH_serve.json"
 

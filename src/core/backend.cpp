@@ -19,8 +19,11 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-// The two host substrates share everything but the OpenMP toggle: the
-// sequential baseline and the row-parallel comparator of Sec. 4.
+// The host substrates share everything but the parallel toggle: the
+// sequential baseline runs the pixel plane as one inline tile, the
+// parallel flavor submits cache-blocked tiles to the shared
+// work-stealing pool (sched/scheduler.hpp).  Both are bit-identical at
+// every thread count — each tile writes only its own pixels.
 class HostBackend final : public TrackerBackend {
  public:
   HostBackend(std::string name, bool parallel)
@@ -109,10 +112,18 @@ TrackResult TrackerBackend::track(const TrackerInput& input,
 BackendRegistry::BackendRegistry() {
   backends_["sequential"] =
       std::make_unique<HostBackend>("sequential", /*parallel=*/false);
+  // `tiled` is the thread-parallel host backend: staged kernels over
+  // work-stealing pixel tiles.  `openmp` is a RETIRED alias kept so
+  // existing configs/scripts keep resolving — the per-row OpenMP splits
+  // it once named were replaced by the tiled scheduler, and both names
+  // now run the identical implementation (same results bit-for-bit).
+  backends_["tiled"] =
+      std::make_unique<HostBackend>("tiled", /*parallel=*/true);
   backends_["openmp"] =
       std::make_unique<HostBackend>("openmp", /*parallel=*/true);
-  // SIMD lanes over hypotheses x OpenMP threads over rows; bit-identical
-  // to the host backends on every lane implementation (match_vector.hpp).
+  // SIMD lanes over hypotheses x work-stealing threads over tiles;
+  // bit-identical to the host backends on every lane implementation
+  // (match_vector.hpp).
   backends_["vector"] = make_vector_backend();
 }
 

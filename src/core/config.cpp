@@ -22,6 +22,12 @@ std::string SmaConfig::describe() const {
              ? "off"
              : precompute == PrecomputeMode::kOn ? "on" : "auto");
   if (precompute_sliding) os << "+sliding";
+  // Scheduler knobs only when explicitly set: they never change results
+  // (fast_math excepted), so defaults stay out of config signatures.
+  if (threads > 0) os << ", threads=" << threads;
+  if (tile_width > 0 || tile_height > 0)
+    os << ", tile=" << tile_width << "x" << tile_height;
+  if (fast_math) os << ", fast-math";
   return os.str();
 }
 

@@ -81,6 +81,28 @@ struct SmaConfig {
   /// Sec. 5.1 bit-identity contract across backends.
   bool precompute_sliding = false;
 
+  /// Executor cap for the tiled scheduler (sched/scheduler.hpp): how
+  /// many pool workers may serve THIS run's tile batches.  0 = the
+  /// whole shared pool (whose width is SMA_THREADS or the hardware
+  /// count).  The cap throttles one run below the pool width — the
+  /// pool itself is the process-wide budget shared with sma_serve.
+  int threads = 0;
+
+  /// Tile shape for the scheduler's cache-blocked pixel tiles.  0 =
+  /// autotuned via sched::choose_tile_shape (≈32x32, shrunk until every
+  /// executor has stealable slack).  Results are bit-identical for ANY
+  /// tile shape; this is a performance knob only.
+  int tile_width = 0;
+  int tile_height = 0;
+
+  /// Tolerance-gated fast profile: allow fused multiply-add in the
+  /// vector matching kernel.  OFF (default) keeps the Sec. 5.1
+  /// bit-identity contract across every backend and thread count; ON
+  /// trades that for FMA throughput/accuracy — results are
+  /// tolerance-equal, not bit-equal, and the golden/bit-identity sweeps
+  /// exclude this profile.
+  bool fast_math = false;
+
   /// Effective vertical radii (fall back to the square value).
   int z_search_ry() const {
     return z_search_radius_y >= 0 ? z_search_radius_y : z_search_radius;
@@ -127,6 +149,10 @@ struct SmaConfig {
       throw std::invalid_argument("SmaConfig: segment_rows out of range");
     if (template_stride < 1)
       throw std::invalid_argument("SmaConfig: template_stride >= 1 required");
+    if (threads < 0)
+      throw std::invalid_argument("SmaConfig: threads >= 0 required");
+    if (tile_width < 0 || tile_height < 0)
+      throw std::invalid_argument("SmaConfig: tile sizes >= 0 required");
   }
 
   std::string describe() const;

@@ -1,11 +1,13 @@
 #include "core/match_vector.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
 
 #include "core/match_precompute.hpp"
 #include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
 
 namespace sma::core {
 
@@ -61,22 +63,22 @@ simd::SimdLevel resolve_kernel_level(simd::SimdLevel request) {
   return simd::SimdLevel::kScalar;
 }
 
-PixelKernelFn pixel_kernel_hook(simd::SimdLevel level) {
+PixelKernelFn pixel_kernel_hook(simd::SimdLevel level, bool fast_math) {
   switch (resolve_kernel_level(level)) {
 #if defined(SMA_KERNEL_AVX2)
     case simd::SimdLevel::kAvx2:
-      return &scan_pixel_avx2;
+      return fast_math ? &scan_pixel_avx2_fma : &scan_pixel_avx2;
 #endif
 #if defined(SMA_KERNEL_SSE2)
     case simd::SimdLevel::kSse2:
-      return &scan_pixel_sse2;
+      return fast_math ? &scan_pixel_sse2_fma : &scan_pixel_sse2;
 #endif
 #if defined(SMA_KERNEL_NEON)
     case simd::SimdLevel::kNeon:
-      return &scan_pixel_neon;
+      return fast_math ? &scan_pixel_neon_fma : &scan_pixel_neon;
 #endif
     default:
-      return &scan_pixel_scalar;
+      return fast_math ? &scan_pixel_scalar_fma : &scan_pixel_scalar;
   }
 }
 
@@ -127,8 +129,13 @@ void publish_metrics(const VectorRunReport& report,
 
 namespace {
 
-// The `vector` backend: SIMD lanes over hypotheses inside OpenMP threads
-// over pixel rows — the "threads x lanes" composition of the tentpole.
+// The `vector` backend: SIMD lanes over hypotheses inside work-stealing
+// threads over cache-blocked pixel tiles — the "threads x lanes"
+// composition of the tentpole.  Each tile runs the lane-batched sweep
+// for its pixels and folds its occupancy tally into a per-tile slot;
+// the slots are summed in tile-index order after the batch, so the
+// report (and the FlowField, whose per-pixel slots are disjoint by
+// construction) is identical at every thread count and steal order.
 class VectorBackend final : public TrackerBackend {
  public:
   std::string name() const override { return "vector"; }
@@ -190,32 +197,56 @@ class VectorBackend final : public TrackerBackend {
     const int nzs_x = config.z_search_radius;
     const int nzs_y = config.z_search_ry();
     const MatchPrecompute* const pre = in.precompute;
-    const PixelKernelFn kernel = pixel_kernel_hook(level);
+    const PixelKernelFn kernel = pixel_kernel_hook(level, config.fast_math);
 
     std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
     obs::TraceSpan span("match", "hypothesis_search");
     const auto t0 = Clock::now();
+
+    sched::ThreadPool& pool = sched::ThreadPool::shared();
+    const int executors =
+        std::max(1, config.threads > 0 ? std::min(config.threads,
+                                                  std::max(pool.threads(), 1))
+                                       : std::max(pool.threads(), 1));
+    sched::TileShape shape;
+    if (config.tile_width > 0 || config.tile_height > 0) {
+      shape.width = config.tile_width > 0 ? config.tile_width : 32;
+      shape.height = config.tile_height > 0 ? config.tile_height : 32;
+    } else {
+      shape = sched::choose_tile_shape(w, h, executors);
+    }
+    const std::vector<sched::Tile> tiles = sched::make_tiles(w, h, shape);
+
+    // Per-tile tally slots folded in tile-index order after the batch —
+    // deterministic regardless of which worker ran which tile.
+    std::vector<VectorLaneTally> tallies(tiles.size());
+    pool.run(
+        tiles,
+        [&](const sched::Tile& tile, std::size_t index) {
+          VectorLaneTally& tally = tallies[index];
+          for (int y = tile.y0; y < tile.y1; ++y) {
+            for (int x = tile.x0; x < tile.x1; ++x) {
+              WindowInvariants win;
+              pre->accumulate_window(x, y, nzt_x, nzt_y, win);
+              VectorKernelArgs args;
+              args.pre = pre;
+              args.after = in.after;
+              args.win = &win;
+              args.x = x;
+              args.y = y;
+              args.rx = nzt_x;
+              args.ry = nzt_y;
+              args.nzs_x = nzs_x;
+              args.hy_min = -nzs_y;
+              args.hy_max = nzs_y;
+              kernel(args, best[static_cast<std::size_t>(y) * w + x], tally);
+            }
+          }
+        },
+        config.threads);
+
     std::uint64_t batched = 0, tail = 0, batches = 0;
-#pragma omp parallel for schedule(dynamic, 1) \
-    reduction(+ : batched, tail, batches)
-    for (int y = 0; y < h; ++y) {
-      VectorLaneTally tally;
-      for (int x = 0; x < w; ++x) {
-        WindowInvariants win;
-        pre->accumulate_window(x, y, nzt_x, nzt_y, win);
-        VectorKernelArgs args;
-        args.pre = pre;
-        args.after = in.after;
-        args.win = &win;
-        args.x = x;
-        args.y = y;
-        args.rx = nzt_x;
-        args.ry = nzt_y;
-        args.nzs_x = nzs_x;
-        args.hy_min = -nzs_y;
-        args.hy_max = nzs_y;
-        kernel(args, best[static_cast<std::size_t>(y) * w + x], tally);
-      }
+    for (const VectorLaneTally& tally : tallies) {
       batched += tally.batched_hypotheses;
       tail += tally.tail_hypotheses;
       batches += tally.batches;

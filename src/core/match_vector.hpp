@@ -85,8 +85,9 @@ simd::SimdLevel resolve_kernel_level(simd::SimdLevel request);
 
 /// The per-pixel scan kernel / batched-solve hook for a compiled level
 /// (callers should resolve_kernel_level first; unresolved levels return
-/// the scalar kernel).
-PixelKernelFn pixel_kernel_hook(simd::SimdLevel level);
+/// the scalar kernel).  `fast_math` selects the FMA variant of the scan
+/// kernel (SmaConfig::fast_math — tolerance-equal, not bit-exact).
+PixelKernelFn pixel_kernel_hook(simd::SimdLevel level, bool fast_math = false);
 BatchSolveHook batch_solve_hook(simd::SimdLevel level);
 
 /// Lane count of the (resolved) level's kernel.
@@ -124,20 +125,28 @@ std::unique_ptr<TrackerBackend> make_vector_backend();
 // build-time fact (SMA_KERNEL_* from src/core/CMakeLists.txt); use the
 // hooks above instead of calling these directly.
 void scan_pixel_scalar(const VectorKernelArgs&, PixelBest&, VectorLaneTally&);
+void scan_pixel_scalar_fma(const VectorKernelArgs&, PixelBest&,
+                           VectorLaneTally&);
 void batch_solve6_scalar(const double*, const double*, double*,
                          unsigned char*, double);
 #if defined(SMA_KERNEL_SSE2)
 void scan_pixel_sse2(const VectorKernelArgs&, PixelBest&, VectorLaneTally&);
+void scan_pixel_sse2_fma(const VectorKernelArgs&, PixelBest&,
+                         VectorLaneTally&);
 void batch_solve6_sse2(const double*, const double*, double*, unsigned char*,
                        double);
 #endif
 #if defined(SMA_KERNEL_AVX2)
 void scan_pixel_avx2(const VectorKernelArgs&, PixelBest&, VectorLaneTally&);
+void scan_pixel_avx2_fma(const VectorKernelArgs&, PixelBest&,
+                         VectorLaneTally&);
 void batch_solve6_avx2(const double*, const double*, double*, unsigned char*,
                        double);
 #endif
 #if defined(SMA_KERNEL_NEON)
 void scan_pixel_neon(const VectorKernelArgs&, PixelBest&, VectorLaneTally&);
+void scan_pixel_neon_fma(const VectorKernelArgs&, PixelBest&,
+                         VectorLaneTally&);
 void batch_solve6_neon(const double*, const double*, double*, unsigned char*,
                        double);
 #endif

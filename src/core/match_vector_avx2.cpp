@@ -18,6 +18,11 @@ void scan_pixel_avx2(const VectorKernelArgs& g, PixelBest& best,
   detail::scan_pixel_t<simd::Avx2Tag>(g, best, tally);
 }
 
+void scan_pixel_avx2_fma(const VectorKernelArgs& g, PixelBest& best,
+                         VectorLaneTally& tally) {
+  detail::scan_pixel_t<simd::Avx2Tag, /*Fma=*/true>(g, best, tally);
+}
+
 void batch_solve6_avx2(const double* a, const double* b, double* x,
                        unsigned char* singular, double eps) {
   detail::batch_solve_soa<simd::Avx2Tag>(a, b, x, singular, eps);

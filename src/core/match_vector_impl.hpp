@@ -37,13 +37,27 @@
 
 namespace sma::core::detail {
 
-template <class Tag>
+// Fma=false is the default bit-exact kernel (mul-then-add everywhere,
+// matching the scalar path under -ffp-contract=off).  Fma=true is the
+// tolerance-gated fast profile (SmaConfig::fast_math): the template
+// window's A^T b / b^T b MACs go through LaneTraits::mul_add, which
+// fuses where the ISA can.  Everything else — elimination, residual,
+// winner fold — is shared, so the fast profile differs from the exact
+// one only by the rounding of the fused accumulations.
+template <class Tag, bool Fma = false>
 void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
                   VectorLaneTally& tally) {
   using T = simd::LaneTraits<Tag>;
   using V = typename T::Vec;
   using M = typename T::Mask;
   constexpr int N = T::kLanes;
+  // a*b + c under the active profile.
+  const auto fmadd = [](V a, V b, V c) {
+    if constexpr (Fma)
+      return T::mul_add(a, b, c);
+    else
+      return T::add(c, T::mul(a, b));
+  };
 
   const MatchPrecompute& pre = *g.pre;
   const surface::GeometricField& after = *g.after;
@@ -117,13 +131,13 @@ void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
           const V bk = T::sub(ok, T::broadcast(nk_p[i]));
           for (int r = 0; r < 6; ++r) {
             V t = T::mul(T::broadcast(rows_p[r][i]), bi);
-            t = T::add(t, T::mul(T::broadcast(rows_p[6 + r][i]), bj));
-            t = T::add(t, T::mul(T::broadcast(rows_p[12 + r][i]), bk));
+            t = fmadd(T::broadcast(rows_p[6 + r][i]), bj, t);
+            t = fmadd(T::broadcast(rows_p[12 + r][i]), bk, t);
             atb[r] = T::add(atb[r], t);
           }
           V s = T::mul(T::broadcast(wi_p[i]), T::mul(bi, bi));
-          s = T::add(s, T::mul(T::broadcast(wj_p[i]), T::mul(bj, bj)));
-          s = T::add(s, T::mul(bk, bk));
+          s = fmadd(T::broadcast(wj_p[i]), T::mul(bj, bj), s);
+          s = fmadd(bk, bk, s);
           btb = T::add(btb, s);
         }
       }

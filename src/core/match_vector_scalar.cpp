@@ -10,6 +10,11 @@ void scan_pixel_scalar(const VectorKernelArgs& g, PixelBest& best,
   detail::scan_pixel_t<simd::ScalarTag>(g, best, tally);
 }
 
+void scan_pixel_scalar_fma(const VectorKernelArgs& g, PixelBest& best,
+                           VectorLaneTally& tally) {
+  detail::scan_pixel_t<simd::ScalarTag, /*Fma=*/true>(g, best, tally);
+}
+
 void batch_solve6_scalar(const double* a, const double* b, double* x,
                          unsigned char* singular, double eps) {
   detail::batch_solve_soa<simd::ScalarTag>(a, b, x, singular, eps);

@@ -14,6 +14,11 @@ void scan_pixel_sse2(const VectorKernelArgs& g, PixelBest& best,
   detail::scan_pixel_t<simd::Sse2Tag>(g, best, tally);
 }
 
+void scan_pixel_sse2_fma(const VectorKernelArgs& g, PixelBest& best,
+                         VectorLaneTally& tally) {
+  detail::scan_pixel_t<simd::Sse2Tag, /*Fma=*/true>(g, best, tally);
+}
+
 void batch_solve6_sse2(const double* a, const double* b, double* x,
                        unsigned char* singular, double eps) {
   detail::batch_solve_soa<simd::Sse2Tag>(a, b, x, singular, eps);

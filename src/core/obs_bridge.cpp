@@ -1,5 +1,7 @@
 #include "core/obs_bridge.hpp"
 
+#include <algorithm>
+
 namespace sma::core {
 
 // Completeness guards: these sizes change exactly when a field is added
@@ -12,6 +14,12 @@ static_assert(sizeof(PipelineStats) == 7 * sizeof(std::size_t) + 7 * sizeof(doub
 static_assert(sizeof(TrackTimings) == 6 * sizeof(double),
               "TrackTimings changed: update publish_metrics(TrackTimings) "
               "and track_timings_metric_names()");
+static_assert(sizeof(sched::SchedStats) ==
+                  4 * sizeof(std::uint64_t) + 2 * sizeof(int) +
+                      sizeof(double) + sizeof(std::vector<double>) +
+                      /*alignment padding*/ 8,
+              "SchedStats changed: update publish_metrics(SchedStats) "
+              "and sched_metric_names()");
 
 void publish_metrics(const PipelineStats& s, obs::MetricsRegistry& reg) {
   reg.gauge("pipeline.pairs_tracked").set(static_cast<double>(s.pairs_tracked));
@@ -101,6 +109,44 @@ void publish_metrics(const FaultLog& log, obs::MetricsRegistry& reg) {
   for (const FaultKind kind : kAllFaultKinds)
     reg.gauge(std::string("fault.") + fault_kind_name(kind))
         .set(static_cast<double>(log.count(kind)));
+}
+
+void publish_metrics(const sched::SchedStats& s, obs::MetricsRegistry& reg) {
+  reg.gauge("sched.threads").set(static_cast<double>(s.threads));
+  reg.gauge("sched.batches").set(static_cast<double>(s.batches));
+  reg.gauge("sched.tiles").set(static_cast<double>(s.tiles));
+  reg.gauge("sched.steals").set(static_cast<double>(s.steals));
+  reg.gauge("sched.inline_batches")
+      .set(static_cast<double>(s.inline_batches));
+  reg.gauge("sched.max_busy").set(static_cast<double>(s.max_busy));
+  reg.gauge("sched.busy_seconds").set(s.busy_seconds);
+  // The per-thread vector folds to its spread (always registered, so the
+  // export shape does not depend on the pool width).
+  double lo = 0.0, hi = 0.0;
+  if (!s.thread_busy_seconds.empty()) {
+    lo = hi = s.thread_busy_seconds.front();
+    for (const double v : s.thread_busy_seconds) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  reg.gauge("sched.thread_busy_min_seconds").set(lo);
+  reg.gauge("sched.thread_busy_max_seconds").set(hi);
+}
+
+const std::vector<std::string>& sched_metric_names() {
+  static const std::vector<std::string> names = {
+      "sched.threads",
+      "sched.batches",
+      "sched.tiles",
+      "sched.steals",
+      "sched.inline_batches",
+      "sched.max_busy",
+      "sched.busy_seconds",
+      "sched.thread_busy_min_seconds",
+      "sched.thread_busy_max_seconds",
+  };
+  return names;
 }
 
 const std::vector<std::string>& fault_metric_names() {

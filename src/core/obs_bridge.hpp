@@ -25,6 +25,7 @@
 #include "core/pipeline.hpp"
 #include "core/tracker.hpp"
 #include "obs/metrics.hpp"
+#include "sched/scheduler.hpp"
 
 namespace sma::core {
 
@@ -39,6 +40,13 @@ void publish_metrics(const TrackTimings& timings, obs::MetricsRegistry& reg);
 /// are registered, so an empty log still exports explicit zeros).
 void publish_metrics(const FaultLog& log, obs::MetricsRegistry& reg);
 
+/// Registers/updates the tiled scheduler's counters under "sched.*"
+/// (sched::ThreadPool::stats()).  The per-thread busy times are folded
+/// into min/max/total gauges — the load-imbalance signal — rather than
+/// one gauge per worker, so the export shape is thread-count stable.
+void publish_metrics(const sched::SchedStats& stats,
+                     obs::MetricsRegistry& reg);
+
 /// The registry names publish_metrics(PipelineStats) maintains, one per
 /// struct field (derived rates excluded) — the completeness contract.
 const std::vector<std::string>& pipeline_stats_metric_names();
@@ -48,5 +56,8 @@ const std::vector<std::string>& track_timings_metric_names();
 
 /// Likewise for the FaultKind gauges.
 const std::vector<std::string>& fault_metric_names();
+
+/// Likewise for the SchedStats gauges.
+const std::vector<std::string>& sched_metric_names();
 
 }  // namespace sma::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -11,6 +12,7 @@
 #include "core/semifluid.hpp"
 #include "imaging/stats.hpp"
 #include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
 
 namespace sma::core {
 
@@ -28,6 +30,50 @@ bool semifluid_active(const MatchInput& in, const SmaConfig& config) {
   return config.model == MotionModel::kSemiFluid &&
          config.semifluid_search_radius > 0 && in.disc_before != nullptr &&
          in.disc_after != nullptr;
+}
+
+// Runs fn over cache-blocked tiles of the w x h pixel plane on the
+// shared work-stealing pool (sched/scheduler.hpp).  This replaces the
+// old per-row `#pragma omp parallel for` splits: 2-D tiles keep a
+// thread's template reads cache-resident AND give the vector kernel
+// whole tiles to lane-batch over, so threads x SIMD compose.
+//
+// parallel=false runs the plane as one inline tile — the sequential
+// backend never touches the pool.  `full_rows` forces full-width row
+// bands (the sliding precompute tier amortizes one accumulate pass per
+// image row; x-splitting a row would recompute it per tile).
+//
+// Every per-pixel computation submitted here is independent of its
+// neighbors and each tile writes only its own pixels' slots, so results
+// are bit-identical for ANY tile shape, thread count, and steal order.
+void for_each_pixel_tile(int w, int h, const SmaConfig& config, bool parallel,
+                         bool full_rows,
+                         const std::function<void(const sched::Tile&)>& fn) {
+  if (w <= 0 || h <= 0) return;
+  if (!parallel) {
+    fn(sched::Tile{0, 0, w, h});
+    return;
+  }
+  sched::ThreadPool& pool = sched::ThreadPool::shared();
+  const int executors = config.threads > 0
+                            ? std::min(config.threads, pool.threads())
+                            : pool.threads();
+  sched::TileShape shape;
+  if (config.tile_width > 0 || config.tile_height > 0) {
+    shape.width = config.tile_width > 0 ? config.tile_width : 32;
+    shape.height = config.tile_height > 0 ? config.tile_height : 32;
+  } else {
+    shape = sched::choose_tile_shape(w, h, std::max(executors, 1));
+  }
+  if (full_rows) {
+    // Row bands: keep ~6 bands per executor for steal slack.
+    shape.width = w;
+    const int band = (h + 6 * executors - 1) / (6 * executors);
+    shape.height = std::max(1, std::min(shape.height, band));
+  }
+  pool.run(sched::make_tiles(w, h, shape),
+           [&](const sched::Tile& tile, std::size_t) { fn(tile); },
+           config.threads);
 }
 
 }  // namespace
@@ -319,44 +365,53 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
       // row (not bit-exact — see SmaConfig::precompute_sliding).
       const int nzt_x = config.z_template_radius;
       const int nzt_y = config.z_template_ry();
-#pragma omp parallel for schedule(dynamic, 1) if (parallel)
-      for (int y = 0; y < h; ++y) {
-        std::vector<WindowInvariants> row_win(static_cast<std::size_t>(w));
-        pre->accumulate_window_rows(y, nzt_x, nzt_y, row_win.data());
-        for (int x = 0; x < w; ++x) {
-          PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
-          for (int hy = hy_min; hy <= hy_max; ++hy)
-            for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
-              MotionParams params;
-              bool ok = false;
-              const double error = evaluate_hypothesis_hoisted(
-                  *pre, *in.after, row_win[x], x, y, hx, hy, nzt_x, nzt_y,
-                  params, ok);
-              if (hypothesis_improves(b, error, hx, hy)) {
-                b.solved = ok;
-                b.coverage = 1.0;
-                b.hx = hx;
-                b.hy = hy;
-                b.ux = hx;
-                b.uy = hy;
-                b.error = error;
-                b.params = params;
-                b.any_ok = true;
+      // Full-width row bands: one accumulate_window_rows pass per row,
+      // shared by every pixel of the row.
+      for_each_pixel_tile(
+          w, h, config, parallel, /*full_rows=*/true,
+          [&](const sched::Tile& tile) {
+            std::vector<WindowInvariants> row_win(
+                static_cast<std::size_t>(w));
+            for (int y = tile.y0; y < tile.y1; ++y) {
+              pre->accumulate_window_rows(y, nzt_x, nzt_y, row_win.data());
+              for (int x = 0; x < w; ++x) {
+                PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+                for (int hy = hy_min; hy <= hy_max; ++hy)
+                  for (int hx = -nzs_x; hx <= nzs_x; ++hx) {
+                    MotionParams params;
+                    bool ok = false;
+                    const double error = evaluate_hypothesis_hoisted(
+                        *pre, *in.after, row_win[x], x, y, hx, hy, nzt_x,
+                        nzt_y, params, ok);
+                    if (hypothesis_improves(b, error, hx, hy)) {
+                      b.solved = ok;
+                      b.coverage = 1.0;
+                      b.hx = hx;
+                      b.hy = hy;
+                      b.ux = hx;
+                      b.uy = hy;
+                      b.error = error;
+                      b.params = params;
+                      b.any_ok = true;
+                    }
+                  }
               }
             }
-        }
-      }
+          });
     } else {
       const SemiFluidCostField* field_ptr = field ? &*field : nullptr;
       const imaging::ImageF* db = semifluid ? in.disc_before : nullptr;
       const imaging::ImageF* da = semifluid ? in.disc_after : nullptr;
-#pragma omp parallel for schedule(dynamic, 1) if (parallel)
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x)
-          scan_hypotheses(*in.before, *in.after, db, da, field_ptr, x, y,
-                          hy_min, hy_max, config,
-                          best[static_cast<std::size_t>(y) * w + x],
-                          in.mask_before, in.mask_after, pre);
+      for_each_pixel_tile(
+          w, h, config, parallel, /*full_rows=*/false,
+          [&](const sched::Tile& tile) {
+            for (int y = tile.y0; y < tile.y1; ++y)
+              for (int x = tile.x0; x < tile.x1; ++x)
+                scan_hypotheses(*in.before, *in.after, db, da, field_ptr, x,
+                                y, hy_min, hy_max, config,
+                                best[static_cast<std::size_t>(y) * w + x],
+                                in.mask_before, in.mask_after, pre);
+          });
     }
     timings.hypothesis_matching += seconds_since(t0);
   }
@@ -387,9 +442,11 @@ void refine_subpixel(const MatchInput& in, const SmaConfig& config,
           : nullptr;
   const int nzt_x = config.z_template_radius;
   const int nzt_y = config.z_template_ry();
-#pragma omp parallel for schedule(dynamic, 1) if (parallel)
-  for (int y = 0; y < h; ++y)
-    for (int x = 0; x < w; ++x) {
+  for_each_pixel_tile(
+      w, h, config, parallel, /*full_rows=*/false,
+      [&](const sched::Tile& tile) {
+  for (int y = tile.y0; y < tile.y1; ++y)
+    for (int x = tile.x0; x < tile.x1; ++x) {
       PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
       // Masked winners can carry an infinite residual; the parabola is
       // meaningless there (inf - inf), so only refine finite minima.
@@ -441,6 +498,7 @@ void refine_subpixel(const MatchInput& in, const SmaConfig& config,
         b.sub_v = static_cast<float>(
             std::clamp(0.5 * (eym - eyp) / dy_denom, -0.5, 0.5));
     }
+      });
   timings.hypothesis_matching += seconds_since(t0);
 }
 

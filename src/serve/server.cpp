@@ -105,6 +105,13 @@ Server::~Server() {
 }
 
 void Server::start() {
+  // Resize the process-wide tile-execution budget BEFORE any request is
+  // in flight (ThreadPool::resize must not race run() calls).  Workers
+  // submitting tiles block rather than compute, so `workers` concurrent
+  // requests share these threads instead of multiplying them.
+  if (options_.sched_threads > 0)
+    sched::ThreadPool::shared().resize(options_.sched_threads);
+
   int pipefd[2];
   if (::pipe(pipefd) != 0) throw_errno("Server: pipe");
   wake_read_ = pipefd[0];
@@ -472,8 +479,11 @@ void Server::flush_metrics() {
   metrics_.gauge("serve.in_flight")
       .set(static_cast<double>(submitted_ - completed_));
   // Aggregate pipeline counters ride along under the standard
-  // "pipeline.*" names (core/obs_bridge.hpp scheme).
+  // "pipeline.*" names (core/obs_bridge.hpp scheme), and the shared
+  // tile scheduler's counters under "sched.*" — max_busy is the
+  // concurrency-budget witness the serve tests assert on.
   core::publish_metrics(pipelines_.aggregate_stats(), metrics_);
+  core::publish_metrics(sched::ThreadPool::shared().stats(), metrics_);
   if (!options_.metrics_path.empty())
     metrics_.write_csv(options_.metrics_path);
 }

@@ -55,6 +55,13 @@ struct ServeOptions {
   std::size_t geometry_cache_capacity = 16;
   AdmissionOptions admission;
   ChaosOptions chaos;
+  /// Width of the process-wide tiled-scheduler pool
+  /// (sched::ThreadPool::shared()) the daemon resizes to at start():
+  /// the TOTAL tile-execution budget every request worker's tracking
+  /// shares — workers submit tiles and block, so `workers` concurrent
+  /// requests never occupy more than this many compute threads.
+  /// 0 = leave the pool at its default (SMA_THREADS or hardware).
+  int sched_threads = 0;
   /// Metrics CSV written when the server drains ("" = none).
   std::string metrics_path;
   /// Grace for flushing response buffers after the last job completes.

@@ -1,6 +1,7 @@
 // sma_serve.cpp — the fault-tolerant multi-tenant tracking daemon.
 //
 //   sma_serve [--host H] [--port P] [--workers N] [--backend NAME]
+//             [--sched-threads N]
 //             [--queue N] [--rate R] [--burst B] [--retry-after-ms MS]
 //             [--deadline-ms MS] [--geometry-cache N] [--frame-cache N]
 //             [--metrics FILE] [--drain-flush-ms MS]
@@ -43,7 +44,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sma_serve [--host H] [--port P] [--workers N]\n"
-      "                 [--backend NAME] [--queue N] [--rate R] [--burst B]\n"
+      "                 [--backend NAME] [--sched-threads N]\n"
+      "                 [--queue N] [--rate R] [--burst B]\n"
       "                 [--retry-after-ms MS] [--deadline-ms MS]\n"
       "                 [--geometry-cache N] [--frame-cache N]\n"
       "                 [--metrics FILE] [--drain-flush-ms MS]\n"
@@ -77,6 +79,10 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::atoi(value_arg(argc, argv, i)));
       else if (a == "--backend")
         options.backend = value_arg(argc, argv, i);
+      else if (a == "--sched-threads")
+        // Tile-execution budget shared by ALL workers' tiled tracking
+        // (resizes sched::ThreadPool::shared() before accepting work).
+        options.sched_threads = std::atoi(value_arg(argc, argv, i));
       else if (a == "--queue")
         options.admission.queue_capacity =
             static_cast<std::size_t>(std::atoi(value_arg(argc, argv, i)));

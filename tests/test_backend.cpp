@@ -159,6 +159,9 @@ TEST(BackendRegistry, NamesAndPolicyMapping) {
   maspar::register_maspar_backend();
   auto& registry = BackendRegistry::instance();
   EXPECT_NE(registry.find("sequential"), nullptr);
+  EXPECT_NE(registry.find("tiled"), nullptr);
+  // "openmp" is retired but stays registered as an alias of the tiled
+  // work-stealing mode so existing scripts keep working.
   EXPECT_NE(registry.find("openmp"), nullptr);
   EXPECT_NE(registry.find("maspar-sim"), nullptr);
   EXPECT_NE(registry.find("vector"), nullptr);
@@ -169,6 +172,7 @@ TEST(BackendRegistry, NamesAndPolicyMapping) {
   EXPECT_STREQ(backend_name_for(ExecutionPolicy::kParallel), "openmp");
 
   EXPECT_FALSE(registry.get("sequential").capabilities().host_parallel);
+  EXPECT_TRUE(registry.get("tiled").capabilities().host_parallel);
   EXPECT_TRUE(registry.get("openmp").capabilities().host_parallel);
   EXPECT_TRUE(registry.get("maspar-sim").capabilities().modeled_cost);
   EXPECT_TRUE(registry.get("vector").capabilities().host_parallel);

@@ -23,6 +23,7 @@
 #include "serve/client.hpp"
 #include "serve/error.hpp"
 #include "serve/frame_store.hpp"
+#include "sched/scheduler.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/worker_pool.hpp"
@@ -747,6 +748,103 @@ TEST(ChaosSmoke, NoCrashNoHangNoWrongAnswer) {
   EXPECT_GT(outcomes[static_cast<int>(Outcome::kOk)], 0);
   EXPECT_GT(outcomes[static_cast<int>(Outcome::kDegraded)], 0);
   EXPECT_EQ(outcomes[static_cast<int>(Outcome::kError)], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Serve x scheduler: one shared tile-execution budget
+
+// Three request workers running tiled tracking concurrently must share
+// the sched_threads=2 pool instead of multiplying it: workers submit
+// tiles and BLOCK, so the number of threads busy in tile work can never
+// exceed the budget.  Verified through the sched.* metrics the server
+// flushes at drain (max_busy is the pool's concurrency high-water).
+TEST(Server, TiledTrackingSharesSchedulerBudget) {
+  serve::ServeOptions options = test_options();
+  options.workers = 3;
+  options.sched_threads = 2;  // process-wide tile budget < workers
+  serve::Server server(options);
+  server.start();  // resizes the shared pool => stats reset is honest
+  sched::ThreadPool::shared().reset_stats();
+  server.run_in_thread();
+
+  const serve::TrackRequest base = small_request(0, "budget");
+  const std::string reference = reference_flow_text(base);
+
+  // Concurrent clients so all three workers are busy at once.
+  std::vector<std::thread> clients;
+  std::vector<serve::TrackResponse> responses(6);
+  for (int i = 0; i < 6; ++i)
+    clients.emplace_back([&, i] {
+      serve::Client client;
+      client.connect("127.0.0.1", server.port());
+      serve::TrackRequest req =
+          small_request(static_cast<std::uint64_t>(i + 1), "budget");
+      req.backend = "tiled";
+      responses[static_cast<std::size_t>(i)] = client.track(req);
+      client.quit();
+    });
+  for (std::thread& t : clients) t.join();
+
+  server.request_drain();
+  server.wait();
+
+  for (const serve::TrackResponse& resp : responses) {
+    EXPECT_EQ(resp.outcome, Outcome::kOk);
+    // Budgeted tiled tracking still answers bit-identically (Sec. 5.1).
+    EXPECT_EQ(resp.payload, reference);
+  }
+  EXPECT_EQ(server.metrics().gauge("sched.threads").value(), 2.0);
+  EXPECT_GT(server.metrics().gauge("sched.tiles").value(), 0.0);
+  EXPECT_LE(server.metrics().gauge("sched.max_busy").value(), 2.0)
+      << "tile concurrency exceeded the sched_threads budget";
+}
+
+// The chaos contract holds with the tiled backend in the mix: every
+// request gets exactly one outcome, and every `ok` payload is
+// bit-identical to the one-shot sequential pipeline.
+TEST(ChaosSmoke, TiledBackendKeepsExactlyOneOutcomeInvariant) {
+  serve::ServeOptions options = test_options();
+  options.workers = 2;
+  options.sched_threads = 2;
+  options.admission.queue_capacity = 4;
+  options.chaos.enabled = true;
+  options.chaos.seed = 1234;
+  options.chaos.frame_fault_rate = 0.4;
+  options.chaos.fault_intensity = 0.06;
+  options.chaos.stall_rate = 0.25;
+  options.chaos.stall_ms = 30;
+  serve::Server server(options);
+  server.start();
+  server.run_in_thread();
+
+  const serve::TrackRequest base = small_request(0, "chaos-tiled");
+  const std::string reference = reference_flow_text(base);
+
+  const int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::Client client;
+    client.connect("127.0.0.1", server.port());
+    serve::TrackRequest req =
+        small_request(static_cast<std::uint64_t>(i + 1), "chaos-tiled");
+    req.backend = "tiled";
+    const serve::TrackResponse resp = client.track(req);
+    if (resp.outcome == Outcome::kOk) {
+      EXPECT_EQ(resp.payload, reference) << "request " << i;
+    }
+    client.quit();
+  }
+
+  server.request_drain();
+  server.wait();
+
+  const double total =
+      server.metrics().counter("serve.requests_total").value();
+  double sum = 0.0;
+  for (Outcome o : {Outcome::kOk, Outcome::kDegraded, Outcome::kRejected,
+                    Outcome::kDeadline, Outcome::kError})
+    sum += server.outcome_count(o);
+  EXPECT_EQ(total, static_cast<double>(kRequests));
+  EXPECT_EQ(sum, total) << "a request was lost or double-counted";
 }
 
 }  // namespace
