@@ -78,9 +78,9 @@ struct JsonRecord {
   double wall_ms = 0.0;
   double pixels_per_s = 0.0;
   std::string config;
-  /// Tracker backend that produced this measurement ("" for records that
-  /// involve none, e.g. the environment stamp — the JSON then carries an
-  /// empty "backend" honestly rather than a fabricated one).
+  /// Tracker backend that produced this measurement; records that
+  /// involve none by design (e.g. the environment stamp) carry the
+  /// explicit sentinel "none" rather than an empty field.
   std::string backend;
   std::vector<std::pair<std::string, double>> extras;
 
@@ -142,6 +142,10 @@ inline void add_environment_record(JsonReport& report) {
   omp_threads = omp_get_max_threads();
 #endif
   JsonRecord& rec = report.add("environment");
+  // Explicit "none" (rather than an empty string) so trajectory tooling
+  // can distinguish "this record involves no backend by design" from a
+  // bench that forgot to stamp one.
+  rec.backend = "none";
   rec.config = std::string("compiler=") + __VERSION__ +
                "; flags=" SMA_BENCH_BUILD_FLAGS "; simd=" +
                simd::level_name(level);

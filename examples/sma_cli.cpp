@@ -22,6 +22,16 @@
 //   --tile WxH             scheduler tile shape (default: autotuned)
 //   --fast-math            tolerance-gated fast profile: FMA in the
 //                          vector kernel (NOT bit-exact)
+//   --search-mode MODE     hypothesis search: full (default, the
+//                          bit-exact exhaustive oracle) | pruned
+//                          (coarse-to-fine seeding + branch-and-bound;
+//                          tolerance-equal to full)
+//   --prune-levels N       pruned mode: pyramid levels above full res
+//                          for the coarse seeding pass (default 1)
+//   --prune-radius N       pruned mode: fine window half-width around
+//                          the upsampled coarse winner (default 1)
+//   --prune-bound on|off   pruned mode: half-template residual lower
+//                          bound / early exit (default on)
 //   --robust               robust post-processing
 //   --ppm FILE             also write a color-wheel rendering
 //   --inject-faults R      corrupt the input pair with rate-R telemetry
@@ -69,6 +79,9 @@ int usage() {
                "                 [--backend NAME] [--robust] [--ppm FILE]\n"
                "                 [--precompute auto|on|off]\n"
                "                 [--threads N] [--tile WxH] [--fast-math]\n"
+               "                 [--search-mode full|pruned]\n"
+               "                 [--prune-levels N] [--prune-radius N]\n"
+               "                 [--prune-bound on|off]\n"
                "                 [--inject-faults RATE] [--fault-seed N]\n"
                "                 [--trace FILE] [--metrics FILE]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
@@ -162,6 +175,28 @@ int cmd_track(int argc, char** argv) {
       cfg.tile_height = std::atoi(t.substr(xpos + 1).c_str());
     } else if (a == "--fast-math") {
       cfg.fast_math = true;
+    } else if (a == "--search-mode") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      const std::string m = argv[++i];
+      if (m == "full")
+        cfg.search_mode = core::SearchMode::kFull;
+      else if (m == "pruned")
+        cfg.search_mode = core::SearchMode::kPruned;
+      else
+        throw std::runtime_error("--search-mode expects full|pruned");
+    } else if (a == "--prune-levels") {
+      cfg.prune_coarse_levels = int_arg(argc, argv, i);
+    } else if (a == "--prune-radius") {
+      cfg.prune_refine_radius = int_arg(argc, argv, i);
+    } else if (a == "--prune-bound") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      const std::string m = argv[++i];
+      if (m == "on")
+        cfg.prune_bound = true;
+      else if (m == "off")
+        cfg.prune_bound = false;
+      else
+        throw std::runtime_error("--prune-bound expects on|off");
     } else if (a == "--robust") {
       robust = true;
     } else if (a == "--ppm") {
@@ -258,6 +293,32 @@ int cmd_track(int argc, char** argv) {
       std::printf("vector backend fell back to the staged path (%s)\n",
                   vx->report.fallback.c_str());
   }
+  // Pruned-search accounting rides on either backend family's extras:
+  // PruneBackendExtras (host backends) or VectorBackendExtras.prune.
+  const core::PruneReport* prune = nullptr;
+  if (const auto* px =
+          dynamic_cast<const core::PruneBackendExtras*>(r.extras.get()))
+    prune = &px->report;
+  else if (const auto* vx =
+               dynamic_cast<const core::VectorBackendExtras*>(r.extras.get())) {
+    if (cfg.search_mode == core::SearchMode::kPruned) prune = &vx->prune;
+  }
+  if (prune != nullptr) {
+    if (prune->active != 0)
+      std::printf(
+          "pruned search: %llu of %llu hypotheses (%.1fx reduction), "
+          "bound skipped %llu of %llu, seed hit rate %.3f\n",
+          static_cast<unsigned long long>(prune->hypotheses_evaluated()),
+          static_cast<unsigned long long>(prune->full_grid_hypotheses),
+          prune->reduction(),
+          static_cast<unsigned long long>(prune->bound_skipped),
+          static_cast<unsigned long long>(prune->bound_checks),
+          prune->seed_hit_rate());
+    else
+      std::printf("pruned search fell back to full (%s)\n",
+                  core::prune_fallback_name(static_cast<core::PruneFallback>(
+                      prune->fallback_reason)));
+  }
   if (!ppm_path.empty()) {
     imaging::write_ppm(imaging::colorize_flow(flow), ppm_path);
     std::printf("color rendering -> %s\n", ppm_path.c_str());
@@ -284,6 +345,7 @@ int cmd_track(int argc, char** argv) {
     if (const auto* vx =
             dynamic_cast<const core::VectorBackendExtras*>(r.extras.get()))
       core::publish_metrics(vx->report, reg);
+    if (prune != nullptr) core::publish_metrics(*prune, reg);
     obs::RunReport report = pipeline.run_report();
     report.name = "sma_cli track";
     if (report.write_metrics_csv(metrics_path))

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/match_precompute.hpp"
+#include "core/match_prune.hpp"
 #include "core/match_vector.hpp"
 #include "obs/trace.hpp"
 
@@ -40,14 +41,24 @@ class HostBackend final : public TrackerBackend {
   TrackResult match(const MatchInput& in, const SmaConfig& config,
                     const TrackOptions& options) const override {
     TrackResult result;
-    std::vector<PixelBest> best = run_hypothesis_search(
-        in, config, parallel_, result.timings, result.peak_mapping_bytes);
+    // Pruned runs get the accounting report attached as extras; full
+    // runs stay extras-free (the historical contract for host backends).
+    std::shared_ptr<PruneBackendExtras> prune_extras;
+    PruneReport* prune = nullptr;
+    if (config.search_mode == SearchMode::kPruned) {
+      prune_extras = std::make_shared<PruneBackendExtras>();
+      prune = &prune_extras->report;
+    }
+    std::vector<PixelBest> best =
+        run_hypothesis_search(in, config, parallel_, result.timings,
+                              result.peak_mapping_bytes, prune);
     if (options.subpixel)
       refine_subpixel(in, config, parallel_, best, result.timings);
     collect_track_result(in, config, options, best, result);
     result.timings.total = result.timings.match_precompute +
                            result.timings.semifluid_mapping +
                            result.timings.hypothesis_matching;
+    if (prune_extras != nullptr) result.extras = std::move(prune_extras);
     return result;
   }
 
@@ -86,6 +97,9 @@ TrackResult TrackerBackend::track(const TrackerInput& input,
   mi.disc_after = fg1.has_disc ? &fg1.disc : nullptr;
   mi.mask_before = input.validity_before;
   mi.mask_after = input.validity_after;
+  // Raw z-surface frames for the pruned mode's coarse seeding pyramid.
+  mi.raw_before = input.surface_before;
+  mi.raw_after = input.surface_after;
 
   // Hypothesis-invariant matching precompute: built once per pair here
   // so every backend's match() — host or SIMD — shares the fast path.

@@ -22,6 +22,13 @@ std::string SmaConfig::describe() const {
              ? "off"
              : precompute == PrecomputeMode::kOn ? "on" : "auto");
   if (precompute_sliding) os << "+sliding";
+  // The pruned search changes results (tolerance-level subpixel deltas
+  // vs. the full oracle), so it MUST be part of the signature — but only
+  // when engaged, keeping every existing full-mode signature byte-stable.
+  if (search_mode == SearchMode::kPruned)
+    os << ", search-mode=pruned(levels=" << prune_coarse_levels
+       << ", refine=" << prune_refine_radius
+       << ", bound=" << (prune_bound ? "on" : "off") << ")";
   // Scheduler knobs only when explicitly set: they never change results
   // (fast_math excepted), so defaults stay out of config signatures.
   if (threads > 0) os << ", threads=" << threads;

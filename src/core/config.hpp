@@ -37,6 +37,19 @@ enum class PrecomputeMode {
   kOff,   ///< always run the naive oracle path
 };
 
+/// Hypothesis-search strategy (match_prune.hpp).  kFull is the paper's
+/// exhaustive (2N_zs+1)^2 sweep and the exact-verification oracle.
+/// kPruned seeds each pixel from a coarse pyramid track, refines inside
+/// a shrunken window around the upsampled coarse winner, and abandons
+/// hypotheses whose half-template residual lower bound already exceeds
+/// the incumbent.  Pruned results are bit-identical across backends /
+/// thread counts / tile shapes, and tolerance-equal (not bit-equal) to
+/// kFull; configs the pruned path cannot serve fall back to kFull.
+enum class SearchMode {
+  kFull,    ///< exhaustive search (the default, and the oracle)
+  kPruned,  ///< coarse-to-fine seeding + branch-and-bound early exit
+};
+
 struct SmaConfig {
   MotionModel model = MotionModel::kSemiFluid;
 
@@ -103,6 +116,31 @@ struct SmaConfig {
   /// exclude this profile.
   bool fast_math = false;
 
+  /// Hypothesis-search strategy (see SearchMode).  kPruned only engages
+  /// on precompute-eligible configs (resolve_prune in match_prune.hpp);
+  /// everything else silently runs the kFull oracle and reports why
+  /// through the pruning.* metrics.
+  SearchMode search_mode = SearchMode::kFull;
+
+  /// Pyramid depth of the pruned mode's coarse seeding pass: the number
+  /// of half-resolution levels below full resolution (1 = seed at half
+  /// resolution).  Construction stops early on tiny images.
+  int prune_coarse_levels = 1;
+
+  /// Half-width of the pruned mode's shrunken fine search window around
+  /// the upsampled coarse winner.  0 trusts the seed outright (plus the
+  /// subpixel probes); larger values trade speed for recovery from bad
+  /// seeds.  Pixels whose seed is invalid or outside the search area
+  /// fall back to the full window.
+  int prune_refine_radius = 1;
+
+  /// Branch-and-bound residual lower bound: abandon a hypothesis (or a
+  /// whole SIMD lane batch) at the half-template checkpoint when the
+  /// minimized prefix residual already exceeds the incumbent.  Never
+  /// changes the winner (DESIGN.md §16 derives the bound); off only
+  /// isolates the window-shrink effect in benches.
+  bool prune_bound = true;
+
   /// Effective vertical radii (fall back to the square value).
   int z_search_ry() const {
     return z_search_radius_y >= 0 ? z_search_radius_y : z_search_radius;
@@ -153,6 +191,12 @@ struct SmaConfig {
       throw std::invalid_argument("SmaConfig: threads >= 0 required");
     if (tile_width < 0 || tile_height < 0)
       throw std::invalid_argument("SmaConfig: tile sizes >= 0 required");
+    if (prune_coarse_levels < 1)
+      throw std::invalid_argument(
+          "SmaConfig: prune_coarse_levels >= 1 required");
+    if (prune_refine_radius < 0)
+      throw std::invalid_argument(
+          "SmaConfig: prune_refine_radius >= 0 required");
   }
 
   std::string describe() const;

@@ -124,6 +124,36 @@ void MatchPrecompute::accumulate_window(int x, int y, int rx, int ry,
   out.snn = 0.0;
 }
 
+void MatchPrecompute::accumulate_window_span(int x, int y, int rx, int v_lo,
+                                             int v_hi,
+                                             WindowInvariants& out) const {
+  const int w = width_;
+  const int h = height_;
+  const bool interior = x - rx >= 0 && x + rx < w && y + v_lo >= 0 &&
+                        y + v_hi < h;
+  for (int k = 0; k < 21; ++k) {
+    const double* SMA_RESTRICT const t = plane(kTile0 + k);
+    double acc = 0.0;
+    for (int v = v_lo; v <= v_hi; ++v) {
+      const std::size_t off =
+          static_cast<std::size_t>(std::clamp(y + v, 0, h - 1)) * w;
+      if (interior) {
+        for (int px = x - rx; px <= x + rx; ++px) acc += t[off + px];
+      } else {
+        for (int u = -rx; u <= rx; ++u)
+          acc += t[off + std::clamp(x + u, 0, w - 1)];
+      }
+    }
+    out.ata[k] = acc;
+  }
+  out.rows = v_hi >= v_lo
+                 ? 3ull * (2 * rx + 1) * static_cast<std::uint64_t>(v_hi -
+                                                                    v_lo + 1)
+                 : 0;
+  for (int r = 0; r < 6; ++r) out.cn[r] = 0.0;
+  out.snn = 0.0;
+}
+
 void MatchPrecompute::accumulate_window_rows(int y, int rx, int ry,
                                              WindowInvariants* out) const {
   const int w = width_;
@@ -160,10 +190,9 @@ void MatchPrecompute::accumulate_window_rows(int y, int rx, int ry,
   for (int x = 0; x < w; ++x) out[x].rows = rows;
 }
 
-namespace {
-
-// Solve + residual tail shared by both evaluators — the same tail as the
-// naive evaluate_pixel_hypothesis, applied to identically-built moments.
+// Solve + residual tail shared by both evaluators (and the pruned
+// evaluator in match_prune.cpp) — the same tail as the naive
+// evaluate_pixel_hypothesis, applied to identically-built moments.
 double solve_from_moments(const double* ata21, const linalg::Vec6& atb,
                           double btb, std::uint64_t rows,
                           MotionParams& params_out, bool& ok_out) {
@@ -179,8 +208,6 @@ double solve_from_moments(const double* ata21, const linalg::Vec6& atb,
   ok_out = false;
   return ne.residual(linalg::Vec6{});
 }
-
-}  // namespace
 
 double evaluate_hypothesis_precomputed(const MatchPrecompute& pre,
                                        const surface::GeometricField& after,

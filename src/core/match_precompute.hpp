@@ -132,6 +132,15 @@ class MatchPrecompute {
   void accumulate_window(int x, int y, int rx, int ry,
                          WindowInvariants& out) const;
 
+  /// Partial-template variant for the branch-and-bound lower bound
+  /// (match_prune.hpp): accumulates only the template rows v in
+  /// [v_lo, v_hi] (template-relative, clamped borders, same
+  /// plane-at-a-time order).  The prefix system's A^T A is hypothesis-
+  /// invariant just like the full window's, so the bound pays one extra
+  /// window sweep per pixel, amortized over every hypothesis.
+  void accumulate_window_span(int x, int y, int rx, int v_lo, int v_hi,
+                              WindowInvariants& out) const;
+
   /// Sliding-tier accumulation for a whole image row `y` at once:
   /// separable column sums plus an incremental running window.  Fills
   /// ata, cn, snn and rows for every x in [0, width).  NOT bit-exact
@@ -151,6 +160,15 @@ class MatchPrecompute {
 /// the weighted-row planes against the after-frame normals.  Bit-
 /// identical to the naive evaluate_pixel_hypothesis (no masks, no
 /// semi-fluid remap, stride 1).  Returns the Eq. (3) residual.
+/// The shared solve + residual tail of the precomputed evaluators: adds
+/// the moments into a zero-initialized NormalEquations6 exactly as the
+/// naive path would and returns the Eq. (3) residual (theta = 0 for
+/// singular systems).  Exposed for the pruned evaluator
+/// (match_prune.cpp), which must reproduce this tail bit for bit.
+double solve_from_moments(const double* ata21, const linalg::Vec6& atb,
+                          double btb, std::uint64_t rows,
+                          MotionParams& params_out, bool& ok_out);
+
 double evaluate_hypothesis_precomputed(const MatchPrecompute& pre,
                                        const surface::GeometricField& after,
                                        const WindowInvariants& win, int x,

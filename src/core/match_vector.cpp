@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/match_precompute.hpp"
+#include "core/match_prune.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 
@@ -157,22 +158,31 @@ class VectorBackend final : public TrackerBackend {
     extras->report.lanes = kernel_lanes(level);
 
     const PrecomputeDecision decision = resolve_precompute(config, in);
+    // Pruned-mode eligibility is resolved once here: the vector sweep
+    // prunes in-kernel when eligible; otherwise the reason is recorded
+    // and the search runs exactly as in full mode.
+    const PruneFallback prune_fb = resolve_prune(config, in);
+    extras->prune.fallback_reason = static_cast<std::uint64_t>(prune_fb);
     std::vector<PixelBest> best;
     if (in.precompute != nullptr &&
         decision == PrecomputeDecision::kFast && !config.precompute_sliding) {
       extras->report.vector_path = true;
-      best = run_vector_search(in, config, level, result.timings,
-                               extras->report);
+      best = run_vector_search(
+          in, config, level, result.timings, extras->report,
+          prune_fb == PruneFallback::kNone ? &extras->prune : nullptr);
     } else {
       // Fall back to the shared staged path (bit-identical to the host
       // backends by construction): masked / semi-fluid / stride /
       // precompute-off configs, and the sliding tier, which trades
       // bit-exactness for box-filter reuse the lane kernel does not
-      // implement.
+      // implement.  The staged path applies its own pruned-mode gate and
+      // records into the same report.
       extras->report.fallback = decision_fallback_name(decision);
-      best = run_hypothesis_search(in, config, /*parallel=*/true,
-                                   result.timings,
-                                   result.peak_mapping_bytes);
+      best = run_hypothesis_search(
+          in, config, /*parallel=*/true, result.timings,
+          result.peak_mapping_bytes,
+          config.search_mode == SearchMode::kPruned ? &extras->prune
+                                                    : nullptr);
     }
     if (options.subpixel)
       refine_subpixel(in, config, /*parallel=*/true, best, result.timings);
@@ -189,19 +199,28 @@ class VectorBackend final : public TrackerBackend {
                                                   const SmaConfig& config,
                                                   simd::SimdLevel level,
                                                   TrackTimings& timings,
-                                                  VectorRunReport& report) {
+                                                  VectorRunReport& report,
+                                                  PruneReport* prune) {
     const int w = in.width();
     const int h = in.height();
     const int nzt_x = config.z_template_radius;
     const int nzt_y = config.z_template_ry();
     const int nzs_x = config.z_search_radius;
     const int nzs_y = config.z_search_ry();
+    const int refine_radius = config.prune_refine_radius;
     const MatchPrecompute* const pre = in.precompute;
     const PixelKernelFn kernel = pixel_kernel_hook(level, config.fast_math);
+    // Branch-and-bound checkpoint only with a prefix to checkpoint at.
+    const bool bound_on =
+        prune != nullptr && config.prune_bound && nzt_y >= 1;
 
     std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
     obs::TraceSpan span("match", "hypothesis_search");
     const auto t0 = Clock::now();
+
+    PruneSeeds seeds;
+    if (prune != nullptr)
+      seeds = compute_prune_seeds(*in.raw_before, *in.raw_after, config);
 
     sched::ThreadPool& pool = sched::ThreadPool::shared();
     const int executors =
@@ -218,8 +237,16 @@ class VectorBackend final : public TrackerBackend {
     const std::vector<sched::Tile> tiles = sched::make_tiles(w, h, shape);
 
     // Per-tile tally slots folded in tile-index order after the batch —
-    // deterministic regardless of which worker ran which tile.
+    // deterministic regardless of which worker ran which tile.  The
+    // pruned window/seed accounting gets its own per-tile slots.
+    struct PruneTileTally {
+      std::uint64_t scheduled = 0;
+      std::uint64_t window_pixels = 0, fallback_pixels = 0;
+      std::uint64_t seed_interior = 0;
+    };
     std::vector<VectorLaneTally> tallies(tiles.size());
+    std::vector<PruneTileTally> prune_tallies(
+        prune != nullptr ? tiles.size() : 0);
     pool.run(
         tiles,
         [&](const sched::Tile& tile, std::size_t index) {
@@ -236,10 +263,38 @@ class VectorBackend final : public TrackerBackend {
               args.y = y;
               args.rx = nzt_x;
               args.ry = nzt_y;
-              args.nzs_x = nzs_x;
+              args.hx_min = -nzs_x;
+              args.hx_max = nzs_x;
               args.hy_min = -nzs_y;
               args.hy_max = nzs_y;
-              kernel(args, best[static_cast<std::size_t>(y) * w + x], tally);
+              PixelBest& b = best[static_cast<std::size_t>(y) * w + x];
+              if (prune != nullptr) {
+                const PruneWindow pw =
+                    prune_window(seeds, x, y, nzs_x, nzs_y, refine_radius);
+                args.hx_min = pw.hx_min;
+                args.hx_max = pw.hx_max;
+                args.hy_min = pw.hy_min;
+                args.hy_max = pw.hy_max;
+                PruneTileTally& pt = prune_tallies[index];
+                pt.scheduled +=
+                    static_cast<std::uint64_t>(pw.hx_max - pw.hx_min + 1) *
+                    (pw.hy_max - pw.hy_min + 1);
+                if (pw.shrunk)
+                  ++pt.window_pixels;
+                else
+                  ++pt.fallback_pixels;
+                WindowInvariants winp;
+                if (bound_on) {
+                  pre->accumulate_window_span(x, y, nzt_x, -nzt_y, -1, winp);
+                  args.win_prefix = &winp;
+                }
+                kernel(args, b, tally);
+                if (pw.shrunk && b.any_ok &&
+                    prune_winner_interior(pw, nzs_x, nzs_y, b.hx, b.hy))
+                  ++pt.seed_interior;
+              } else {
+                kernel(args, b, tally);
+              }
             }
           }
         },
@@ -259,6 +314,27 @@ class VectorBackend final : public TrackerBackend {
     report.lane_utilization =
         total > 0 ? static_cast<double>(batched) / static_cast<double>(total)
                   : 0.0;
+    if (prune != nullptr) {
+      prune->active = 1;
+      prune->fallback_reason =
+          static_cast<std::uint64_t>(PruneFallback::kNone);
+      prune->full_grid_hypotheses =
+          static_cast<std::uint64_t>(w) * h *
+          (static_cast<std::uint64_t>(2 * nzs_x + 1) * (2 * nzs_y + 1));
+      prune->coarse_hypotheses = seeds.coarse_hypotheses;
+      for (const PruneTileTally& pt : prune_tallies) {
+        prune->fine_scheduled += pt.scheduled;
+        prune->window_pixels += pt.window_pixels;
+        prune->fallback_pixels += pt.fallback_pixels;
+        prune->seed_interior += pt.seed_interior;
+      }
+      for (const VectorLaneTally& tally : tallies) {
+        prune->bound_checks += tally.bound_checks;
+        prune->bound_skipped += tally.bound_skipped;
+        prune->bound_tightness_sum += tally.bound_tightness_sum;
+      }
+      prune->fine_evaluated = prune->fine_scheduled - prune->bound_skipped;
+    }
     return best;
   }
 };

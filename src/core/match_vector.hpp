@@ -34,6 +34,7 @@
 #include <string>
 
 #include "core/backend.hpp"
+#include "core/match_prune.hpp"
 #include "core/tracker.hpp"
 #include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
@@ -45,24 +46,36 @@ struct WindowInvariants;
 
 /// Per-pixel inputs to one kernel invocation: the precompute planes,
 /// the after-frame geometry, the pixel's shared A^T A window sum and
-/// the search/template extents.
+/// the search/template extents.  Full mode sets hx/hy bounds to the
+/// whole [-N_zs, N_zs] box; the pruned mode passes each pixel's
+/// shrunken window (match_prune.hpp).
 struct VectorKernelArgs {
   const MatchPrecompute* pre = nullptr;
   const surface::GeometricField* after = nullptr;
   const WindowInvariants* win = nullptr;
   int x = 0, y = 0;
   int rx = 0, ry = 0;        ///< template half-widths
-  int nzs_x = 0;             ///< hx in [-nzs_x, nzs_x]
+  int hx_min = 0, hx_max = 0;
   int hy_min = 0, hy_max = 0;
+  /// Branch-and-bound prefix system (accumulate_window_span over the
+  /// template rows v < 0), or null to disable the half-template
+  /// checkpoint.  Null keeps the kernel's floating-point sequence
+  /// EXACTLY as before — full mode stays bit-identical.
+  const WindowInvariants* win_prefix = nullptr;
 };
 
 /// Lane-occupancy accounting, summed across pixels into the
 /// VectorRunReport (and from there into the obs MetricsRegistry and
-/// BENCH_matching.json).
+/// BENCH_matching.json).  The bound_* fields only move when
+/// VectorKernelArgs::win_prefix is set (pruned mode); they count in
+/// hypothesis units, kLanes per batch checkpoint.
 struct VectorLaneTally {
   std::uint64_t batched_hypotheses = 0;  ///< evaluated inside full batches
   std::uint64_t tail_hypotheses = 0;     ///< scalar remainder evaluations
   std::uint64_t batches = 0;             ///< batch-solve invocations
+  std::uint64_t bound_checks = 0;        ///< checkpointed hypotheses
+  std::uint64_t bound_skipped = 0;       ///< abandoned at the checkpoint
+  double bound_tightness_sum = 0.0;      ///< sum of min(1, bound/error)
 };
 
 using PixelKernelFn = void (*)(const VectorKernelArgs&, PixelBest&,
@@ -108,9 +121,12 @@ struct VectorRunReport {
   double lane_utilization = 0.0;
 };
 
-/// TrackResult::extras attachment for the vector backend.
+/// TrackResult::extras attachment for the vector backend.  `prune` is
+/// meaningful for SearchMode::kPruned runs (active or fallback-reason
+/// only otherwise).
 struct VectorBackendExtras : BackendExtras {
   VectorRunReport report;
+  PruneReport prune;
 };
 
 /// Publishes the report into `reg` under the `vector.` prefix.

@@ -27,8 +27,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "core/match_precompute.hpp"
+#include "core/match_prune.hpp"
 #include "core/match_vector.hpp"
 #include "core/tracker.hpp"
 #include "linalg/gaussian_elimination.hpp"
@@ -84,19 +86,57 @@ void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
 
   const bool x_interior = x - rx >= 0 && x + rx < w;
 
+  // Pruned mode's prefix A^T A (hypothesis-invariant, so broadcast once
+  // per pixel like the full window's), normalized the same way.
+  const bool bound_on = g.win_prefix != nullptr;
+  V pre_ata[21];
+  for (int k = 0; k < 21; ++k)
+    pre_ata[k] =
+        bound_on ? T::add(vzero, T::broadcast(g.win_prefix->ata[k])) : vzero;
+
   for (int hy = g.hy_min; hy <= g.hy_max; ++hy) {
-    int hx0 = -g.nzs_x;
-    for (; hx0 + N - 1 <= g.nzs_x; hx0 += N) {
+    int hx0 = g.hx_min;
+    for (; hx0 + N - 1 <= g.hx_max; hx0 += N) {
       // ---- Batched A^T b / b^T b over the template window: lane l is
       // hypothesis hx0 + l.  Same v-outer / u-inner order and the same
       // association order per MAC as the scalar evaluator.
       V atb[6] = {vzero, vzero, vzero, vzero, vzero, vzero};
       V btb = vzero;
+      bool abandoned = false;
+      bool checked = false;
+      double batch_bound = 0.0;
       // Every lane's correspondent column stays unclamped across the
       // whole window iff the widest lane's does.
       const bool contiguous =
           x_interior && x - rx + hx0 >= 0 && x + rx + hx0 + N - 1 < w;
       for (int v = -ry; v <= ry; ++v) {
+        if (bound_on && v == 0 && best.any_ok &&
+            std::isfinite(best.error) && best.error > 0.0) {
+          // Half-template checkpoint (match_prune.hpp): lower-bound each
+          // lane's full residual by its minimized prefix residual and
+          // abandon the WHOLE batch when even the best lane provably
+          // cannot beat the incumbent.  The prefix moments go through
+          // the same 0.0 + v normalization as the scalar bound path;
+          // the running atb/btb accumulators are left untouched.
+          V patb[6];
+          for (int r = 0; r < 6; ++r) patb[r] = T::add(vzero, atb[r]);
+          const V pbtb = T::add(vzero, btb);
+          const V bound =
+              simd::batch_bound6<Tag>(pre_ata, patb, pbtb, 1e-12);
+          double bounds[N];
+          T::store(bounds, bound);
+          double min_bound = bounds[0];
+          for (int l = 1; l < N; ++l)
+            min_bound = std::min(min_bound, bounds[l]);
+          tally.bound_checks += N;
+          checked = true;
+          batch_bound = min_bound;
+          if (prune_bound_exceeds(min_bound, best.error)) {
+            tally.bound_skipped += N;
+            abandoned = true;
+            break;
+          }
+        }
         const int py = std::clamp(y + v, 0, h - 1);
         const int qy = std::clamp(py + hy, 0, h - 1);
         const std::size_t off = static_cast<std::size_t>(py) * w;
@@ -142,6 +182,8 @@ void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
         }
       }
 
+      if (abandoned) continue;
+
       // ---- Normalize moments (add_precomputed's 0.0 + v), eliminate,
       // score.
       V atbn[6];
@@ -172,6 +214,12 @@ void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
       T::store(errs, err);
       double min_err = errs[0];
       for (int l = 1; l < N; ++l) min_err = std::min(min_err, errs[l]);
+      // Bound tightness over the completed batch, in hypothesis units:
+      // ratio of the batch's best bound to its best realized error.
+      if (checked && std::isfinite(min_err) && min_err > 0.0)
+        tally.bound_tightness_sum +=
+            static_cast<double>(N) *
+            std::min(1.0, std::max(0.0, batch_bound) / min_err);
       if (best.any_ok && !(min_err <= best.error)) continue;
 
       double th[6][N];
@@ -200,7 +248,10 @@ void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
     }
 
     // ---- Scalar tail: search widths that are not a lane multiple.
-    for (; hx0 <= g.nzs_x; ++hx0) {
+    // In pruned mode the tail runs unbounded (no checkpoint) — it is at
+    // most N-1 hypotheses per row, and skipping none keeps its counters
+    // trivially consistent (tail hypotheses are always completed).
+    for (; hx0 <= g.hx_max; ++hx0) {
       MotionParams params;
       bool ok = false;
       const double error = evaluate_hypothesis_precomputed(

@@ -14,6 +14,10 @@ static_assert(sizeof(PipelineStats) == 7 * sizeof(std::size_t) + 7 * sizeof(doub
 static_assert(sizeof(TrackTimings) == 6 * sizeof(double),
               "TrackTimings changed: update publish_metrics(TrackTimings) "
               "and track_timings_metric_names()");
+static_assert(sizeof(PruneReport) ==
+                  11 * sizeof(std::uint64_t) + sizeof(double),
+              "PruneReport changed: update publish_metrics(PruneReport) "
+              "and pruning_metric_names()");
 static_assert(sizeof(sched::SchedStats) ==
                   4 * sizeof(std::uint64_t) + 2 * sizeof(int) +
                       sizeof(double) + sizeof(std::vector<double>) +
@@ -109,6 +113,50 @@ void publish_metrics(const FaultLog& log, obs::MetricsRegistry& reg) {
   for (const FaultKind kind : kAllFaultKinds)
     reg.gauge(std::string("fault.") + fault_kind_name(kind))
         .set(static_cast<double>(log.count(kind)));
+}
+
+void publish_metrics(const PruneReport& r, obs::MetricsRegistry& reg) {
+  reg.gauge("pruning.active").set(static_cast<double>(r.active));
+  reg.gauge("pruning.fallback_reason")
+      .set(static_cast<double>(r.fallback_reason));
+  reg.gauge("pruning.full_grid_hypotheses")
+      .set(static_cast<double>(r.full_grid_hypotheses));
+  reg.gauge("pruning.coarse_hypotheses")
+      .set(static_cast<double>(r.coarse_hypotheses));
+  reg.gauge("pruning.fine_scheduled")
+      .set(static_cast<double>(r.fine_scheduled));
+  reg.gauge("pruning.fine_evaluated")
+      .set(static_cast<double>(r.fine_evaluated));
+  reg.gauge("pruning.bound_checks").set(static_cast<double>(r.bound_checks));
+  reg.gauge("pruning.bound_skipped").set(static_cast<double>(r.bound_skipped));
+  reg.gauge("pruning.window_pixels")
+      .set(static_cast<double>(r.window_pixels));
+  reg.gauge("pruning.fallback_pixels")
+      .set(static_cast<double>(r.fallback_pixels));
+  reg.gauge("pruning.seed_interior").set(static_cast<double>(r.seed_interior));
+  reg.gauge("pruning.bound_tightness_sum").set(r.bound_tightness_sum);
+  // Derived conveniences (not part of the completeness contract).
+  reg.gauge("pruning.reduction").set(r.reduction());
+  reg.gauge("pruning.seed_hit_rate").set(r.seed_hit_rate());
+  reg.gauge("pruning.bound_tightness").set(r.mean_bound_tightness());
+}
+
+const std::vector<std::string>& pruning_metric_names() {
+  static const std::vector<std::string> names = {
+      "pruning.active",
+      "pruning.fallback_reason",
+      "pruning.full_grid_hypotheses",
+      "pruning.coarse_hypotheses",
+      "pruning.fine_scheduled",
+      "pruning.fine_evaluated",
+      "pruning.bound_checks",
+      "pruning.bound_skipped",
+      "pruning.window_pixels",
+      "pruning.fallback_pixels",
+      "pruning.seed_interior",
+      "pruning.bound_tightness_sum",
+  };
+  return names;
 }
 
 void publish_metrics(const sched::SchedStats& s, obs::MetricsRegistry& reg) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "core/match_prune.hpp"
 #include "core/pipeline.hpp"
 #include "core/tracker.hpp"
 #include "obs/metrics.hpp"
@@ -40,6 +41,13 @@ void publish_metrics(const TrackTimings& timings, obs::MetricsRegistry& reg);
 /// are registered, so an empty log still exports explicit zeros).
 void publish_metrics(const FaultLog& log, obs::MetricsRegistry& reg);
 
+/// Registers/updates every PruneReport field under "pruning.*", plus the
+/// derived "pruning.reduction", "pruning.seed_hit_rate" and
+/// "pruning.bound_tightness".  A fallback run still exports the full
+/// shape (active = 0 with the fallback_reason code), so dashboards can
+/// tell "pruning off" from "pruning requested but ineligible".
+void publish_metrics(const PruneReport& report, obs::MetricsRegistry& reg);
+
 /// Registers/updates the tiled scheduler's counters under "sched.*"
 /// (sched::ThreadPool::stats()).  The per-thread busy times are folded
 /// into min/max/total gauges — the load-imbalance signal — rather than
@@ -56,6 +64,9 @@ const std::vector<std::string>& track_timings_metric_names();
 
 /// Likewise for the FaultKind gauges.
 const std::vector<std::string>& fault_metric_names();
+
+/// Likewise for the PruneReport gauges.
+const std::vector<std::string>& pruning_metric_names();
 
 /// Likewise for the SchedStats gauges.
 const std::vector<std::string>& sched_metric_names();

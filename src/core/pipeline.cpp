@@ -330,6 +330,9 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input,
   mi.disc_after = semifluid ? &gi1->disc : nullptr;
   mi.mask_before = effective.validity_before;
   mi.mask_after = effective.validity_after;
+  // Raw z-surface frames for the pruned mode's coarse seeding pyramid.
+  mi.raw_before = effective.surface_before;
+  mi.raw_after = effective.surface_after;
 
   // --- Stage: match precompute (cached alongside the geometry).
   check_cancel(cancel, "match_precompute");

@@ -9,6 +9,7 @@
 
 #include "core/backend.hpp"
 #include "core/match_precompute.hpp"
+#include "core/match_prune.hpp"
 #include "core/semifluid.hpp"
 #include "imaging/stats.hpp"
 #include "obs/trace.hpp"
@@ -317,7 +318,8 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
                                              const SmaConfig& config,
                                              bool parallel,
                                              TrackTimings& timings,
-                                             std::size_t& peak_mapping_bytes) {
+                                             std::size_t& peak_mapping_bytes,
+                                             PruneReport* prune) {
   const int w = in.width();
   const int h = in.height();
   const int nzs_x = config.z_search_radius;
@@ -325,6 +327,18 @@ std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
   const int nss = config.effective_nss();
   const int zseg = config.effective_segment_rows();
   const bool semifluid = semifluid_active(in, config);
+
+  // Coarse-to-fine pruned search: engages only when the eligibility rule
+  // holds (precompute fast path, unsegmented, raw frames attached);
+  // otherwise the reason is recorded and the exhaustive sweep below runs
+  // exactly as in full mode.
+  if (config.search_mode == SearchMode::kPruned) {
+    const PruneFallback fb = resolve_prune(config, in);
+    if (prune != nullptr)
+      prune->fallback_reason = static_cast<std::uint64_t>(fb);
+    if (fb == PruneFallback::kNone)
+      return run_pruned_search(in, config, parallel, timings, prune);
+  }
 
   // Hypothesis-invariant precompute: only consumed when the attaching
   // layer (backend / pipeline / MasPar executor) built it AND the

@@ -208,19 +208,33 @@ struct MatchInput {
   /// masks / semi-fluid remapping / stride make it ineligible — the
   /// matching stages run the naive oracle path.
   const MatchPrecompute* precompute = nullptr;
+  /// The raw z-surface frames the geometry was derived from, attached by
+  /// TrackerBackend::track and SmaPipeline so the pruned search mode
+  /// (match_prune.hpp) can build its coarse seeding pyramid.  Optional:
+  /// when null, SearchMode::kPruned falls back to the full search.
+  const imaging::ImageF* raw_before = nullptr;
+  const imaging::ImageF* raw_after = nullptr;
 
   int width() const { return before != nullptr ? before->width() : 0; }
   int height() const { return before != nullptr ? before->height() : 0; }
 };
 
+struct PruneReport;  // fwd (match_prune.hpp)
+
 /// "Semi-fluid mapping" + "Hypothesis matching" phases: the segmented
 /// search over every pixel and hypothesis.  Accumulates phase times into
 /// `timings` and the Sec. 4.3 cost-layer peak into `peak_mapping_bytes`.
+/// When config.search_mode == SearchMode::kPruned and the config is
+/// eligible (resolve_prune, match_prune.hpp) the coarse-to-fine pruned
+/// sweep runs instead of the exhaustive one; `prune`, when non-null,
+/// receives the pruning accounting either way (fallback reasons
+/// included).
 std::vector<PixelBest> run_hypothesis_search(const MatchInput& in,
                                              const SmaConfig& config,
                                              bool parallel,
                                              TrackTimings& timings,
-                                             std::size_t& peak_mapping_bytes);
+                                             std::size_t& peak_mapping_bytes,
+                                             PruneReport* prune = nullptr);
 
 /// Optional parabolic sub-pixel stage (TrackOptions::subpixel); adds its
 /// time to timings.hypothesis_matching.  Identical across backends.

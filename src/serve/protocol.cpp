@@ -105,6 +105,9 @@ std::string TrackRequest::config_signature() const {
       << ";search=" << search_radius << ";template=" << template_radius
       << ";nss=" << nss << ";nst=" << nst << ";subpixel=" << (subpixel ? 1 : 0)
       << ";robust=" << (robust ? 1 : 0);
+  // Appended only when pruned so full-mode signatures stay byte-stable
+  // (pre-existing pipelines keep their keys across a server upgrade).
+  if (search_mode == "pruned") sig << ";smode=pruned";
   return sig.str();
 }
 
@@ -118,6 +121,8 @@ std::string format_request(const TrackRequest& req) {
       << " nst=" << req.nst << " subpixel=" << (req.subpixel ? 1 : 0)
       << " robust=" << (req.robust ? 1 : 0);
   if (!req.backend.empty()) out << " backend=" << req.backend;
+  if (!req.search_mode.empty() && req.search_mode != "full")
+    out << " smode=" << req.search_mode;
   out << "\n"
       << hex_encode(req.before.data(), req.before.size()) << "\n"
       << hex_encode(req.after.data(), req.after.size()) << "\n";
@@ -282,6 +287,10 @@ RequestParser::Event RequestParser::next(TrackRequest& request) {
             partial_.robust = flag != 0;
           } else if (key == "backend") {
             partial_.backend = std::string(value);
+          } else if (key == "smode") {
+            if (value != "full" && value != "pruned")
+              return fail("bad smode");
+            partial_.search_mode = std::string(value);
           }
           // Unknown keys are skipped (forward compatibility).
         }

@@ -80,6 +80,11 @@ struct TrackRequest {
   bool robust = false;
   /// Backend name; empty = the server's default backend.
   std::string backend;
+  /// Hypothesis search mode: "" or "full" = the exhaustive oracle,
+  /// "pruned" = coarse-to-fine seeding with branch-and-bound (wire key
+  /// `smode=`, omitted when full so pre-existing clients' request lines
+  /// are byte-stable).
+  std::string search_mode;
 
   /// Row-major u8 samples, width*height each.
   std::vector<std::uint8_t> before;

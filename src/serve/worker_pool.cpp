@@ -18,6 +18,8 @@ core::SmaConfig PipelineManager::config_from(const TrackRequest& request) {
   config.z_template_radius = request.template_radius;
   config.semifluid_search_radius = request.nss;
   config.semifluid_template_radius = request.nst;
+  if (request.search_mode == "pruned")
+    config.search_mode = core::SearchMode::kPruned;
   config.validate();
   return config;
 }

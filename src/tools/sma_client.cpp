@@ -4,7 +4,7 @@
 //              [--host H] [--port P] [--tenant NAME] [--deadline-ms MS]
 //              [--id N] [--model cont|semi] [--fit N] [--search N]
 //              [--template N] [--nss N] [--nst N] [--subpixel] [--robust]
-//              [--backend NAME]
+//              [--backend NAME] [--search-mode full|pruned]
 //   sma_client ping  [--host H] [--port P]
 //   sma_client stats [--host H] [--port P]
 //
@@ -43,6 +43,7 @@ int usage() {
       "             [--deadline-ms MS] [--id N] [--model cont|semi]\n"
       "             [--fit N] [--search N] [--template N] [--nss N]\n"
       "             [--nst N] [--subpixel] [--robust] [--backend NAME]\n"
+      "             [--search-mode full|pruned]\n"
       "  sma_client ping  [--host H] [--port P]\n"
       "  sma_client stats [--host H] [--port P]\n");
   return 2;
@@ -107,7 +108,11 @@ int cmd_track(int argc, char** argv) {
       req.robust = true;
     else if (a == "--backend")
       req.backend = value_arg(argc, argv, i);
-    else {
+    else if (a == "--search-mode") {
+      req.search_mode = value_arg(argc, argv, i);
+      if (req.search_mode != "full" && req.search_mode != "pruned")
+        throw std::invalid_argument("--search-mode expects full|pruned");
+    } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return usage();
     }

@@ -483,6 +483,7 @@ TEST(ObsBridge, NameListsMatchStructShapes) {
   EXPECT_EQ(core::pipeline_stats_metric_names().size(), 14u);
   EXPECT_EQ(core::track_timings_metric_names().size(), 6u);
   EXPECT_EQ(core::fault_metric_names().size(), 9u);
+  EXPECT_EQ(core::pruning_metric_names().size(), 12u);
 }
 
 TEST(ObsBridge, EveryStructFieldAppearsInSnapshot) {
@@ -490,10 +491,12 @@ TEST(ObsBridge, EveryStructFieldAppearsInSnapshot) {
   core::publish_metrics(core::PipelineStats{}, reg);
   core::publish_metrics(core::TrackTimings{}, reg);
   core::publish_metrics(core::FaultLog{}, reg);
+  core::publish_metrics(core::PruneReport{}, reg);
   const auto snap = reg.snapshot();
   for (const auto* names :
        {&core::pipeline_stats_metric_names(),
-        &core::track_timings_metric_names(), &core::fault_metric_names()})
+        &core::track_timings_metric_names(), &core::fault_metric_names(),
+        &core::pruning_metric_names()})
     for (const std::string& name : *names)
       EXPECT_NE(obs::find_metric(snap, name), nullptr)
           << "field not exported: " << name;
