@@ -58,17 +58,41 @@ struct Scenario {
 
 struct Tally {
   long sent = 0;
+  long pairs = 0;  ///< responses carrying a flow payload
   long outcomes[serve::kOutcomeCount] = {0, 0, 0, 0, 0};
-  std::vector<double> latencies_ms;
+  /// Accepted (everything but rejected) and rejected latencies are kept
+  /// apart: a rejection turns around in microseconds, and mixing them in
+  /// drags p50 toward the rejection floor exactly when the server is
+  /// overloaded — the moment the latency number matters most.
+  std::vector<double> accepted_ms;
+  std::vector<double> rejected_ms;
+
+  void observe(serve::Outcome outcome, double ms) {
+    ++sent;
+    ++outcomes[static_cast<int>(outcome)];
+    if (outcome == serve::Outcome::kRejected)
+      rejected_ms.push_back(ms);
+    else
+      accepted_ms.push_back(ms);
+  }
 };
 
 struct Result {
   double duration_s = 0.0;
   long total = 0;
+  long pairs = 0;
   long ok = 0, degraded = 0, rejected = 0, deadline = 0, error = 0;
   double requests_per_s = 0.0;
-  double p50_ms = 0.0, p99_ms = 0.0;
+  double pairs_per_s = 0.0;
+  double p50_ms = 0.0, p99_ms = 0.0;          ///< accepted requests only
+  double reject_p50_ms = 0.0;                 ///< rejection turnaround
   double reject_rate = 0.0, deadline_miss_rate = 0.0;
+  /// Server-side pipeline counters: how many surface fits the scenario
+  /// actually paid for vs how many the geometry cache absorbed.
+  double surface_fits = 0.0, cache_hits = 0.0;
+  double fit_seconds = 0.0;    ///< per-frame work (fit + planes + vars)
+  double match_seconds = 0.0;  ///< per-pair hypothesis search
+  double chain_seconds = 0.0;  ///< trajectory chaining (session streams)
   bool invariant_ok = false;
 };
 
@@ -77,6 +101,61 @@ double percentile(std::vector<double>& sorted, double q) {
   const std::size_t idx = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Folds per-client tallies into a Result and checks the exactly-once
+/// accounting invariant against the (already drained) server.
+Result finalize(serve::Server& server, std::vector<Tally>& tallies,
+                double duration_s) {
+  Result r;
+  r.duration_s = duration_s;
+  std::vector<double> accepted, rejected;
+  for (const Tally& t : tallies) {
+    r.total += t.sent;
+    r.pairs += t.pairs;
+    r.ok += t.outcomes[0];
+    r.degraded += t.outcomes[1];
+    r.rejected += t.outcomes[2];
+    r.deadline += t.outcomes[3];
+    r.error += t.outcomes[4];
+    accepted.insert(accepted.end(), t.accepted_ms.begin(),
+                    t.accepted_ms.end());
+    rejected.insert(rejected.end(), t.rejected_ms.begin(),
+                    t.rejected_ms.end());
+  }
+  std::sort(accepted.begin(), accepted.end());
+  std::sort(rejected.begin(), rejected.end());
+  r.requests_per_s = r.total / duration_s;
+  r.pairs_per_s = r.pairs / duration_s;
+  r.p50_ms = percentile(accepted, 0.50);
+  r.p99_ms = percentile(accepted, 0.99);
+  r.reject_p50_ms = percentile(rejected, 0.50);
+  r.reject_rate = r.total > 0 ? static_cast<double>(r.rejected) / r.total : 0;
+  r.deadline_miss_rate =
+      r.total > 0 ? static_cast<double>(r.deadline) / r.total : 0;
+
+  const core::PipelineStats pstats = server.pipelines().aggregate_stats();
+  r.surface_fits = static_cast<double>(pstats.surface_fits);
+  r.cache_hits = static_cast<double>(pstats.cache_hits);
+  r.fit_seconds = pstats.surface_fit_seconds +
+                  pstats.match_precompute_seconds +
+                  pstats.geometric_vars_seconds;
+  r.match_seconds = pstats.matching_seconds;
+  r.chain_seconds = pstats.products_seconds;
+
+  // Exactly-once accounting: the server's view must match the sum of
+  // its outcome counters AND the client-side tally.
+  const double server_total =
+      server.metrics().counter("serve.requests_total").value();
+  double server_sum = 0.0;
+  for (serve::Outcome o :
+       {serve::Outcome::kOk, serve::Outcome::kDegraded,
+        serve::Outcome::kRejected, serve::Outcome::kDeadline,
+        serve::Outcome::kError})
+    server_sum += server.outcome_count(o);
+  r.invariant_ok = server_total == server_sum &&
+                   server_total == static_cast<double>(r.total);
+  return r;
 }
 
 Result run_scenario(const Scenario& scenario, int duration_ms,
@@ -121,12 +200,11 @@ Result run_scenario(const Scenario& scenario, int duration_ms,
         req.tenant = "client-" + std::to_string(c);
         const auto sent_at = Clock::now();
         const serve::TrackResponse resp = client.track(req);
-        tally.latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(Clock::now() -
-                                                      sent_at)
-                .count());
-        ++tally.sent;
-        ++tally.outcomes[static_cast<int>(resp.outcome)];
+        tally.observe(resp.outcome,
+                      std::chrono::duration<double, std::milli>(
+                          Clock::now() - sent_at)
+                          .count());
+        if (!resp.payload.empty()) ++tally.pairs;
         // Closed loop with polite retry: honour the backpressure hint
         // (capped so the bench keeps offering load).
         if (resp.outcome == serve::Outcome::kRejected)
@@ -141,41 +219,166 @@ Result run_scenario(const Scenario& scenario, int duration_ms,
 
   server.request_drain();
   server.wait();
+  return finalize(server, tallies, duration_s);
+}
 
-  Result r;
-  r.duration_s = duration_s;
-  std::vector<double> latencies;
-  for (const Tally& t : tallies) {
-    r.total += t.sent;
-    r.ok += t.outcomes[0];
-    r.degraded += t.outcomes[1];
-    r.rejected += t.outcomes[2];
-    r.deadline += t.outcomes[3];
-    r.error += t.outcomes[4];
-    latencies.insert(latencies.end(), t.latencies_ms.begin(),
-                     t.latencies_ms.end());
+/// The sequence scenario: the same 6-frame tenant streams served two
+/// ways on identical servers.  Per-pair mode posts each consecutive
+/// pair as an independent TRACK; session mode opens one SEQ session and
+/// streams the frames.  The geometry cache is deliberately smaller than
+/// the working set (clients x 2 live frames), so per-pair mode refits
+/// both frames of almost every pair (2(T-1) fits per stream pass) while
+/// a session pins its geometry in the stream and fits each frame once
+/// (T fits) — the tentpole's cache economy, measured end to end.
+struct SeqScenario {
+  int clients = 4;
+  int frames = 6;  ///< T frames -> T-1 pairs per stream pass
+  int frame_edge = 128;
+
+  serve::ServeOptions options() const {
+    serve::ServeOptions o;
+    o.port = 0;
+    o.workers = 1;
+    o.geometry_cache_capacity = 2;  // < clients x 2: evicts under per-pair
+    return o;
   }
-  std::sort(latencies.begin(), latencies.end());
-  r.requests_per_s = r.total / duration_s;
-  r.p50_ms = percentile(latencies, 0.50);
-  r.p99_ms = percentile(latencies, 0.99);
-  r.reject_rate = r.total > 0 ? static_cast<double>(r.rejected) / r.total : 0;
-  r.deadline_miss_rate =
-      r.total > 0 ? static_cast<double>(r.deadline) / r.total : 0;
 
-  // Exactly-once accounting: the server's view must match the sum of
-  // its outcome counters AND the client-side tally.
-  const double server_total =
-      server.metrics().counter("serve.requests_total").value();
-  double server_sum = 0.0;
-  for (serve::Outcome o :
-       {serve::Outcome::kOk, serve::Outcome::kDegraded,
-        serve::Outcome::kRejected, serve::Outcome::kDeadline,
-        serve::Outcome::kError})
-    server_sum += server.outcome_count(o);
-  r.invariant_ok = server_total == server_sum &&
-                   server_total == static_cast<double>(r.total);
-  return r;
+  serve::TrackRequest config() const {
+    serve::TrackRequest req;
+    req.width = frame_edge;
+    req.height = frame_edge;
+    // Per-frame-heavy, search-light: a wide surface-fit window plus a
+    // large template (whose invariant-plane precompute is built per
+    // FRAME and cached) against a degenerate 1x1 hypothesis search.
+    // This is the regime sequence sessions exist for — per-frame work
+    // (fit + precompute build) dominates per-pair work, so the per-pair
+    // baseline paying 2(T-1) frame preps per stream pass against the
+    // session's T is the whole bill.  The matching-dominated regime is
+    // covered by the baseline/overload/chaos scenarios above, where
+    // sessions only save the frame-prep slice.
+    req.model = "cont";
+    req.fit_radius = 56;
+    req.search_radius = 0;
+    req.template_radius = 1;
+    req.nss = 1;
+    req.nst = 2;
+    return req;
+  }
+};
+
+Result run_sequence_scenario(const SeqScenario& scenario, bool streamed,
+                             int duration_ms) {
+  serve::Server server(scenario.options());
+  server.start();
+  server.run_in_thread();
+
+  // Each client streams ITS OWN frame sequence (distinct phases), so
+  // the interleaved per-pair working set overflows the geometry cache.
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams;
+  for (int c = 0; c < scenario.clients; ++c) {
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (int k = 0; k < scenario.frames; ++k)
+      frames.push_back(pattern_bytes(scenario.frame_edge,
+                                     scenario.frame_edge,
+                                     0.8 * c + 0.35 * k));
+    streams.push_back(std::move(frames));
+  }
+
+  std::atomic<std::uint64_t> next_id{1};
+  std::vector<Tally> tallies(static_cast<std::size_t>(scenario.clients));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  const auto until = t0 + std::chrono::milliseconds(duration_ms);
+
+  for (int c = 0; c < scenario.clients; ++c)
+    threads.emplace_back([&, c] {
+      Tally& tally = tallies[static_cast<std::size_t>(c)];
+      const auto& frames = streams[static_cast<std::size_t>(c)];
+      serve::TrackRequest base = scenario.config();
+      base.tenant = "stream-" + std::to_string(c);
+      serve::Client client;
+      client.connect("127.0.0.1", server.port());
+      auto timed = [&](auto&& call) {
+        const auto sent_at = Clock::now();
+        const serve::TrackResponse resp = call();
+        tally.observe(resp.outcome,
+                      std::chrono::duration<double, std::milli>(
+                          Clock::now() - sent_at)
+                          .count());
+        if (!resp.payload.empty()) ++tally.pairs;
+        return resp;
+      };
+      while (Clock::now() < until) {
+        if (streamed) {
+          serve::TrackRequest open = base;
+          open.id = next_id.fetch_add(1, std::memory_order_relaxed);
+          if (timed([&] { return client.seq_open(open); }).outcome !=
+              serve::Outcome::kOk)
+            break;
+          // Stream the whole pass ahead of the responses: the server
+          // parks out-of-turn frames per session, so the client never
+          // donates a round-trip of worker idle time between frames —
+          // that, plus fitting each frame once, is the session economy.
+          std::vector<Clock::time_point> sent_at;
+          for (int k = 0; k < scenario.frames; ++k) {
+            sent_at.push_back(Clock::now());
+            client.seq_frame_send(
+                next_id.fetch_add(1, std::memory_order_relaxed),
+                base.width, base.height, frames[static_cast<std::size_t>(k)]);
+          }
+          sent_at.push_back(Clock::now());
+          client.seq_close_send(
+              next_id.fetch_add(1, std::memory_order_relaxed));
+          // One response per message sent, in order, even when the
+          // session aborts mid-stream (parked frames are flushed with
+          // error responses and the close answers last).
+          for (const Clock::time_point& at : sent_at) {
+            const serve::TrackResponse resp = client.read_response();
+            tally.observe(resp.outcome,
+                          std::chrono::duration<double, std::milli>(
+                              Clock::now() - at)
+                              .count());
+            if (!resp.payload.empty()) ++tally.pairs;
+          }
+        } else {
+          for (int k = 1; k < scenario.frames; ++k) {
+            serve::TrackRequest req = base;
+            req.id = next_id.fetch_add(1, std::memory_order_relaxed);
+            req.before = frames[static_cast<std::size_t>(k - 1)];
+            req.after = frames[static_cast<std::size_t>(k)];
+            timed([&] { return client.track(req); });
+          }
+        }
+      }
+      client.quit();
+    });
+  for (std::thread& t : threads) t.join();
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  server.request_drain();
+  server.wait();
+  return finalize(server, tallies, duration_s);
+}
+
+void print_body(const Result& r) {
+  std::printf("  requests            %8ld  (%.1f req/s over %.2f s)\n",
+              r.total, r.requests_per_s, r.duration_s);
+  std::printf("  pair flows          %8ld  (%.1f pairs/s)\n", r.pairs,
+              r.pairs_per_s);
+  std::printf("  ok/degraded         %8ld / %ld\n", r.ok, r.degraded);
+  std::printf("  rejected            %8ld  (rate %.3f, p50 %.3f ms)\n",
+              r.rejected, r.reject_rate, r.reject_p50_ms);
+  std::printf("  deadline misses     %8ld  (rate %.3f)\n", r.deadline,
+              r.deadline_miss_rate);
+  std::printf("  errors              %8ld\n", r.error);
+  std::printf("  accepted p50 / p99  %8.2f / %.2f ms\n", r.p50_ms, r.p99_ms);
+  std::printf("  surface fits        %8.0f  (%.0f cache hits)\n",
+              r.surface_fits, r.cache_hits);
+  std::printf("  fit / match seconds %8.2f / %.2f  (chain %.2f)\n",
+              r.fit_seconds, r.match_seconds, r.chain_seconds);
+  std::printf("  accounting invariant %s\n",
+              r.invariant_ok ? "OK" : "VIOLATED");
 }
 
 void print_result(const Scenario& scenario, const Result& r) {
@@ -184,17 +387,7 @@ void print_result(const Scenario& scenario, const Result& r) {
               scenario.clients, scenario.options.workers,
               scenario.options.admission.queue_capacity, scenario.deadline_ms,
               scenario.options.chaos.enabled ? 1 : 0);
-  std::printf("  requests            %8ld  (%.1f req/s over %.2f s)\n",
-              r.total, r.requests_per_s, r.duration_s);
-  std::printf("  ok/degraded         %8ld / %ld\n", r.ok, r.degraded);
-  std::printf("  rejected            %8ld  (rate %.3f)\n", r.rejected,
-              r.reject_rate);
-  std::printf("  deadline misses     %8ld  (rate %.3f)\n", r.deadline,
-              r.deadline_miss_rate);
-  std::printf("  errors              %8ld\n", r.error);
-  std::printf("  latency p50 / p99   %8.2f / %.2f ms\n", r.p50_ms, r.p99_ms);
-  std::printf("  accounting invariant %s\n",
-              r.invariant_ok ? "OK" : "VIOLATED");
+  print_body(r);
 }
 
 void record(bench::JsonReport& report, const Scenario& scenario,
@@ -215,6 +408,7 @@ void record(bench::JsonReport& report, const Scenario& scenario,
                (scenario.options.chaos.enabled ? "; chaos=on" : "; chaos=off");
   rec.extra("requests_total", static_cast<double>(r.total));
   rec.extra("requests_per_s", r.requests_per_s);
+  rec.extra("pairs_per_s", r.pairs_per_s);
   rec.extra("ok", static_cast<double>(r.ok));
   rec.extra("degraded", static_cast<double>(r.degraded));
   rec.extra("rejected", static_cast<double>(r.rejected));
@@ -222,8 +416,38 @@ void record(bench::JsonReport& report, const Scenario& scenario,
   rec.extra("error", static_cast<double>(r.error));
   rec.extra("p50_ms", r.p50_ms);
   rec.extra("p99_ms", r.p99_ms);
+  rec.extra("reject_p50_ms", r.reject_p50_ms);
   rec.extra("reject_rate", r.reject_rate);
   rec.extra("deadline_miss_rate", r.deadline_miss_rate);
+  rec.extra("accounting_invariant_ok", r.invariant_ok ? 1.0 : 0.0);
+}
+
+void record_sequence(bench::JsonReport& report, const SeqScenario& scenario,
+                     const std::string& name, const Result& r) {
+  bench::JsonRecord& rec = report.add("serve_load_" + name);
+  rec.backend = "sequential";
+  rec.wall_ms = r.duration_s * 1000.0;
+  rec.pixels_per_s = r.pairs * static_cast<double>(scenario.frame_edge) *
+                     scenario.frame_edge / r.duration_s;
+  const serve::ServeOptions opts = scenario.options();
+  const serve::TrackRequest cfg = scenario.config();
+  rec.config = "clients=" + std::to_string(scenario.clients) +
+               "; workers=" + std::to_string(opts.workers) +
+               "; frames=" + std::to_string(scenario.frames) +
+               "; frame=" + std::to_string(scenario.frame_edge) + "x" +
+               std::to_string(scenario.frame_edge) +
+               "; geometry_cache=" +
+               std::to_string(opts.geometry_cache_capacity) +
+               "; model=" + cfg.model +
+               "; fit=" + std::to_string(cfg.fit_radius) +
+               "; search=" + std::to_string(cfg.search_radius) +
+               "; template=" + std::to_string(cfg.template_radius);
+  rec.extra("requests_total", static_cast<double>(r.total));
+  rec.extra("requests_per_s", r.requests_per_s);
+  rec.extra("pairs_total", static_cast<double>(r.pairs));
+  rec.extra("pairs_per_s", r.pairs_per_s);
+  rec.extra("p50_ms", r.p50_ms);
+  rec.extra("p99_ms", r.p99_ms);
   rec.extra("accounting_invariant_ok", r.invariant_ok ? 1.0 : 0.0);
 }
 
@@ -294,6 +518,47 @@ int main(int argc, char** argv) {
     print_result(scenario, r);
     record(report, scenario, r, frame_edge);
     all_invariants_hold = all_invariants_hold && r.invariant_ok;
+  }
+
+  // Session throughput: the same streams served per-pair vs streamed.
+  // Two alternating rounds per leg, best round kept: the legs are
+  // deterministic closed loops, so on a shared box scheduler noise is
+  // strictly additive and the fastest round is the honest estimate of
+  // each leg's capability (the alternation also cancels slow drift).
+  SeqScenario seq;
+  Result per_pair, session;
+  for (int round = 0; round < 2; ++round) {
+    const Result pp = run_sequence_scenario(seq, false, duration_ms);
+    all_invariants_hold = all_invariants_hold && pp.invariant_ok;
+    if (round == 0 || pp.requests_per_s > per_pair.requests_per_s)
+      per_pair = pp;
+    const Result ss = run_sequence_scenario(seq, true, duration_ms);
+    all_invariants_hold = all_invariants_hold && ss.invariant_ok;
+    if (round == 0 || ss.requests_per_s > session.requests_per_s)
+      session = ss;
+  }
+  bench::header("sma_serve load: sequence_per_pair");
+  print_body(per_pair);
+  record_sequence(report, seq, "sequence_per_pair", per_pair);
+  bench::header("sma_serve load: sequence_session");
+  print_body(session);
+  record_sequence(report, seq, "sequence_session", session);
+  all_invariants_hold =
+      all_invariants_hold && per_pair.invariant_ok && session.invariant_ok;
+  if (per_pair.pairs_per_s > 0.0) {
+    // The headline: sessions fit each frame once (T fits) where the
+    // evicting per-pair path fits twice per pair (2(T-1)).
+    const double speedup = session.pairs_per_s / per_pair.pairs_per_s;
+    const double req_speedup =
+        session.requests_per_s / per_pair.requests_per_s;
+    std::printf("\n  session speedup vs per-pair: %.2fx pairs/s "
+                "(%.2fx requests/s)\n",
+                speedup, req_speedup);
+    bench::JsonRecord& sp = report.add("serve_load_session_speedup");
+    sp.backend = "none";
+    sp.config = "sequence_session relative to sequence_per_pair";
+    sp.extra("pairs_per_s_ratio", speedup);
+    sp.extra("requests_per_s_ratio", req_speedup);
   }
 
   if (!json_path.empty() && !report.write(json_path)) return 1;

@@ -1,8 +1,16 @@
 // sma_cli.cpp — command-line front end for the SMA library.
 //
 // Subcommands:
-//   sma_cli synth  <prefix>                      write a demo cloud pair
+//   sma_cli synth  <prefix> [--frames N]         write a demo cloud pair
+//                                                (and an N-frame sequence
+//                                                <prefix>_f0..f{N-1}.pgm)
 //   sma_cli track  <before.pgm> <after.pgm> <out_flow.txt> [options]
+//   sma_cli sequence <out_prefix> <f0.pgm> <f1.pgm>... [track options]
+//                    track every consecutive pair through one pipeline
+//                    (each frame fitted once); pair flows land in
+//                    <out_prefix>_p1.txt .. _p{T-1}.txt, byte-identical
+//                    to T-1 `sma_cli track` runs and to a served SEQ
+//                    session over the same frames
 //   sma_cli stereo <left.pgm> <right.pgm> <out_disparity.pfm> [options]
 //
 // track options:
@@ -51,6 +59,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/match_vector.hpp"
 #include "core/obs_bridge.hpp"
@@ -72,7 +81,9 @@ using namespace sma;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  sma_cli synth  <prefix>\n"
+               "  sma_cli synth  <prefix> [--frames N]\n"
+               "  sma_cli sequence <out_prefix> <f0.pgm> <f1.pgm>...\n"
+               "                 [track options]\n"
                "  sma_cli track  <before.pgm> <after.pgm> <out_flow.txt>\n"
                "                 [--model cont|semi] [--search N]\n"
                "                 [--template N] [--subpixel] [--sequential]\n"
@@ -99,7 +110,19 @@ double double_arg(int argc, char** argv, int& i) {
   return std::atof(argv[++i]);
 }
 
-int cmd_synth(const std::string& prefix) {
+int cmd_synth(int argc, char** argv) {
+  const std::string prefix = argv[2];
+  int frames = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--frames") {
+      frames = int_arg(argc, argv, i);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return usage();
+    }
+  }
+
   const int size = 96;
   const imaging::ImageF f0 = goes::fractal_clouds(size, size, 7);
   const goes::WindModel wind =
@@ -109,24 +132,28 @@ int cmd_synth(const std::string& prefix) {
   imaging::write_pgm(f1, prefix + "_after.pgm");
   std::printf("wrote %s_before.pgm and %s_after.pgm (%dx%d, vortex wind)\n",
               prefix.c_str(), prefix.c_str(), size, size);
+
+  if (frames > 0) {
+    // Advect repeatedly under the same wind: frame k is frame k-1 pushed
+    // one step, so consecutive pairs all carry the vortex motion.
+    imaging::ImageF frame = f0;
+    for (int k = 0; k < frames; ++k) {
+      const std::string path = prefix + "_f" + std::to_string(k) + ".pgm";
+      imaging::write_pgm(frame, path);
+      if (k + 1 < frames) frame = goes::advect_frame(frame, wind);
+    }
+    std::printf("wrote %d-frame sequence %s_f0.pgm .. %s_f%d.pgm\n", frames,
+                prefix.c_str(), prefix.c_str(), frames - 1);
+  }
   return 0;
 }
 
-int cmd_track(int argc, char** argv) {
-  if (argc < 5) return usage();
-  const std::string before_path = argv[2];
-  const std::string after_path = argv[3];
-  const std::string out_path = argv[4];
-
+/// Shared track/sequence CLI state: the config DEFAULTS here are the
+/// ones sma_client mirrors, so served and one-shot runs stay
+/// cmp-identical.
+struct TrackCliOptions {
   core::SmaConfig cfg;
-  cfg.model = core::MotionModel::kSemiFluid;
-  cfg.surface_fit_radius = 2;
-  cfg.z_search_radius = 3;
-  cfg.z_template_radius = 4;
-  cfg.semifluid_search_radius = 1;
-  cfg.semifluid_template_radius = 2;
   core::TrackOptions opts;
-  opts.policy = core::ExecutionPolicy::kParallel;
   std::string backend;
   bool robust = false;
   double fault_rate = 0.0;
@@ -135,87 +162,121 @@ int cmd_track(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
 
-  for (int i = 5; i < argc; ++i) {
+  TrackCliOptions() {
+    cfg.model = core::MotionModel::kSemiFluid;
+    cfg.surface_fit_radius = 2;
+    cfg.z_search_radius = 3;
+    cfg.z_template_radius = 4;
+    cfg.semifluid_search_radius = 1;
+    cfg.semifluid_template_radius = 2;
+    opts.policy = core::ExecutionPolicy::kParallel;
+  }
+};
+
+/// Parses the shared option tail starting at argv[first]; false on an
+/// unknown option (the caller prints usage).
+bool parse_track_cli(int argc, char** argv, int first, TrackCliOptions& o) {
+  for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--model") {
       const std::string m = argv[++i];
-      cfg.model = (m == "cont") ? core::MotionModel::kContinuous
-                                : core::MotionModel::kSemiFluid;
+      o.cfg.model = (m == "cont") ? core::MotionModel::kContinuous
+                                  : core::MotionModel::kSemiFluid;
     } else if (a == "--search") {
-      cfg.z_search_radius = int_arg(argc, argv, i);
+      o.cfg.z_search_radius = int_arg(argc, argv, i);
     } else if (a == "--template") {
-      cfg.z_template_radius = int_arg(argc, argv, i);
+      o.cfg.z_template_radius = int_arg(argc, argv, i);
     } else if (a == "--subpixel") {
-      opts.subpixel = true;
+      o.opts.subpixel = true;
     } else if (a == "--sequential") {
-      opts.policy = core::ExecutionPolicy::kSequential;
+      o.opts.policy = core::ExecutionPolicy::kSequential;
     } else if (a == "--backend") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
-      backend = argv[++i];
+      o.backend = argv[++i];
     } else if (a == "--precompute") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
       const std::string m = argv[++i];
       if (m == "auto")
-        cfg.precompute = core::PrecomputeMode::kAuto;
+        o.cfg.precompute = core::PrecomputeMode::kAuto;
       else if (m == "on")
-        cfg.precompute = core::PrecomputeMode::kOn;
+        o.cfg.precompute = core::PrecomputeMode::kOn;
       else if (m == "off")
-        cfg.precompute = core::PrecomputeMode::kOff;
+        o.cfg.precompute = core::PrecomputeMode::kOff;
       else
         throw std::runtime_error("--precompute expects auto|on|off");
     } else if (a == "--threads") {
-      cfg.threads = int_arg(argc, argv, i);
+      o.cfg.threads = int_arg(argc, argv, i);
     } else if (a == "--tile") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
       const std::string t = argv[++i];
       const auto xpos = t.find('x');
       if (xpos == std::string::npos)
         throw std::runtime_error("--tile expects WxH, e.g. 32x32");
-      cfg.tile_width = std::atoi(t.substr(0, xpos).c_str());
-      cfg.tile_height = std::atoi(t.substr(xpos + 1).c_str());
+      o.cfg.tile_width = std::atoi(t.substr(0, xpos).c_str());
+      o.cfg.tile_height = std::atoi(t.substr(xpos + 1).c_str());
     } else if (a == "--fast-math") {
-      cfg.fast_math = true;
+      o.cfg.fast_math = true;
     } else if (a == "--search-mode") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
       const std::string m = argv[++i];
       if (m == "full")
-        cfg.search_mode = core::SearchMode::kFull;
+        o.cfg.search_mode = core::SearchMode::kFull;
       else if (m == "pruned")
-        cfg.search_mode = core::SearchMode::kPruned;
+        o.cfg.search_mode = core::SearchMode::kPruned;
       else
         throw std::runtime_error("--search-mode expects full|pruned");
     } else if (a == "--prune-levels") {
-      cfg.prune_coarse_levels = int_arg(argc, argv, i);
+      o.cfg.prune_coarse_levels = int_arg(argc, argv, i);
     } else if (a == "--prune-radius") {
-      cfg.prune_refine_radius = int_arg(argc, argv, i);
+      o.cfg.prune_refine_radius = int_arg(argc, argv, i);
     } else if (a == "--prune-bound") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
       const std::string m = argv[++i];
       if (m == "on")
-        cfg.prune_bound = true;
+        o.cfg.prune_bound = true;
       else if (m == "off")
-        cfg.prune_bound = false;
+        o.cfg.prune_bound = false;
       else
         throw std::runtime_error("--prune-bound expects on|off");
     } else if (a == "--robust") {
-      robust = true;
+      o.robust = true;
     } else if (a == "--ppm") {
-      ppm_path = argv[++i];
+      o.ppm_path = argv[++i];
     } else if (a == "--inject-faults") {
-      fault_rate = double_arg(argc, argv, i);
+      o.fault_rate = double_arg(argc, argv, i);
     } else if (a == "--fault-seed") {
-      fault_seed = static_cast<std::uint64_t>(int_arg(argc, argv, i));
+      o.fault_seed = static_cast<std::uint64_t>(int_arg(argc, argv, i));
     } else if (a == "--trace") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
-      trace_path = argv[++i];
+      o.trace_path = argv[++i];
     } else if (a == "--metrics") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for option");
-      metrics_path = argv[++i];
+      o.metrics_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-      return usage();
+      return false;
     }
   }
+  return true;
+}
+
+int cmd_track(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string before_path = argv[2];
+  const std::string after_path = argv[3];
+  const std::string out_path = argv[4];
+
+  TrackCliOptions cli;
+  if (!parse_track_cli(argc, argv, 5, cli)) return usage();
+  core::SmaConfig& cfg = cli.cfg;
+  core::TrackOptions& opts = cli.opts;
+  const std::string& backend = cli.backend;
+  const bool robust = cli.robust;
+  const double fault_rate = cli.fault_rate;
+  const std::uint64_t fault_seed = cli.fault_seed;
+  const std::string& ppm_path = cli.ppm_path;
+  const std::string& trace_path = cli.trace_path;
+  const std::string& metrics_path = cli.metrics_path;
 
   imaging::ImageF before = imaging::read_pgm(before_path);
   imaging::ImageF after = imaging::read_pgm(after_path);
@@ -355,6 +416,61 @@ int cmd_track(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sequence(int argc, char** argv) {
+  if (argc < 5) return usage();  // sequence <prefix> + at least two frames
+  const std::string out_prefix = argv[2];
+  std::vector<std::string> frame_paths;
+  int i = 3;
+  for (; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) break;
+    frame_paths.emplace_back(argv[i]);
+  }
+  if (frame_paths.size() < 2) {
+    std::fprintf(stderr, "sequence needs at least two frames\n");
+    return usage();
+  }
+
+  TrackCliOptions cli;
+  if (!parse_track_cli(argc, argv, i, cli)) return usage();
+
+  std::vector<imaging::ImageF> frames;
+  frames.reserve(frame_paths.size());
+  for (const std::string& path : frame_paths)
+    frames.push_back(imaging::read_pgm(path));
+
+  maspar::register_maspar_backend();
+  core::PipelineOptions popts;
+  popts.backend = cli.backend.empty()
+                      ? core::backend_name_for(cli.opts.policy)
+                      : cli.backend;
+  popts.track = cli.opts;
+  popts.robust = cli.robust;
+  core::SmaPipeline pipeline(cli.cfg, popts);
+  std::printf("tracking %zu-frame sequence (%dx%d) [backend %s]: %s\n",
+              frames.size(), frames[0].width(), frames[0].height(),
+              pipeline.backend().name().c_str(),
+              cli.cfg.describe().c_str());
+
+  const core::SequenceResult result = pipeline.track_sequence(frames);
+  for (std::size_t k = 0; k < result.flows.size(); ++k) {
+    const std::string out_path =
+        out_prefix + "_p" + std::to_string(k + 1) + ".txt";
+    imaging::write_flow_text(result.flows[k], out_path);
+    std::printf("pair %zu: %zu/%d valid vectors -> %s\n", k + 1,
+                result.flows[k].count_valid(),
+                result.flows[k].width() * result.flows[k].height(),
+                out_path.c_str());
+  }
+  const core::PipelineStats& stats = pipeline.stats();
+  std::printf("sequence tracked in %.2f s (%llu surface fits for %zu "
+              "frames, %llu cache hits)\n",
+              result.total_seconds(),
+              static_cast<unsigned long long>(stats.surface_fits),
+              frames.size(),
+              static_cast<unsigned long long>(stats.cache_hits));
+  return 0;
+}
+
 int cmd_stereo(int argc, char** argv) {
   if (argc < 5) return usage();
   const imaging::ImageF left = imaging::read_pgm(argv[2]);
@@ -394,8 +510,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "synth" && argc >= 3) return cmd_synth(argv[2]);
+    if (cmd == "synth" && argc >= 3) return cmd_synth(argc, argv);
     if (cmd == "track") return cmd_track(argc, argv);
+    if (cmd == "sequence") return cmd_sequence(argc, argv);
     if (cmd == "stereo") return cmd_stereo(argc, argv);
   } catch (const std::exception& e) {
     // Map onto the serve error taxonomy so scripts distinguish bad

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -59,7 +60,18 @@ class CancelToken {
   void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
 
   bool cancelled() const noexcept {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// Links a parent token: this token also fires when the parent does.
+  /// The serving layer's sequence sessions use this — each frame job
+  /// carries its own token (own deadline) chained to the session's
+  /// control token, so aborting the session cancels the in-flight frame
+  /// without disturbing per-frame deadlines.  Must be called BEFORE the
+  /// token is shared across threads (the pointer itself is unguarded).
+  void set_parent(std::shared_ptr<const CancelToken> parent) noexcept {
+    parent_ = std::move(parent);
   }
 
   /// Arms (or re-arms) the absolute deadline.
@@ -77,10 +89,11 @@ class CancelToken {
     return deadline_ns_.load(std::memory_order_relaxed) != 0;
   }
 
-  /// True once the deadline (if armed) has passed.
+  /// True once the deadline (if armed) has passed — here or on a parent.
   bool deadline_expired() const noexcept {
     const Clock::rep ns = deadline_ns_.load(std::memory_order_relaxed);
-    return ns != 0 && Clock::now().time_since_epoch().count() >= ns;
+    if (ns != 0 && Clock::now().time_since_epoch().count() >= ns) return true;
+    return parent_ != nullptr && parent_->deadline_expired();
   }
 
   /// Either trigger.
@@ -98,6 +111,8 @@ class CancelToken {
   /// Deadline as steady-clock nanoseconds-since-epoch; 0 = unarmed.  The
   /// epoch itself (rep 0) is unreachable on any live system.
   std::atomic<Clock::rep> deadline_ns_{0};
+  /// Optional chained token (see set_parent); null for standalone use.
+  std::shared_ptr<const CancelToken> parent_;
 };
 
 }  // namespace sma::core

@@ -252,6 +252,29 @@ SmaPipeline::PreLookup SmaPipeline::frame_precompute(
   return {pre, seconds};
 }
 
+std::shared_ptr<const surface::GeometricField> SmaPipeline::peek_geometry(
+    const imaging::ImageF& img) {
+  const GeometryCache::Key key =
+      GeometryCache::make_key(img, config_.surface_fit_radius);
+  std::scoped_lock lock(*state_mutex_);
+  GeometryCache::Entry* entry = cache_->find(key);
+  return entry != nullptr ? entry->geom : nullptr;
+}
+
+void SmaPipeline::reseed_geometry(
+    const imaging::ImageF& img,
+    const std::shared_ptr<const surface::GeometricField>& geom) {
+  if (geom == nullptr) return;
+  const GeometryCache::Key key =
+      GeometryCache::make_key(img, config_.surface_fit_radius);
+  std::scoped_lock lock(*state_mutex_);
+  if (cache_->find(key) != nullptr) return;  // still resident — no-op
+  GeometryCache::Entry entry;
+  entry.key = key;
+  entry.geom = geom;
+  cache_->insert(std::move(entry), stats_);
+}
+
 TrackResult SmaPipeline::track_pair(const TrackerInput& input) {
   return track_pair(input, nullptr);
 }
@@ -421,33 +444,81 @@ SequenceResult SmaPipeline::track_sequence(
   result.flows.reserve(seq.size() - 1);
   result.timings.reserve(seq.size() - 1);
 
-  TrajectoryTracker tracker(seeds);
-  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
-    check_cancel(cancel, "sequence_pair");
-    TrackerInput in;
-    in.intensity_before = in.surface_before = &seq[i];
-    in.intensity_after = in.surface_after = &seq[i + 1];
-    if (options_.repair) {
-      in.validity_before = &masks[i];
-      in.validity_after = &masks[i + 1];
+  // The batch path is the streaming path: push every frame through a
+  // SequenceStream (non-owning aliases — the frames outlive the loop)
+  // so the two stay bit-identical by construction.
+  SequenceStream stream(*this, seeds);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::shared_ptr<const imaging::ImageF> frame(std::shared_ptr<void>(),
+                                                 &seq[i]);
+    std::shared_ptr<const imaging::ImageU8> mask;
+    if (options_.repair)
+      mask = std::shared_ptr<const imaging::ImageU8>(std::shared_ptr<void>(),
+                                                     &masks[i]);
+    std::optional<TrackResult> r =
+        stream.push(std::move(frame), std::move(mask), cancel);
+    if (r.has_value()) {
+      result.timings.push_back(r->timings);
+      result.flows.push_back(std::move(r->flow));
     }
-    TrackResult r = track_pair(in, cancel);
-
-    // --- Stage: products (trajectory chaining).
-    const auto t0 = Clock::now();
-    obs::TraceSpan span("pipeline", "products");
-    tracker.advance(r.flow);
-    const double seconds = seconds_since(t0);
-    {
-      std::scoped_lock lock(*state_mutex_);
-      stats_.products_seconds += seconds;
-    }
-
-    result.timings.push_back(r.timings);
-    result.flows.push_back(std::move(r.flow));
   }
-  result.trajectories = tracker.trajectories();
+  result.trajectories = stream.trajectories();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// SequenceStream
+// ---------------------------------------------------------------------------
+
+SequenceStream::SequenceStream(
+    SmaPipeline& pipeline, const std::vector<std::pair<double, double>>& seeds)
+    : pipeline_(&pipeline), tracker_(seeds) {}
+
+std::optional<TrackResult> SequenceStream::push(
+    std::shared_ptr<const imaging::ImageF> frame,
+    std::shared_ptr<const imaging::ImageU8> validity,
+    const CancelToken* cancel) {
+  if (frame == nullptr)
+    throw std::invalid_argument("SequenceStream: null frame");
+  if (prev_ != nullptr && (frame->width() != prev_->width() ||
+                           frame->height() != prev_->height()))
+    throw std::invalid_argument(
+        "SequenceStream: frame dimensions changed mid-stream");
+  check_cancel(cancel, "sequence_pair");
+  ++frames_;
+  if (prev_ == nullptr) {
+    prev_ = std::move(frame);
+    prev_mask_ = std::move(validity);
+    return std::nullopt;
+  }
+
+  // Restore the previous frame's geometry if concurrent tenants evicted
+  // it since the last push — this pin is what keeps a streamed T-frame
+  // sequence at exactly T surface fits no matter what else shares the
+  // pipeline.  A no-op (and counter-neutral) when the entry is resident.
+  pipeline_->reseed_geometry(*prev_, prev_geom_);
+
+  TrackerInput in;
+  in.intensity_before = in.surface_before = prev_.get();
+  in.intensity_after = in.surface_after = frame.get();
+  in.validity_before = prev_mask_.get();
+  in.validity_after = validity.get();
+  TrackResult r = pipeline_->track_pair(in, cancel);
+
+  // --- Stage: products (trajectory chaining).
+  const auto t0 = Clock::now();
+  obs::TraceSpan span("pipeline", "products");
+  tracker_.advance(r.flow);
+  const double seconds = seconds_since(t0);
+  {
+    std::scoped_lock lock(*pipeline_->state_mutex_);
+    pipeline_->stats_.products_seconds += seconds;
+  }
+
+  prev_geom_ = pipeline_->peek_geometry(*frame);
+  prev_ = std::move(frame);
+  prev_mask_ = std::move(validity);
+  return r;
 }
 
 }  // namespace sma::core

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,6 +97,7 @@ struct PipelineStats {
 };
 
 class GeometryCache;  // pipeline.cpp
+class SequenceStream;
 
 class SmaPipeline {
  public:
@@ -162,6 +164,8 @@ class SmaPipeline {
   void clear_cache();
 
  private:
+  friend class SequenceStream;
+
   /// Per-call products of a cached geometry lookup: the field plus the
   /// seconds THIS call spent fitting (zero on a hit), so concurrent
   /// callers attribute their own work without reading global deltas.
@@ -188,6 +192,22 @@ class SmaPipeline {
       const imaging::ImageF& img,
       const std::shared_ptr<const surface::GeometricField>& geom);
 
+  /// Cache peek without touching the hit/miss counters: the geometry of
+  /// `img` if currently cached, else null.  SequenceStream pins the
+  /// previous frame's field through this so a multi-tenant cache storm
+  /// cannot force a refit between frames of one stream.
+  std::shared_ptr<const surface::GeometricField> peek_geometry(
+      const imaging::ImageF& img);
+
+  /// Re-inserts a previously peeked geometry after an eviction.  No-op
+  /// when `geom` is null or the entry is still cached, so in the
+  /// no-eviction case the documented hit/miss invariant is untouched
+  /// (no fit happens, so no miss is counted; evictions it causes are
+  /// counted as usual).
+  void reseed_geometry(
+      const imaging::ImageF& img,
+      const std::shared_ptr<const surface::GeometricField>& geom);
+
   SmaConfig config_;
   PipelineOptions options_;
   const TrackerBackend* backend_ = nullptr;  // owned by the registry
@@ -207,6 +227,56 @@ class SmaPipeline {
   /// unique_ptr so the pipeline stays movable (the registry owns
   /// mutexes); created eagerly in the constructor.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+};
+
+/// Incremental, push-one-frame-at-a-time view of track_sequence: the
+/// streaming primitive behind sma_serve's SEQ sessions, where frames
+/// arrive over a socket and the full sequence never exists in memory.
+///
+/// Each push after the first tracks the pair (previous, frame) through
+/// the shared pipeline and chains the optional seed trajectories — so a
+/// T-frame stream performs exactly the T surface fits the batch
+/// track_sequence would (the previous frame's geometry is PINNED here
+/// and reseeded into the cache if concurrent tenants evicted it).  The
+/// flows are bit-identical to both the batch path and T-1 independent
+/// track_pair calls on the same pipeline.
+///
+/// Not thread-safe: one stream is one logical caller (the serving layer
+/// runs at most one in-flight frame per session).  The underlying
+/// pipeline may be shared with concurrent callers as usual.
+class SequenceStream {
+ public:
+  explicit SequenceStream(
+      SmaPipeline& pipeline,
+      const std::vector<std::pair<double, double>>& seeds = {});
+
+  /// Pushes the next frame (with an optional validity mask from the
+  /// repair layer).  Returns nullopt for the first frame — no pair
+  /// exists yet — and the TrackResult of (previous, frame) afterwards.
+  /// Throws std::invalid_argument on a null frame or a dimension change
+  /// mid-stream, and CancelledError via the usual checkpoints.  The
+  /// frame pointer is retained until the next push.
+  std::optional<TrackResult> push(
+      std::shared_ptr<const imaging::ImageF> frame,
+      std::shared_ptr<const imaging::ImageU8> validity = nullptr,
+      const CancelToken* cancel = nullptr);
+
+  /// Frames accepted so far (pairs tracked == frames_pushed() - 1).
+  std::size_t frames_pushed() const { return frames_; }
+
+  /// Trajectories of the seeds through every pair pushed so far.
+  const std::vector<Trajectory>& trajectories() const {
+    return tracker_.trajectories();
+  }
+
+ private:
+  SmaPipeline* pipeline_;
+  TrajectoryTracker tracker_;
+  std::size_t frames_ = 0;
+  std::shared_ptr<const imaging::ImageF> prev_;
+  std::shared_ptr<const imaging::ImageU8> prev_mask_;
+  /// Pin on the previous frame's fitted geometry (see push()).
+  std::shared_ptr<const surface::GeometricField> prev_geom_;
 };
 
 }  // namespace sma::core

@@ -1,5 +1,6 @@
 #include "imaging/flow.hpp"
 
+#include <cstdio>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -68,14 +69,29 @@ void write_flow_text(const FlowField& flow, const std::string& path,
 }
 
 void write_flow_text(const FlowField& flow, std::ostream& out, int stride) {
-  out << "# width " << flow.width() << " height " << flow.height()
-      << " stride " << stride << "\n";
+  // snprintf into one buffer, one write: a dense field is ~100k
+  // formatted numbers and per-field ostream insertion (locale lookups,
+  // sentry construction) costs several ms per frame — real money when
+  // the serve daemon serializes one of these per tracked pair.  "%g"
+  // matches ostream's defaultfloat/precision-6 byte for byte.
+  std::string buf;
+  buf.reserve(static_cast<std::size_t>(flow.width()) * flow.height() * 24 /
+                  (stride * stride) +
+              64);
+  char line[128];
+  int n = std::snprintf(line, sizeof(line), "# width %d height %d stride %d\n",
+                        flow.width(), flow.height(), stride);
+  buf.append(line, static_cast<std::size_t>(n));
   for (int y = 0; y < flow.height(); y += stride)
     for (int x = 0; x < flow.width(); x += stride) {
       const FlowVector f = flow.at(x, y);
-      out << x << ' ' << y << ' ' << f.u << ' ' << f.v << ' ' << f.error
-          << ' ' << static_cast<int>(f.valid) << "\n";
+      n = std::snprintf(line, sizeof(line), "%d %d %g %g %g %d\n", x, y,
+                        static_cast<double>(f.u), static_cast<double>(f.v),
+                        static_cast<double>(f.error),
+                        static_cast<int>(f.valid));
+      buf.append(line, static_cast<std::size_t>(n));
     }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 FlowField read_flow_text(const std::string& path) {

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace sma::serve {
 
@@ -80,6 +81,28 @@ class BoundedQueue {
     return item;
   }
 
+  /// Non-blocking sweep for the batching layer: moves up to `max_n`
+  /// queued items satisfying `pred` into `out`, front to back, under a
+  /// single lock so the view is consistent.  Relative order of both the
+  /// taken and the remaining items is preserved.  Returns the count
+  /// taken (0 when the queue is empty, stopped or nothing matches).
+  template <typename Pred>
+  std::size_t try_pop_matching(Pred&& pred, std::size_t max_n,
+                               std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t taken = 0;
+    for (auto it = items_.begin(); it != items_.end() && taken < max_n;) {
+      if (pred(*it)) {
+        out.push_back(std::move(*it));
+        it = items_.erase(it);
+        ++taken;
+      } else {
+        ++it;
+      }
+    }
+    return taken;
+  }
+
   /// Wakes every popper; queued items are still drained before poppers
   /// see nullopt (graceful-drain semantics).
   void stop() {
@@ -122,6 +145,10 @@ struct AdmissionOptions {
   /// retry_after_ms hint attached to overload rejections (rate-limit
   /// rejections compute their own from the bucket state).
   int retry_after_ms = 100;
+  /// Concurrent sequence sessions the server holds open (each pins a
+  /// pipeline slot and a per-connection frame queue); 0 = unlimited.
+  /// SEQ-OPENs beyond the cap are rejected `overloaded`.
+  std::size_t max_sessions = 8;
 };
 
 }  // namespace sma::serve

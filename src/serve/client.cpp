@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -33,6 +34,11 @@ void Client::connect(const std::string& host, int port) {
     throw std::system_error(err, std::generic_category(),
                             "Client: connect " + host);
   }
+  // Request lines go out as soon as they are formatted; without
+  // TCP_NODELAY, Nagle can hold a short request behind the previous
+  // one's delayed ACK, stalling the closed loop for no reason.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 void Client::close() {
@@ -92,8 +98,7 @@ void Client::read_exact(std::string& out, std::size_t n) {
   inbox_.erase(0, n);
 }
 
-TrackResponse Client::track(const TrackRequest& request) {
-  send_all(format_request(request));
+TrackResponse Client::read_response() {
   const std::string header = read_line();
   TrackResponse resp;
   std::size_t payload_bytes = 0;
@@ -102,6 +107,36 @@ TrackResponse Client::track(const TrackRequest& request) {
                              header.substr(0, 80));
   if (payload_bytes > 0) read_exact(resp.payload, payload_bytes);
   return resp;
+}
+
+TrackResponse Client::track(const TrackRequest& request) {
+  send_all(format_request(request));
+  return read_response();
+}
+
+TrackResponse Client::seq_open(const TrackRequest& request) {
+  send_all(format_seq_open(request));
+  return read_response();
+}
+
+TrackResponse Client::seq_frame(std::uint64_t id, int width, int height,
+                                const std::vector<std::uint8_t>& frame) {
+  send_all(format_seq_frame(id, width, height, frame));
+  return read_response();
+}
+
+TrackResponse Client::seq_close(std::uint64_t id) {
+  send_all(format_seq_close(id));
+  return read_response();
+}
+
+void Client::seq_frame_send(std::uint64_t id, int width, int height,
+                            const std::vector<std::uint8_t>& frame) {
+  send_all(format_seq_frame(id, width, height, frame));
+}
+
+void Client::seq_close_send(std::uint64_t id) {
+  send_all(format_seq_close(id));
 }
 
 std::string Client::ping() {

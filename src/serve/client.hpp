@@ -33,6 +33,29 @@ class Client {
   /// malformed response framing.
   TrackResponse track(const TrackRequest& request);
 
+  /// Sequence session round-trips (one response per message; the first
+  /// frame answers msg=frame buffered, each later frame with the flow
+  /// of the previous/current pair).  `request` carries the session's
+  /// fixed config and dims; frames are empty.
+  TrackResponse seq_open(const TrackRequest& request);
+  TrackResponse seq_frame(std::uint64_t id, int width, int height,
+                          const std::vector<std::uint8_t>& frame);
+  TrackResponse seq_close(std::uint64_t id);
+
+  /// Streaming half-duplex: send a session message WITHOUT waiting for
+  /// its response.  The server processes one frame at a time and parks
+  /// the rest per session, so a caller may pump several frames ahead
+  /// and drain the (in-order) responses with read_response() — that
+  /// keeps a worker fed continuously instead of paying one client
+  /// round-trip of idle time per frame.  Responses of one session come
+  /// back in message order; callers must read exactly one response per
+  /// message sent.
+  void seq_frame_send(std::uint64_t id, int width, int height,
+                      const std::vector<std::uint8_t>& frame);
+  void seq_close_send(std::uint64_t id);
+  /// One RESP header line + its advertised payload (blocking).
+  TrackResponse read_response();
+
   /// PING round-trip; returns the response line ("PONG").
   std::string ping();
 

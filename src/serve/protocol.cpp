@@ -78,6 +78,81 @@ int hex_nibble(char c) {
   return -1;
 }
 
+/// Parses the shared TRACK / SEQ-OPEN token set into `out`.  Returns an
+/// empty string on success, the failure message otherwise.  Includes
+/// the frame-dimension cap (the allocation bound both message kinds
+/// need before any payload arrives).
+std::string parse_track_tokens(std::string_view rest, TrackRequest& out) {
+  TokenScanner scan{rest};
+  std::string_view key, value;
+  int flag = 0;
+  while (scan.next(key, value)) {
+    if (key == "id") {
+      if (!parse_u64(value, out.id)) return "bad id";
+    } else if (key == "tenant") {
+      if (value.empty()) return "empty tenant";
+      out.tenant = std::string(value);
+    } else if (key == "w") {
+      if (!parse_int(value, out.width)) return "bad w";
+    } else if (key == "h") {
+      if (!parse_int(value, out.height)) return "bad h";
+    } else if (key == "deadline_ms") {
+      if (!parse_int(value, out.deadline_ms) || out.deadline_ms < 0)
+        return "bad deadline_ms";
+    } else if (key == "model") {
+      if (value != "semi" && value != "cont")
+        return "bad model (want semi|cont)";
+      out.model = std::string(value);
+    } else if (key == "fit") {
+      if (!parse_int(value, out.fit_radius)) return "bad fit";
+    } else if (key == "search") {
+      if (!parse_int(value, out.search_radius)) return "bad search";
+    } else if (key == "template") {
+      if (!parse_int(value, out.template_radius)) return "bad template";
+    } else if (key == "nss") {
+      if (!parse_int(value, out.nss)) return "bad nss";
+    } else if (key == "nst") {
+      if (!parse_int(value, out.nst)) return "bad nst";
+    } else if (key == "subpixel") {
+      if (!parse_int(value, flag)) return "bad subpixel";
+      out.subpixel = flag != 0;
+    } else if (key == "robust") {
+      if (!parse_int(value, flag)) return "bad robust";
+      out.robust = flag != 0;
+    } else if (key == "backend") {
+      out.backend = std::string(value);
+    } else if (key == "smode") {
+      if (value != "full" && value != "pruned") return "bad smode";
+      out.search_mode = std::string(value);
+    }
+    // Unknown keys are skipped (forward compatibility).
+  }
+  if (out.width <= 0 || out.height <= 0 || out.width > kMaxFrameEdge ||
+      out.height > kMaxFrameEdge)
+    return "bad frame dimensions";
+  return {};
+}
+
+/// Writes the shared TRACK / SEQ-OPEN token set (no leading verb).
+void write_track_tokens(std::ostringstream& out, const TrackRequest& req) {
+  out << " id=" << req.id << " tenant=" << req.tenant << " w=" << req.width
+      << " h=" << req.height << " deadline_ms=" << req.deadline_ms
+      << " model=" << req.model << " fit=" << req.fit_radius
+      << " search=" << req.search_radius
+      << " template=" << req.template_radius << " nss=" << req.nss
+      << " nst=" << req.nst << " subpixel=" << (req.subpixel ? 1 : 0)
+      << " robust=" << (req.robust ? 1 : 0);
+  if (!req.backend.empty()) out << " backend=" << req.backend;
+  if (!req.search_mode.empty() && req.search_mode != "full")
+    out << " smode=" << req.search_mode;
+}
+
+/// True when `line` is `verb` alone or `verb` followed by a space.
+bool has_verb(const std::string& line, std::string_view verb) {
+  if (line.rfind(verb, 0) != 0) return false;
+  return line.size() == verb.size() || line[verb.size()] == ' ';
+}
+
 }  // namespace
 
 const char* outcome_name(Outcome outcome) {
@@ -113,19 +188,33 @@ std::string TrackRequest::config_signature() const {
 
 std::string format_request(const TrackRequest& req) {
   std::ostringstream out;
-  out << "TRACK id=" << req.id << " tenant=" << req.tenant
-      << " w=" << req.width << " h=" << req.height
-      << " deadline_ms=" << req.deadline_ms << " model=" << req.model
-      << " fit=" << req.fit_radius << " search=" << req.search_radius
-      << " template=" << req.template_radius << " nss=" << req.nss
-      << " nst=" << req.nst << " subpixel=" << (req.subpixel ? 1 : 0)
-      << " robust=" << (req.robust ? 1 : 0);
-  if (!req.backend.empty()) out << " backend=" << req.backend;
-  if (!req.search_mode.empty() && req.search_mode != "full")
-    out << " smode=" << req.search_mode;
+  out << "TRACK";
+  write_track_tokens(out, req);
   out << "\n"
       << hex_encode(req.before.data(), req.before.size()) << "\n"
       << hex_encode(req.after.data(), req.after.size()) << "\n";
+  return out.str();
+}
+
+std::string format_seq_open(const TrackRequest& req) {
+  std::ostringstream out;
+  out << "SEQ-OPEN";
+  write_track_tokens(out, req);
+  out << "\n";
+  return out.str();
+}
+
+std::string format_seq_frame(std::uint64_t id, int width, int height,
+                             const std::vector<std::uint8_t>& frame) {
+  std::ostringstream out;
+  out << "SEQ-FRAME id=" << id << " w=" << width << " h=" << height << "\n"
+      << hex_encode(frame.data(), frame.size()) << "\n";
+  return out.str();
+}
+
+std::string format_seq_close(std::uint64_t id) {
+  std::ostringstream out;
+  out << "SEQ-CLOSE id=" << id << "\n";
   return out.str();
 }
 
@@ -241,64 +330,78 @@ RequestParser::Event RequestParser::next(TrackRequest& request) {
         if (line == "PING") return Event::kPing;
         if (line == "STATS") return Event::kStats;
         if (line == "QUIT") return Event::kQuit;
-        if (line.rfind("TRACK", 0) != 0 ||
-            (line.size() > 5 && line[5] != ' '))
-          return fail("unknown command: " + line.substr(0, 32));
 
-        partial_ = TrackRequest{};
-        TokenScanner scan{std::string_view(line).substr(5)};
-        std::string_view key, value;
-        int flag = 0;
-        while (scan.next(key, value)) {
-          if (key == "id") {
-            if (!parse_u64(value, partial_.id)) return fail("bad id");
-          } else if (key == "tenant") {
-            if (value.empty()) return fail("empty tenant");
-            partial_.tenant = std::string(value);
-          } else if (key == "w") {
-            if (!parse_int(value, partial_.width)) return fail("bad w");
-          } else if (key == "h") {
-            if (!parse_int(value, partial_.height)) return fail("bad h");
-          } else if (key == "deadline_ms") {
-            if (!parse_int(value, partial_.deadline_ms) ||
-                partial_.deadline_ms < 0)
-              return fail("bad deadline_ms");
-          } else if (key == "model") {
-            if (value != "semi" && value != "cont")
-              return fail("bad model (want semi|cont)");
-            partial_.model = std::string(value);
-          } else if (key == "fit") {
-            if (!parse_int(value, partial_.fit_radius)) return fail("bad fit");
-          } else if (key == "search") {
-            if (!parse_int(value, partial_.search_radius))
-              return fail("bad search");
-          } else if (key == "template") {
-            if (!parse_int(value, partial_.template_radius))
-              return fail("bad template");
-          } else if (key == "nss") {
-            if (!parse_int(value, partial_.nss)) return fail("bad nss");
-          } else if (key == "nst") {
-            if (!parse_int(value, partial_.nst)) return fail("bad nst");
-          } else if (key == "subpixel") {
-            if (!parse_int(value, flag)) return fail("bad subpixel");
-            partial_.subpixel = flag != 0;
-          } else if (key == "robust") {
-            if (!parse_int(value, flag)) return fail("bad robust");
-            partial_.robust = flag != 0;
-          } else if (key == "backend") {
-            partial_.backend = std::string(value);
-          } else if (key == "smode") {
-            if (value != "full" && value != "pruned")
-              return fail("bad smode");
-            partial_.search_mode = std::string(value);
-          }
-          // Unknown keys are skipped (forward compatibility).
+        if (has_verb(line, "TRACK")) {
+          partial_ = TrackRequest{};
+          const std::string err =
+              parse_track_tokens(std::string_view(line).substr(5), partial_);
+          if (!err.empty()) return fail(err);
+          state_ = State::kBefore;
+          continue;
         }
-        if (partial_.width <= 0 || partial_.height <= 0 ||
-            partial_.width > kMaxFrameEdge || partial_.height > kMaxFrameEdge)
-          return fail("bad frame dimensions");
-        state_ = State::kBefore;
-        continue;
+
+        if (has_verb(line, "SEQ-OPEN")) {
+          partial_ = TrackRequest{};
+          const std::string err =
+              parse_track_tokens(std::string_view(line).substr(8), partial_);
+          if (!err.empty()) return fail(err);
+          request = std::move(partial_);
+          partial_ = TrackRequest{};
+          return Event::kSeqOpen;
+        }
+
+        if (has_verb(line, "SEQ-FRAME")) {
+          partial_ = TrackRequest{};
+          TokenScanner scan{std::string_view(line).substr(9)};
+          std::string_view key, value;
+          while (scan.next(key, value)) {
+            if (key == "id") {
+              if (!parse_u64(value, partial_.id)) return fail("bad id");
+            } else if (key == "w") {
+              if (!parse_int(value, partial_.width)) return fail("bad w");
+            } else if (key == "h") {
+              if (!parse_int(value, partial_.height)) return fail("bad h");
+            }
+            // Unknown keys are skipped (forward compatibility).
+          }
+          if (partial_.width <= 0 || partial_.height <= 0 ||
+              partial_.width > kMaxFrameEdge ||
+              partial_.height > kMaxFrameEdge)
+            return fail("bad frame dimensions");
+          state_ = State::kSeqPayload;
+          continue;
+        }
+
+        if (has_verb(line, "SEQ-CLOSE")) {
+          partial_ = TrackRequest{};
+          TokenScanner scan{std::string_view(line).substr(9)};
+          std::string_view key, value;
+          while (scan.next(key, value)) {
+            if (key == "id") {
+              if (!parse_u64(value, partial_.id)) return fail("bad id");
+            }
+          }
+          request = std::move(partial_);
+          partial_ = TrackRequest{};
+          return Event::kSeqClose;
+        }
+
+        return fail("unknown command: " + line.substr(0, 32));
+      }
+
+      case State::kSeqPayload: {
+        const std::size_t want =
+            2 * static_cast<std::size_t>(partial_.width) * partial_.height;
+        if (!take_line(line)) {
+          if (buffer_.size() > want + 2) return fail("payload line too long");
+          return Event::kNeedMore;
+        }
+        if (line.size() != want) return fail("payload length mismatch");
+        if (!hex_decode(line, partial_.before)) return fail("payload not hex");
+        state_ = State::kHeader;
+        request = std::move(partial_);
+        partial_ = TrackRequest{};
+        return Event::kSeqFrame;
       }
 
       case State::kBefore:

@@ -18,6 +18,25 @@
 //
 //   PING\n | STATS\n | QUIT\n  (single-line commands)
 //
+// Sequence sessions (client -> server) stream a tenant's frames through
+// one pinned pipeline session so each frame is fitted once and seed
+// trajectories chain across pairs (core::SequenceStream):
+//
+//   SEQ-OPEN id=1 tenant=goes w=64 h=64 deadline_ms=0 model=semi ...
+//                              (same tokens as TRACK; no payload lines)
+//   SEQ-FRAME id=2 w=64 h=64
+//   <2*w*h hex chars>\n        (one frame, row-major u8)
+//   SEQ-CLOSE id=9
+//
+// Every SEQ message is answered with one RESP: SEQ-OPEN/SEQ-CLOSE with
+// an empty payload, the first SEQ-FRAME with msg=frame buffered (no
+// pair yet), and each later SEQ-FRAME with the flow of (previous,
+// frame) — bit-identical to the one-shot TRACK of the same pair.  The
+// parser stays SESSIONLESS (each SEQ-FRAME carries its own dims, capped
+// like TRACK's); open/close bookkeeping lives in the server, which
+// answers out-of-session frames with outcome=error code=protocol while
+// keeping the connection usable.
+//
 // Response (server -> client):
 //
 //   RESP id=7 outcome=ok code=ok retry_after_ms=0 valid=3844 total=4096
@@ -115,6 +134,17 @@ struct TrackResponse {
 /// Serializes a request: header line + two hex payload lines.
 std::string format_request(const TrackRequest& req);
 
+/// Serializes a SEQ-OPEN: the TRACK token set (dims = the session's
+/// fixed frame shape), no payload lines.
+std::string format_seq_open(const TrackRequest& req);
+
+/// Serializes a SEQ-FRAME: header + one hex payload line.
+std::string format_seq_frame(std::uint64_t id, int width, int height,
+                             const std::vector<std::uint8_t>& frame);
+
+/// Serializes a SEQ-CLOSE line.
+std::string format_seq_close(std::uint64_t id);
+
 /// Serializes a response: header line + payload bytes.
 std::string format_response(const TrackResponse& resp);
 
@@ -136,12 +166,26 @@ bool hex_decode(std::string_view hex, std::vector<std::uint8_t>& out);
 /// answers with a protocol error and closes the connection).
 class RequestParser {
  public:
-  enum class Event { kNeedMore, kTrack, kPing, kStats, kQuit, kError };
+  enum class Event {
+    kNeedMore,
+    kTrack,
+    kPing,
+    kStats,
+    kQuit,
+    /// SEQ-OPEN: `request` carries the session config (frames empty).
+    kSeqOpen,
+    /// SEQ-FRAME: `request` carries id, dims and the frame in `before`.
+    kSeqFrame,
+    /// SEQ-CLOSE: `request` carries the id only.
+    kSeqClose,
+    kError,
+  };
 
   void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
 
-  /// Extracts the next complete message.  On kTrack, `request` holds the
-  /// parsed request; on kError, error() describes the problem.
+  /// Extracts the next complete message.  On kTrack / the kSeq events,
+  /// `request` holds the parsed fields; on kError, error() describes
+  /// the problem.
   Event next(TrackRequest& request);
 
   const std::string& error() const { return error_; }
@@ -150,7 +194,7 @@ class RequestParser {
   std::size_t pending() const { return buffer_.size(); }
 
  private:
-  enum class State { kHeader, kBefore, kAfter, kPoisoned };
+  enum class State { kHeader, kBefore, kAfter, kSeqPayload, kPoisoned };
 
   Event fail(std::string message);
   bool take_line(std::string& line);

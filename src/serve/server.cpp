@@ -4,12 +4,14 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
@@ -51,6 +53,19 @@ struct Server::Connection {
   /// Chaos slow-read mode caps bytes consumed per IO pass.
   bool throttled = false;
 
+  /// The connection's open sequence session (at most one).  The server
+  /// serializes frames per session: exactly one frame job in flight
+  /// (seq_busy), later arrivals parked in seq_pending.  The invariant
+  /// `seq_pending nonempty => seq_busy => a frame is in flight` keeps
+  /// the drain predicate (submitted_ == completed_) sufficient.
+  std::shared_ptr<SeqSession> session;
+  std::deque<Job> seq_pending;
+  bool seq_busy = false;
+  /// SEQ-CLOSE received; its response is deferred until the stream
+  /// idles (finish_close).
+  bool seq_closing = false;
+  std::uint64_t seq_close_id = 0;
+
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
@@ -88,10 +103,11 @@ Server::Server(ServeOptions options)
         {
           std::lock_guard<std::mutex> lock(completions_mutex_);
           completions_.push_back(Completion{job.conn_id, job.request.tenant,
-                                            std::move(response)});
+                                            job.kind, std::move(response)});
         }
         wake();
-      });
+      },
+      BatchOptions{options_.batching, options_.batch_max}, &metrics_);
 }
 
 Server::~Server() {
@@ -203,10 +219,13 @@ void Server::io_pass(int timeout_ms) {
   // Close connections whose flush finished.
   for (auto it = conns_.begin(); it != conns_.end();) {
     Connection& c = *it->second;
-    if (c.close_after_flush && c.outbox.empty())
+    if (c.close_after_flush && c.outbox.empty()) {
+      // QUIT / protocol-error close: the session slot must not leak.
+      abort_session(c, ServeError::kShutdown, "connection closed");
       it = conns_.erase(it);
-    else
+    } else {
       ++it;
+    }
   }
 
   std::vector<pollfd> fds;
@@ -267,6 +286,12 @@ void Server::accept_ready() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN, or a racing drain closed the listener
     set_nonblocking(fd);
+    // Responses are written header-then-payload as the outbox drains;
+    // without TCP_NODELAY, Nagle holds the small trailing segment until
+    // the client ACKs (delayed up to 40ms) — a pure-idle stall per
+    // message that dwarfs the compute on short requests.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
@@ -330,6 +355,15 @@ bool Server::handle_message(Connection& conn, RequestParser::Event event,
     }
     case RequestParser::Event::kTrack:
       admit(conn, std::move(request));
+      return true;
+    case RequestParser::Event::kSeqOpen:
+      seq_open(conn, std::move(request));
+      return true;
+    case RequestParser::Event::kSeqFrame:
+      seq_frame(conn, std::move(request));
+      return true;
+    case RequestParser::Event::kSeqClose:
+      seq_close(conn, request.id);
       return true;
     case RequestParser::Event::kNeedMore:
       return false;
@@ -406,6 +440,209 @@ void Server::account(const TrackResponse& response,
       .inc();
 }
 
+void Server::seq_error(Connection& conn, std::uint64_t id,
+                       const std::string& tenant,
+                       const std::string& message) {
+  metrics_.counter("serve.protocol_errors").inc();
+  TrackResponse resp;
+  resp.id = id;
+  resp.outcome = Outcome::kError;
+  resp.code = ServeError::kProtocol;
+  resp.message = message;
+  account(resp, tenant);
+  conn.outbox += format_response(resp);
+}
+
+void Server::seq_open(Connection& conn, TrackRequest request) {
+  metrics_.counter("serve.requests_total").inc();
+  metrics_.counter("serve.tenant." + request.tenant + ".requests").inc();
+  const std::uint64_t id = request.id;
+  const std::string tenant = request.tenant;
+
+  if (draining_) {
+    reject(conn, id, tenant, ServeError::kShutdown,
+           options_.admission.retry_after_ms);
+    return;
+  }
+  if (conn.session != nullptr) {
+    seq_error(conn, id, tenant, "session already open on this connection");
+    return;
+  }
+  if (options_.admission.max_sessions > 0 &&
+      open_sessions_ >= options_.admission.max_sessions) {
+    reject(conn, id, tenant, ServeError::kOverloaded,
+           options_.admission.retry_after_ms);
+    return;
+  }
+
+  // The token bucket charges the OPEN only; the session's frames ride
+  // on that admission (they are serialized anyway).
+  if (options_.admission.tenant_rate > 0.0) {
+    auto [it, inserted] = buckets_.try_emplace(
+        tenant, options_.admission.tenant_rate,
+        options_.admission.tenant_burst);
+    const auto now = TokenBucket::Clock::now();
+    if (!it->second.try_acquire(now)) {
+      reject(conn, id, tenant, ServeError::kRateLimited,
+             std::max(1, it->second.millis_until_available(now)));
+      return;
+    }
+  }
+
+  TrackResponse resp;
+  resp.id = id;
+  try {
+    core::SmaPipeline& pipeline = pipelines_.pipeline_for(request);
+    conn.session = std::make_shared<SeqSession>(std::move(request), pipeline);
+    ++open_sessions_;
+    resp.outcome = Outcome::kOk;
+    resp.code = ServeError::kOk;
+    resp.message = "session open";
+  } catch (const std::exception& e) {
+    resp.outcome = Outcome::kError;
+    resp.code = classify_exception(e);
+    resp.message = e.what();
+  }
+  account(resp, tenant);
+  conn.outbox += format_response(resp);
+}
+
+void Server::seq_frame(Connection& conn, TrackRequest request) {
+  metrics_.counter("serve.requests_total").inc();
+  const std::string tenant =
+      conn.session != nullptr ? conn.session->config.tenant : request.tenant;
+  metrics_.counter("serve.tenant." + tenant + ".requests").inc();
+  const std::uint64_t id = request.id;
+
+  if (conn.session == nullptr) {
+    seq_error(conn, id, tenant, "no open session");
+    return;
+  }
+  if (conn.seq_closing) {
+    seq_error(conn, id, tenant, "frame after close");
+    return;
+  }
+  if (request.width != conn.session->config.width ||
+      request.height != conn.session->config.height) {
+    seq_error(conn, id, tenant, "frame dimensions mismatch session");
+    return;
+  }
+  if (draining_) {
+    reject(conn, id, tenant, ServeError::kShutdown,
+           options_.admission.retry_after_ms);
+    return;
+  }
+
+  Job job;
+  job.kind = JobKind::kSeqFrame;
+  job.conn_id = conn.id;
+  job.session = conn.session;
+  job.cancel = std::make_shared<core::CancelToken>();
+  // Per-frame deadline chained to the session-wide control token — the
+  // parent link is set before the token crosses threads.
+  job.cancel->set_parent(conn.session->control);
+  const int deadline_ms = conn.session->config.deadline_ms > 0
+                              ? conn.session->config.deadline_ms
+                              : options_.default_deadline_ms;
+  if (deadline_ms > 0)
+    job.cancel->set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  job.admitted_at = std::chrono::steady_clock::now();
+  request.tenant = tenant;
+  job.request = std::move(request);
+
+  if (conn.seq_busy) {
+    // One frame in flight per session; park the rest, bounded like the
+    // worker queue.
+    if (conn.seq_pending.size() >= options_.admission.queue_capacity) {
+      reject(conn, id, tenant, ServeError::kOverloaded,
+             options_.admission.retry_after_ms);
+      return;
+    }
+    conn.seq_pending.push_back(std::move(job));
+    return;
+  }
+  if (!pool_->submit(std::move(job))) {
+    // The pool cannot take the frame: this frame is lost, so the pair
+    // chain is broken — reject it and abort the session rather than
+    // silently skipping a frame.
+    reject(conn, id, tenant, ServeError::kOverloaded,
+           options_.admission.retry_after_ms);
+    abort_session(conn, ServeError::kOverloaded, "session aborted: overload");
+    return;
+  }
+  ++submitted_;
+  conn.seq_busy = true;
+}
+
+void Server::seq_close(Connection& conn, std::uint64_t id) {
+  metrics_.counter("serve.requests_total").inc();
+  const std::string tenant =
+      conn.session != nullptr ? conn.session->config.tenant : "default";
+  metrics_.counter("serve.tenant." + tenant + ".requests").inc();
+
+  if (conn.session == nullptr) {
+    seq_error(conn, id, tenant, "no open session");  // covers double-close
+    return;
+  }
+  if (conn.seq_closing) {
+    seq_error(conn, id, tenant, "session already closing");
+    return;
+  }
+  conn.seq_closing = true;
+  conn.seq_close_id = id;
+  if (!conn.seq_busy) finish_close(conn);
+}
+
+void Server::abort_session(Connection& conn, ServeError code,
+                           const std::string& message) {
+  if (conn.session == nullptr) return;
+  // Cancelling the control token unwinds a still-running in-flight
+  // frame at its next checkpoint; its completion is accounted normally.
+  conn.session->control->cancel();
+  for (Job& pending : conn.seq_pending) {
+    TrackResponse resp;
+    resp.id = pending.request.id;
+    resp.outcome = Outcome::kRejected;
+    resp.code = code;
+    resp.retry_after_ms = options_.admission.retry_after_ms;
+    resp.message = message;
+    metrics_.counter(std::string("serve.rejected.") + serve_error_name(code))
+        .inc();
+    account(resp, pending.request.tenant);
+    conn.outbox += format_response(resp);
+  }
+  conn.seq_pending.clear();
+  if (conn.seq_closing) {
+    TrackResponse resp;
+    resp.id = conn.seq_close_id;
+    resp.outcome = Outcome::kRejected;
+    resp.code = code;
+    resp.message = message;
+    metrics_.counter(std::string("serve.rejected.") + serve_error_name(code))
+        .inc();
+    account(resp, conn.session->config.tenant);
+    conn.outbox += format_response(resp);
+    conn.seq_closing = false;
+  }
+  conn.session.reset();
+  --open_sessions_;
+}
+
+void Server::finish_close(Connection& conn) {
+  TrackResponse resp;
+  resp.id = conn.seq_close_id;
+  resp.outcome = Outcome::kOk;
+  resp.code = ServeError::kOk;
+  // Not busy, so no worker touches the stream: reading it is safe.
+  resp.message = "session closed frames=" +
+                 std::to_string(conn.session->stream.frames_pushed());
+  account(resp, conn.session->config.tenant);
+  conn.outbox += format_response(resp);
+  conn.seq_closing = false;
+  conn.session.reset();
+  --open_sessions_;
+}
+
 void Server::process_completions() {
   std::vector<Completion> batch;
   {
@@ -421,6 +658,39 @@ void Server::process_completions() {
     // A vanished connection drops the bytes, never the accounting.
     if (it != conns_.end())
       it->second->outbox += format_response(comp.response);
+
+    if (comp.kind != JobKind::kSeqFrame || it == conns_.end()) continue;
+    // Session pump: the in-flight slot just freed.  A failed frame
+    // (deadline / error) aborts the whole session — the pair chain is
+    // broken — otherwise the next parked frame goes out, or a deferred
+    // close resolves.  The connection closing mid-stream was already
+    // handled in close_connection (the completion found no conn).
+    Connection& conn = *it->second;
+    conn.seq_busy = false;
+    if (conn.session == nullptr) continue;
+    const bool failed = comp.response.outcome == Outcome::kDeadline ||
+                        comp.response.outcome == Outcome::kError;
+    if (failed) {
+      abort_session(conn, ServeError::kShutdown, "session aborted");
+    } else if (draining_) {
+      abort_session(conn, ServeError::kShutdown, "shutting down");
+    } else if (!conn.seq_pending.empty()) {
+      Job next = std::move(conn.seq_pending.front());
+      conn.seq_pending.pop_front();
+      const std::uint64_t next_id = next.request.id;
+      const std::string next_tenant = next.request.tenant;
+      if (pool_->submit(std::move(next))) {
+        ++submitted_;
+        conn.seq_busy = true;
+      } else {
+        reject(conn, next_id, next_tenant, ServeError::kOverloaded,
+               options_.admission.retry_after_ms);
+        abort_session(conn, ServeError::kOverloaded,
+                      "session aborted: overload");
+      }
+    } else if (conn.seq_closing) {
+      finish_close(conn);
+    }
   }
   metrics_.gauge("serve.queue_depth")
       .set(static_cast<double>(pool_->queue_depth()));
@@ -429,7 +699,14 @@ void Server::process_completions() {
 }
 
 void Server::close_connection(std::uint64_t conn_id) {
-  conns_.erase(conn_id);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // A dying connection takes its session with it: pending frames and a
+  // deferred close are accounted as rejected (bytes go nowhere — the
+  // accounting is the contract), the in-flight frame is cancelled via
+  // the control token and completes later against a vanished conn_id.
+  abort_session(*it->second, ServeError::kShutdown, "connection closed");
+  conns_.erase(it);
 }
 
 double Server::outcome_count(Outcome outcome) {
@@ -465,7 +742,13 @@ std::string Server::stats_line() {
       << " dedup_misses=" << frames_.misses()
       << " pipelines=" << pipelines_.pipeline_count()
       << " geometry_hits=" << agg.cache_hits
-      << " surface_fits=" << agg.surface_fits << " p50_ms=" << p50 * 1000.0
+      << " surface_fits=" << agg.surface_fits
+      << " open_sessions=" << open_sessions_
+      << " batch_sweeps=" << static_cast<long>(value("serve.batch.sweeps"))
+      << " batches=" << static_cast<long>(value("serve.batch.batches"))
+      << " batched=" << static_cast<long>(value("serve.batch.batched_requests"))
+      << " coalesced=" << static_cast<long>(value("serve.batch.coalesce_hits"))
+      << " p50_ms=" << p50 * 1000.0
       << " p99_ms=" << p99 * 1000.0 << "\n";
   return out.str();
 }

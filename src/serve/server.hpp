@@ -66,6 +66,12 @@ struct ServeOptions {
   std::string metrics_path;
   /// Grace for flushing response buffers after the last job completes.
   int drain_flush_ms = 2000;
+  /// Cross-request batching: workers sweep queued TRACKs sharing a
+  /// pipeline key and before frame and run them together (see
+  /// worker_pool.hpp).  Off = every job processed individually.
+  bool batching = true;
+  /// Jobs one batch sweep runs together, leader included.
+  std::size_t batch_max = 8;
 };
 
 class Server {
@@ -113,6 +119,7 @@ class Server {
   struct Completion {
     std::uint64_t conn_id = 0;
     std::string tenant;
+    JobKind kind = JobKind::kTrack;
     TrackResponse response;
   };
 
@@ -132,6 +139,22 @@ class Server {
   void close_connection(std::uint64_t conn_id);
   void wake() noexcept;
   void flush_metrics();
+
+  // Sequence-session lifecycle (IO thread only).  Every SEQ message is
+  // counted in serve.requests_total and resolves to exactly one outcome,
+  // like a TRACK; a session abort releases the slot exactly once.
+  void seq_open(Connection& conn, TrackRequest request);
+  void seq_frame(Connection& conn, TrackRequest request);
+  void seq_close(Connection& conn, std::uint64_t id);
+  /// Out-of-session SEQ misuse: outcome=error code=protocol, connection
+  /// stays usable.
+  void seq_error(Connection& conn, std::uint64_t id,
+                 const std::string& tenant, const std::string& message);
+  /// Tears the session down: cancels the control token, flushes pending
+  /// frames (and a pending close) as rejected, releases the slot.
+  void abort_session(Connection& conn, ServeError code,
+                     const std::string& message);
+  void finish_close(Connection& conn);
 
   ServeOptions options_;
   obs::MetricsRegistry metrics_;
@@ -155,6 +178,9 @@ class Server {
   std::uint64_t next_conn_id_ = 1;
   std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
   std::map<std::string, TokenBucket> buckets_;
+  /// Open sequence sessions (IO thread only; capped by
+  /// admission.max_sessions).
+  std::size_t open_sessions_ = 0;
 
   /// TRACKs handed to the pool minus completions processed — maintained
   /// only on the IO thread, so the drain-done check cannot race a

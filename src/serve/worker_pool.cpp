@@ -24,10 +24,16 @@ core::SmaConfig PipelineManager::config_from(const TrackRequest& request) {
   return config;
 }
 
+std::string PipelineManager::pipeline_key(const TrackRequest& request) const {
+  const std::string backend =
+      request.backend.empty() ? default_backend_ : request.backend;
+  return request.config_signature() + ";backend=" + backend;
+}
+
 core::SmaPipeline& PipelineManager::pipeline_for(const TrackRequest& request) {
   const std::string backend =
       request.backend.empty() ? default_backend_ : request.backend;
-  const std::string key = request.config_signature() + ";backend=" + backend;
+  const std::string key = pipeline_key(request);
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = pipelines_.find(key);
@@ -75,9 +81,20 @@ core::PipelineStats PipelineManager::aggregate_stats() const {
 
 WorkerPool::WorkerPool(std::size_t workers, std::size_t queue_capacity,
                        PipelineManager& pipelines, FrameStore& frames,
-                       const ChaosEngine& chaos, Completion on_complete)
+                       const ChaosEngine& chaos, Completion on_complete,
+                       BatchOptions batching, obs::MetricsRegistry* metrics)
     : pipelines_(pipelines), frames_(frames), chaos_(chaos),
-      on_complete_(std::move(on_complete)), queue_(queue_capacity) {
+      on_complete_(std::move(on_complete)), queue_(queue_capacity),
+      batching_(batching) {
+  if (batching_.max_batch < 1) batching_.max_batch = 1;
+  if (metrics != nullptr) {
+    batch_size_hist_ =
+        &metrics->histogram("serve.batch.size", {1.0, 2.0, 4.0, 8.0, 16.0});
+    batch_sweeps_ = &metrics->counter("serve.batch.sweeps");
+    batch_batches_ = &metrics->counter("serve.batch.batches");
+    batch_members_ = &metrics->counter("serve.batch.batched_requests");
+    batch_coalesce_ = &metrics->counter("serve.batch.coalesce_hits");
+  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     threads_.emplace_back([this] { worker_main(); });
@@ -97,6 +114,10 @@ void WorkerPool::drain() {
 
 void WorkerPool::worker_main() {
   while (auto job = queue_.pop()) {
+    if (batching_.enabled && batch_eligible(*job)) {
+      run_batch(std::move(*job));
+      continue;
+    }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     TrackResponse response = process(*job);
     if (on_complete_) on_complete_(*job, std::move(response));
@@ -104,7 +125,95 @@ void WorkerPool::worker_main() {
   }
 }
 
+bool WorkerPool::batch_eligible(const Job& job) const {
+  return job.kind == JobKind::kTrack && !chaos_.stall(job.request.id) &&
+         !chaos_.corrupt_frames(job.request.id);
+}
+
+void WorkerPool::run_batch(Job leader) {
+  const std::string key = pipelines_.pipeline_key(leader.request);
+
+  // Sweep queued TRACKs that would run on the same pipeline with the
+  // same interned before frame — the work the leader's surface fit
+  // already covers.  Byte-equality of `before` implies FrameStore
+  // interning maps them to the same canonical frame.
+  std::vector<Job> members;
+  if (batching_.max_batch > 1) {
+    queue_.try_pop_matching(
+        [&](const Job& j) {
+          return j.kind == JobKind::kTrack && batch_eligible(j) &&
+                 j.request.width == leader.request.width &&
+                 j.request.height == leader.request.height &&
+                 j.request.before == leader.request.before &&
+                 pipelines_.pipeline_key(j.request) == key;
+        },
+        batching_.max_batch - 1, members);
+  }
+
+  in_flight_.fetch_add(1 + members.size(), std::memory_order_relaxed);
+  if (batch_sweeps_ != nullptr) batch_sweeps_->inc();
+  // Every eligible pop is one observation, so the size histogram also
+  // records the unbatched (size 1) baseline.
+  if (batch_size_hist_ != nullptr)
+    batch_size_hist_->observe(1.0 + static_cast<double>(members.size()));
+  if (!members.empty()) {
+    if (batch_batches_ != nullptr) batch_batches_->inc();
+    if (batch_members_ != nullptr)
+      batch_members_->inc(static_cast<double>(members.size()));
+  }
+
+  TrackResponse lead_resp = process(leader);
+
+  // Members whose after frame also matches coalesce onto the leader's
+  // flow: the pipeline is deterministic, so equal (config, before,
+  // after) means byte-equal payloads.  A member with an expired
+  // deadline still fails as `deadline` — coalescing must not resurrect
+  // a request admission would have killed.
+  std::vector<std::pair<Job*, TrackResponse>> member_resps;
+  member_resps.reserve(members.size());
+  for (Job& m : members) {
+    const bool coalesce = lead_resp.outcome == Outcome::kOk &&
+                          m.request.after == leader.request.after &&
+                          (m.cancel == nullptr || !m.cancel->expired());
+    if (coalesce) {
+      TrackResponse resp = lead_resp;
+      resp.id = m.request.id;
+      resp.message = "coalesced";
+      if (batch_coalesce_ != nullptr) batch_coalesce_->inc();
+      member_resps.emplace_back(&m, std::move(resp));
+    } else {
+      member_resps.emplace_back(&m, process(m));
+    }
+  }
+
+  // Leader first: its completion carries the batch's fresh result, and
+  // ordered delivery keeps per-connection response order stable when a
+  // member shares the leader's connection.
+  if (on_complete_) {
+    on_complete_(leader, std::move(lead_resp));
+    for (auto& [job, resp] : member_resps)
+      on_complete_(*job, std::move(resp));
+  }
+  in_flight_.fetch_sub(1 + members.size(), std::memory_order_relaxed);
+}
+
+WorkerPool::BatchStats WorkerPool::batch_stats() const {
+  BatchStats stats;
+  if (batch_sweeps_ != nullptr) stats.sweeps = batch_sweeps_->value();
+  if (batch_batches_ != nullptr) stats.batches = batch_batches_->value();
+  if (batch_members_ != nullptr)
+    stats.batched_requests = batch_members_->value();
+  if (batch_coalesce_ != nullptr)
+    stats.coalesce_hits = batch_coalesce_->value();
+  return stats;
+}
+
 TrackResponse WorkerPool::process(const Job& job) {
+  return job.kind == JobKind::kSeqFrame ? process_seq_frame(job)
+                                        : process_track(job);
+}
+
+TrackResponse WorkerPool::process_track(const Job& job) {
   const auto start = std::chrono::steady_clock::now();
   const TrackRequest& req = job.request;
   const core::CancelToken* cancel = job.cancel.get();
@@ -187,6 +296,85 @@ TrackResponse WorkerPool::process(const Job& job) {
     resp.payload = payload.str();
     return finish(degraded ? Outcome::kDegraded : Outcome::kOk,
                   ServeError::kOk, degraded ? "repair engaged" : "");
+  } catch (const core::CancelledError& e) {
+    return finish(Outcome::kDeadline, ServeError::kDeadline, e.what());
+  } catch (const std::exception& e) {
+    return finish(Outcome::kError, classify_exception(e), e.what());
+  } catch (...) {
+    return finish(Outcome::kError, ServeError::kInternal,
+                  "unknown exception");
+  }
+}
+
+TrackResponse WorkerPool::process_seq_frame(const Job& job) {
+  const auto start = std::chrono::steady_clock::now();
+  const TrackRequest& req = job.request;
+  const core::CancelToken* cancel = job.cancel.get();
+  SeqSession& session = *job.session;
+
+  TrackResponse resp;
+  resp.id = req.id;
+  resp.total = static_cast<long>(req.width) * req.height;
+
+  auto finish = [&](Outcome outcome, ServeError code, std::string message) {
+    resp.outcome = outcome;
+    resp.code = code;
+    resp.message = std::move(message);
+    resp.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return resp;
+  };
+
+  try {
+    if (cancel != nullptr) cancel->check("admission");
+
+    if (chaos_.stall(req.id)) {
+      const auto until =
+          start + std::chrono::milliseconds(chaos_.options().stall_ms);
+      while (std::chrono::steady_clock::now() < until) {
+        if (cancel != nullptr && cancel->expired()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (cancel != nullptr) cancel->check("chaos_stall");
+    }
+
+    const auto interned = frames_.intern(req.width, req.height, req.before);
+    std::shared_ptr<const imaging::ImageF> frame = interned;
+    std::shared_ptr<const imaging::ImageU8> mask;
+    if (chaos_.corrupt_frames(req.id)) {
+      // Corrupt a COPY; the interned frame stays pristine for other
+      // tenants.  A repaired frame taints the whole remaining stream —
+      // it becomes the next pair's before frame — so the session's
+      // degraded flag is sticky.
+      imaging::ImageF dirty = *interned;
+      core::FaultLog log;
+      const core::FaultInjector injector(chaos_.fault_spec(req.id));
+      injector.corrupt_frame(dirty, 0, &log);
+      resp.faults = static_cast<long>(log.size());
+
+      imaging::RepairReport rep = imaging::repair_frame(dirty);
+      const bool repaired = !log.empty() || !rep.clean();
+      frame = std::make_shared<imaging::ImageF>(std::move(rep.image));
+      mask = std::make_shared<imaging::ImageU8>(std::move(rep.validity));
+      if (repaired) session.degraded = true;
+    }
+
+    auto r = session.stream.push(std::move(frame), std::move(mask), cancel);
+    if (!r) {
+      // First frame of the stream: buffered, no pair to fit yet.
+      return finish(session.degraded ? Outcome::kDegraded : Outcome::kOk,
+                    ServeError::kOk, "frame buffered");
+    }
+
+    const imaging::FlowField& flow = r->flow;
+    resp.valid = static_cast<long>(flow.count_valid());
+    std::ostringstream payload;
+    write_flow_text(flow, payload);
+    resp.payload = payload.str();
+    return finish(session.degraded ? Outcome::kDegraded : Outcome::kOk,
+                  ServeError::kOk,
+                  session.degraded ? "repair engaged" : "");
   } catch (const core::CancelledError& e) {
     return finish(Outcome::kDeadline, ServeError::kDeadline, e.what());
   } catch (const std::exception& e) {

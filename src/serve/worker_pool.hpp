@@ -16,6 +16,22 @@
 // TrackResponse whose outcome is ok / degraded / deadline / error
 // (rejections never reach a worker; the server bounces them at
 // admission).
+//
+// Two extensions ride on that contract:
+//
+//   * SEQUENCE SESSIONS (SeqSession + JobKind::kSeqFrame): a tenant's
+//     frame stream runs through one pinned core::SequenceStream so each
+//     frame is fitted once and trajectories chain across pairs.  The
+//     server serializes frames per session (at most one in flight), so
+//     the stream itself needs no locking.
+//   * CROSS-REQUEST BATCHING: when a worker pops an eligible TRACK it
+//     sweeps queued TRACKs sharing the same pipeline key and before
+//     frame out of the queue and runs them as one batch; members whose
+//     after frame also matches coalesce onto the leader's result (the
+//     response is byte-identical to processing them individually — the
+//     pipeline is deterministic, so equal inputs give equal flows).
+//     Chaos-targeted jobs (stall / frame corruption) are never batched,
+//     keeping fault injection per-request deterministic.
 #pragma once
 
 #include <atomic>
@@ -31,6 +47,7 @@
 
 #include "core/cancel.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/chaos.hpp"
 #include "serve/frame_store.hpp"
@@ -54,6 +71,11 @@ class PipelineManager {
   /// (mapped to a config-error outcome by the caller).
   core::SmaPipeline& pipeline_for(const TrackRequest& request);
 
+  /// The manager's map key for this request: config_signature() plus
+  /// the RESOLVED backend.  Requests with equal keys share a pipeline —
+  /// the batching layer's config-compatibility test.
+  std::string pipeline_key(const TrackRequest& request) const;
+
   /// Builds the SmaConfig a request describes (exposed so sma_cli parity
   /// checks and tests construct the exact served config).
   static core::SmaConfig config_from(const TrackRequest& request);
@@ -73,13 +95,48 @@ class PipelineManager {
   std::map<std::string, std::unique_ptr<core::SmaPipeline>> pipelines_;
 };
 
+/// Server-side state of one open sequence session: the fixed config
+/// (dims, tenant, deadline, tracking parameters from SEQ-OPEN), the
+/// pinned pipeline and the incremental stream.  The server serializes
+/// frames per session — at most one in flight — so the stream needs no
+/// lock; `control` is the session-wide cancel token each frame job's
+/// own token chains to (CancelToken::set_parent), so aborting the
+/// session unwinds the in-flight frame cooperatively without touching
+/// per-frame deadlines.
+struct SeqSession {
+  TrackRequest config;
+  core::SmaPipeline* pipeline = nullptr;
+  core::SequenceStream stream;
+  std::shared_ptr<core::CancelToken> control;
+  /// Sticky: once chaos corruption forced a repair, every later pair of
+  /// the stream is reported degraded (its before frame was repaired, so
+  /// the trajectory chain is tainted from that point on).
+  bool degraded = false;
+
+  SeqSession(TrackRequest cfg, core::SmaPipeline& p)
+      : config(std::move(cfg)), pipeline(&p), stream(p),
+        control(std::make_shared<core::CancelToken>()) {}
+};
+
+enum class JobKind { kTrack, kSeqFrame };
+
 /// One admitted request in flight: the parsed request, the connection
 /// to answer on, and the cancellation token armed with its deadline.
 struct Job {
+  JobKind kind = JobKind::kTrack;
   TrackRequest request;
   std::uint64_t conn_id = 0;
   std::shared_ptr<core::CancelToken> cancel;
+  /// The session a kSeqFrame belongs to; null for kTrack.
+  std::shared_ptr<SeqSession> session;
   std::chrono::steady_clock::time_point admitted_at{};
+};
+
+/// Batched-dispatch knobs (see the file comment).
+struct BatchOptions {
+  bool enabled = true;
+  /// Jobs one sweep runs together, leader included.
+  std::size_t max_batch = 8;
 };
 
 /// Fixed-size worker pool draining a bounded queue of Jobs.  Completion
@@ -91,9 +148,15 @@ class WorkerPool {
   using Completion =
       std::function<void(const Job& job, TrackResponse response)>;
 
+  /// `metrics` (may be null) receives the serve.batch.* instruments:
+  /// the per-sweep size histogram and the batches / batched_requests /
+  /// coalesce_hits counters.  Metric addresses are stable, so they are
+  /// resolved once here and inc'd lock-free from the workers.
   WorkerPool(std::size_t workers, std::size_t queue_capacity,
              PipelineManager& pipelines, FrameStore& frames,
-             const ChaosEngine& chaos, Completion on_complete);
+             const ChaosEngine& chaos, Completion on_complete,
+             BatchOptions batching = {},
+             obs::MetricsRegistry* metrics = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -114,19 +177,45 @@ class WorkerPool {
 
   /// Runs one job to a terminal response (public for the unit tests,
   /// which exercise the taxonomy without sockets or threads).
+  /// Dispatches on job.kind: TRACK pairs and session frames share the
+  /// same taxonomy enforcement.
   TrackResponse process(const Job& job);
+
+  /// Lifetime batching tallies (counter values; zero without a metrics
+  /// registry).
+  struct BatchStats {
+    double sweeps = 0;            ///< eligible leaders popped
+    double batches = 0;           ///< sweeps that found >= 2 jobs
+    double batched_requests = 0;  ///< member jobs swept behind a leader
+    double coalesce_hits = 0;     ///< member responses copied from leader
+  };
+  BatchStats batch_stats() const;
 
  private:
   void worker_main();
+  /// A job the batching sweep may lead or join: a plain TRACK with no
+  /// chaos targeting (stall / corruption stay per-request).
+  bool batch_eligible(const Job& job) const;
+  void run_batch(Job leader);
+  TrackResponse process_track(const Job& job);
+  TrackResponse process_seq_frame(const Job& job);
 
   PipelineManager& pipelines_;
   FrameStore& frames_;
   const ChaosEngine& chaos_;
   Completion on_complete_;
   BoundedQueue<Job> queue_;
+  BatchOptions batching_;
   std::atomic<std::size_t> in_flight_{0};
   std::vector<std::thread> threads_;
   std::once_flag drained_;
+
+  // serve.batch.* instruments (null without a registry).
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Counter* batch_sweeps_ = nullptr;
+  obs::Counter* batch_batches_ = nullptr;
+  obs::Counter* batch_members_ = nullptr;
+  obs::Counter* batch_coalesce_ = nullptr;
 };
 
 }  // namespace sma::serve

@@ -4,15 +4,16 @@
 //             [--sched-threads N]
 //             [--queue N] [--rate R] [--burst B] [--retry-after-ms MS]
 //             [--deadline-ms MS] [--geometry-cache N] [--frame-cache N]
+//             [--max-sessions N] [--no-batch] [--batch-max N]
 //             [--metrics FILE] [--drain-flush-ms MS]
 //             [--chaos] [--chaos-seed N] [--chaos-frame-fault-rate R]
 //             [--chaos-fault-intensity R] [--chaos-stall-rate R]
 //             [--chaos-stall-ms MS] [--chaos-slow-read-rate R]
 //             [--chaos-slow-read-bytes N]
 //
-// Listens for line-protocol TRACK requests (serve/protocol.hpp) and
-// answers each with exactly one of ok / degraded / rejected / deadline /
-// error.  SIGTERM / SIGINT trigger a graceful drain: in-flight and
+// Listens for line-protocol TRACK requests and SEQ-OPEN/FRAME/CLOSE
+// sequence sessions (serve/protocol.hpp) and answers each message with
+// exactly one of ok / degraded / rejected / deadline / error.  SIGTERM / SIGINT trigger a graceful drain: in-flight and
 // queued requests finish, new ones are rejected with code=shutdown,
 // buffers flush, metrics land in --metrics, and the process exits 0.
 // --chaos arms the deterministic adversary (serve/chaos.hpp) used by the
@@ -48,6 +49,7 @@ int usage() {
       "                 [--queue N] [--rate R] [--burst B]\n"
       "                 [--retry-after-ms MS] [--deadline-ms MS]\n"
       "                 [--geometry-cache N] [--frame-cache N]\n"
+      "                 [--max-sessions N] [--no-batch] [--batch-max N]\n"
       "                 [--metrics FILE] [--drain-flush-ms MS]\n"
       "                 [--chaos] [--chaos-seed N]\n"
       "                 [--chaos-frame-fault-rate R]\n"
@@ -100,6 +102,14 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::atoi(value_arg(argc, argv, i)));
       else if (a == "--frame-cache")
         options.frame_cache_capacity =
+            static_cast<std::size_t>(std::atoi(value_arg(argc, argv, i)));
+      else if (a == "--max-sessions")
+        options.admission.max_sessions =
+            static_cast<std::size_t>(std::atoi(value_arg(argc, argv, i)));
+      else if (a == "--no-batch")
+        options.batching = false;
+      else if (a == "--batch-max")
+        options.batch_max =
             static_cast<std::size_t>(std::atoi(value_arg(argc, argv, i)));
       else if (a == "--metrics")
         options.metrics_path = value_arg(argc, argv, i);
