@@ -1,7 +1,7 @@
 // sma_cli.cpp — command-line front end for the SMA library.
 //
 // Subcommands:
-//   sma_cli synth  <prefix> [--frames N]         write a demo cloud pair
+//   sma_cli synth  <prefix> [--frames N] [--size N]  write a demo cloud pair
 //                                                (and an N-frame sequence
 //                                                <prefix>_f0..f{N-1}.pgm)
 //   sma_cli track  <before.pgm> <after.pgm> <out_flow.txt> [options]
@@ -40,6 +40,13 @@
 //                          the upsampled coarse winner (default 1)
 //   --prune-bound on|off   pruned mode: half-template residual lower
 //                          bound / early exit (default on)
+//   --shard RxC            halo-exchange tile sharding (src/shard/):
+//                          split the pair into an RxC grid of haloed
+//                          tiles streamed out-of-core from the input
+//                          files, track per tile and stitch — output
+//                          cmp-identical to the unsharded run
+//   --max-resident-mb N    resident budget for the shard stream's tile
+//                          cache + working crops (0 = unlimited)
 //   --robust               robust post-processing
 //   --ppm FILE             also write a color-wheel rendering
 //   --inject-faults R      corrupt the input pair with rate-R telemetry
@@ -71,6 +78,8 @@
 #include "maspar/sma_simd.hpp"
 #include "obs/trace.hpp"
 #include "serve/error.hpp"
+#include "shard/costmodel.hpp"
+#include "shard/runner.hpp"
 #include "stereo/asa.hpp"
 #include "stereo/refine.hpp"
 
@@ -81,7 +90,7 @@ using namespace sma;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  sma_cli synth  <prefix> [--frames N]\n"
+               "  sma_cli synth  <prefix> [--frames N] [--size N]\n"
                "  sma_cli sequence <out_prefix> <f0.pgm> <f1.pgm>...\n"
                "                 [track options]\n"
                "  sma_cli track  <before.pgm> <after.pgm> <out_flow.txt>\n"
@@ -93,6 +102,7 @@ int usage() {
                "                 [--search-mode full|pruned]\n"
                "                 [--prune-levels N] [--prune-radius N]\n"
                "                 [--prune-bound on|off]\n"
+               "                 [--shard RxC] [--max-resident-mb N]\n"
                "                 [--inject-faults RATE] [--fault-seed N]\n"
                "                 [--trace FILE] [--metrics FILE]\n"
                "  sma_cli stereo <left.pgm> <right.pgm> <out.pfm>\n"
@@ -113,17 +123,20 @@ double double_arg(int argc, char** argv, int& i) {
 int cmd_synth(int argc, char** argv) {
   const std::string prefix = argv[2];
   int frames = 0;
+  int size = 96;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--frames") {
       frames = int_arg(argc, argv, i);
+    } else if (a == "--size") {
+      size = int_arg(argc, argv, i);
+      if (size < 8) throw std::invalid_argument("--size must be >= 8");
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return usage();
     }
   }
 
-  const int size = 96;
   const imaging::ImageF f0 = goes::fractal_clouds(size, size, 7);
   const goes::WindModel wind =
       goes::rankine_vortex(size / 2.0, size / 2.0, size / 5.0, 2.0);
@@ -161,6 +174,7 @@ struct TrackCliOptions {
   std::string ppm_path;
   std::string trace_path;
   std::string metrics_path;
+  int shard_rows = 0, shard_cols = 0;  ///< 0 = unsharded
 
   TrackCliOptions() {
     cfg.model = core::MotionModel::kSemiFluid;
@@ -238,6 +252,18 @@ bool parse_track_cli(int argc, char** argv, int first, TrackCliOptions& o) {
         o.cfg.prune_bound = false;
       else
         throw std::runtime_error("--prune-bound expects on|off");
+    } else if (a == "--shard") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for option");
+      const std::string t = argv[++i];
+      const auto xpos = t.find('x');
+      if (xpos == std::string::npos)
+        throw std::invalid_argument("--shard expects RxC, e.g. 2x2");
+      o.shard_rows = std::atoi(t.substr(0, xpos).c_str());
+      o.shard_cols = std::atoi(t.substr(xpos + 1).c_str());
+      if (o.shard_rows < 1 || o.shard_cols < 1)
+        throw std::invalid_argument("--shard expects RxC with R, C >= 1");
+    } else if (a == "--max-resident-mb") {
+      o.cfg.max_resident_mb = int_arg(argc, argv, i);
     } else if (a == "--robust") {
       o.robust = true;
     } else if (a == "--ppm") {
@@ -260,6 +286,76 @@ bool parse_track_cli(int argc, char** argv, int first, TrackCliOptions& o) {
   return true;
 }
 
+/// The --shard path: the frames stay on disk and stream through the
+/// out-of-core tile cache; each haloed crop is tracked independently
+/// and the stitched flow is written through the same serializer, so the
+/// output file is cmp-identical to the unsharded run.
+int run_shard_track(const std::string& before_path,
+                    const std::string& after_path,
+                    const std::string& out_path,
+                    const TrackCliOptions& cli) {
+  maspar::register_maspar_backend();
+  shard::ShardOptions sopts;
+  sopts.spec = shard::ShardSpec{cli.shard_rows, cli.shard_cols};
+  sopts.backend = cli.backend.empty()
+                      ? core::backend_name_for(cli.opts.policy)
+                      : cli.backend;
+  sopts.track = cli.opts;
+  sopts.robust = cli.robust;
+
+  const imaging::RasterHeader header =
+      imaging::read_raster_header(before_path);
+  const shard::ShardPlan plan =
+      shard::make_plan(header.width, header.height, sopts.spec, cli.cfg,
+                       cli.opts.subpixel);
+  const std::size_t budget_bytes =
+      static_cast<std::size_t>(cli.cfg.max_resident_mb) * (1u << 20);
+  shard::TiledFrameStream stream(before_path, after_path, plan, {},
+                                 budget_bytes);
+  std::printf("tracking %dx%d pair [backend %s, shard %dx%d, halo %dx%d]: "
+              "%s\n",
+              header.width, header.height, sopts.backend.c_str(),
+              sopts.spec.rows, sopts.spec.cols, plan.halo.x, plan.halo.y,
+              cli.cfg.describe().c_str());
+
+  const shard::ShardResult r = shard_track_pair(stream, cli.cfg, sopts);
+  imaging::write_flow_text(r.flow, out_path);
+  const shard::ShardReport& rep = r.report;
+  std::printf("tracked in %.2f s; %zu/%d valid vectors -> %s\n",
+              rep.compute_seconds + rep.read_seconds, r.flow.count_valid(),
+              r.flow.width() * r.flow.height(), out_path.c_str());
+  if (!rep.fallback.empty())
+    std::printf("shard fell back to the whole frame (%s)\n",
+                rep.fallback.c_str());
+  std::printf("shard: %d tiles, halo bytes %llu of %llu (%.1f%%), "
+              "%llu block reads, %llu cache hits, resident high-water "
+              "%.2f MiB, modeled io %.3f s\n",
+              rep.tiles, static_cast<unsigned long long>(rep.halo_bytes),
+              static_cast<unsigned long long>(rep.core_bytes +
+                                              rep.halo_bytes),
+              rep.core_bytes + rep.halo_bytes > 0
+                  ? 100.0 * static_cast<double>(rep.halo_bytes) /
+                        static_cast<double>(rep.core_bytes + rep.halo_bytes)
+                  : 0.0,
+              static_cast<unsigned long long>(rep.stream.block_reads),
+              static_cast<unsigned long long>(rep.stream.cache_hits),
+              static_cast<double>(rep.stream.resident_high_water) /
+                  (1 << 20),
+              rep.stream.io_seconds);
+  if (!cli.ppm_path.empty()) {
+    imaging::write_ppm(imaging::colorize_flow(r.flow), cli.ppm_path);
+    std::printf("color rendering -> %s\n", cli.ppm_path.c_str());
+  }
+  if (!cli.metrics_path.empty()) {
+    obs::MetricsRegistry reg;
+    shard::publish_metrics(rep, reg);
+    if (reg.write_csv(cli.metrics_path))
+      std::printf("metrics (%zu) -> %s\n", reg.size(),
+                  cli.metrics_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_track(int argc, char** argv) {
   if (argc < 5) return usage();
   const std::string before_path = argv[2];
@@ -268,6 +364,16 @@ int cmd_track(int argc, char** argv) {
 
   TrackCliOptions cli;
   if (!parse_track_cli(argc, argv, 5, cli)) return usage();
+  if (cli.shard_rows > 0) {
+    // No mask channel flows through a TileSource, so the corrupt ->
+    // repair -> masked-track path cannot shard.
+    if (cli.fault_rate > 0.0)
+      throw std::invalid_argument(
+          "--shard cannot be combined with --inject-faults");
+    if (!cli.trace_path.empty())
+      throw std::invalid_argument("--shard does not support --trace");
+    return run_shard_track(before_path, after_path, out_path, cli);
+  }
   core::SmaConfig& cfg = cli.cfg;
   core::TrackOptions& opts = cli.opts;
   const std::string& backend = cli.backend;

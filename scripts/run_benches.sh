@@ -49,6 +49,12 @@ OMP_NUM_THREADS=1 SMA_THREADS=1 \
 # Serve load leg: measures real worker/scheduler concurrency, unpinned.
 "$build_dir/bench/bench_serve_load" \
   --json "$repo_root/BENCH_serve.json"
+# Shard leg: per-tile spans feed the modeled cluster replay, and the
+# tile backend is the sequential tracker, so pin for clean span timings.
+OMP_NUM_THREADS=1 SMA_THREADS=1 \
+  "$build_dir/bench/bench_shard" \
+  --repeat "$repeat" \
+  --json "$repo_root/BENCH_shard.json"
 
 echo "bench artifacts:"
 ls -l "$repo_root"/BENCH_*.json

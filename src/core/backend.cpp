@@ -97,9 +97,11 @@ TrackResult TrackerBackend::track(const TrackerInput& input,
   mi.disc_after = fg1.has_disc ? &fg1.disc : nullptr;
   mi.mask_before = input.validity_before;
   mi.mask_after = input.validity_after;
-  // Raw z-surface frames for the pruned mode's coarse seeding pyramid.
+  // Raw z-surface frames for the pruned mode's coarse seeding pyramid,
+  // plus the optional externally computed seed slice (shard runner).
   mi.raw_before = input.surface_before;
   mi.raw_after = input.surface_after;
+  mi.prune_seeds = input.prune_seeds;
 
   // Hypothesis-invariant matching precompute: built once per pair here
   // so every backend's match() — host or SIMD — shares the fast path.

@@ -34,6 +34,7 @@ std::string SmaConfig::describe() const {
   if (threads > 0) os << ", threads=" << threads;
   if (tile_width > 0 || tile_height > 0)
     os << ", tile=" << tile_width << "x" << tile_height;
+  if (max_resident_mb > 0) os << ", resident<=" << max_resident_mb << "MiB";
   if (fast_math) os << ", fast-math";
   return os.str();
 }

@@ -141,6 +141,13 @@ struct SmaConfig {
   /// isolates the window-shrink effect in benches.
   bool prune_bound = true;
 
+  /// Resident-memory budget in MiB for the out-of-core shard stream
+  /// (src/shard/): bounds the LRU tile-block cache plus the working
+  /// crops of the tile being tracked.  0 (default) = unlimited — the
+  /// whole-frame paths never consult it.  The shard planner rejects
+  /// budgets too small to hold even a single padded tile.
+  int max_resident_mb = 0;
+
   /// Effective vertical radii (fall back to the square value).
   int z_search_ry() const {
     return z_search_radius_y >= 0 ? z_search_radius_y : z_search_radius;
@@ -197,6 +204,9 @@ struct SmaConfig {
     if (prune_refine_radius < 0)
       throw std::invalid_argument(
           "SmaConfig: prune_refine_radius >= 0 required");
+    if (max_resident_mb < 0)
+      throw std::invalid_argument(
+          "SmaConfig: max_resident_mb >= 0 required");
   }
 
   std::string describe() const;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "core/backend.hpp"
 #include "core/hierarchical.hpp"
@@ -299,8 +300,18 @@ std::vector<PixelBest> run_pruned_search(const MatchInput& in,
 
   obs::TraceSpan span("match", "pruned_search");
   const auto t0 = Clock::now();
-  const PruneSeeds seeds =
-      compute_prune_seeds(*in.raw_before, *in.raw_after, config);
+  // An injected seed slice (shard runner) replaces the coarse pass: the
+  // seeds were computed once on the full frames, so every tile's fine
+  // pass sees exactly the values the whole-frame run would have.
+  if (in.prune_seeds != nullptr &&
+      (in.prune_seeds->width != w || in.prune_seeds->height != h))
+    throw std::invalid_argument(
+        "MatchInput::prune_seeds dimensions do not match the frames");
+  PruneSeeds local_seeds;
+  if (in.prune_seeds == nullptr)
+    local_seeds = compute_prune_seeds(*in.raw_before, *in.raw_after, config);
+  const PruneSeeds& seeds =
+      in.prune_seeds != nullptr ? *in.prune_seeds : local_seeds;
 
   std::vector<PixelBest> best(static_cast<std::size_t>(w) * h);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,12 @@ const char* decision_fallback_name(PrecomputeDecision d) {
 
 simd::SimdLevel resolve_kernel_level(simd::SimdLevel request) {
   switch (request) {
+    case simd::SimdLevel::kAvx512:
+#if defined(SMA_KERNEL_AVX512)
+      return simd::SimdLevel::kAvx512;
+#else
+      [[fallthrough]];
+#endif
     case simd::SimdLevel::kAvx2:
 #if defined(SMA_KERNEL_AVX2)
       return simd::SimdLevel::kAvx2;
@@ -66,6 +73,10 @@ simd::SimdLevel resolve_kernel_level(simd::SimdLevel request) {
 
 PixelKernelFn pixel_kernel_hook(simd::SimdLevel level, bool fast_math) {
   switch (resolve_kernel_level(level)) {
+#if defined(SMA_KERNEL_AVX512)
+    case simd::SimdLevel::kAvx512:
+      return fast_math ? &scan_pixel_avx512_fma : &scan_pixel_avx512;
+#endif
 #if defined(SMA_KERNEL_AVX2)
     case simd::SimdLevel::kAvx2:
       return fast_math ? &scan_pixel_avx2_fma : &scan_pixel_avx2;
@@ -86,6 +97,12 @@ PixelKernelFn pixel_kernel_hook(simd::SimdLevel level, bool fast_math) {
 BatchSolveHook batch_solve_hook(simd::SimdLevel level) {
   BatchSolveHook hook;
   switch (resolve_kernel_level(level)) {
+#if defined(SMA_KERNEL_AVX512)
+    case simd::SimdLevel::kAvx512:
+      hook.lanes = 8;
+      hook.solve = &batch_solve6_avx512;
+      return hook;
+#endif
 #if defined(SMA_KERNEL_AVX2)
     case simd::SimdLevel::kAvx2:
       hook.lanes = 4;
@@ -218,9 +235,18 @@ class VectorBackend final : public TrackerBackend {
     obs::TraceSpan span("match", "hypothesis_search");
     const auto t0 = Clock::now();
 
-    PruneSeeds seeds;
-    if (prune != nullptr)
-      seeds = compute_prune_seeds(*in.raw_before, *in.raw_after, config);
+    // An injected seed slice (shard runner) replaces the coarse pass —
+    // same contract as run_pruned_search.
+    if (in.prune_seeds != nullptr &&
+        (in.prune_seeds->width != w || in.prune_seeds->height != h))
+      throw std::invalid_argument(
+          "MatchInput::prune_seeds dimensions do not match the frames");
+    PruneSeeds local_seeds;
+    if (prune != nullptr && in.prune_seeds == nullptr)
+      local_seeds =
+          compute_prune_seeds(*in.raw_before, *in.raw_after, config);
+    const PruneSeeds& seeds =
+        in.prune_seeds != nullptr ? *in.prune_seeds : local_seeds;
 
     sched::ThreadPool& pool = sched::ThreadPool::shared();
     const int executors =

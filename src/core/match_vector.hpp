@@ -17,16 +17,16 @@
 //
 // Because each lane's floating-point instruction sequence equals the
 // scalar path's, the backend is BIT-IDENTICAL to `sequential` on every
-// lane implementation — AVX2, SSE2, NEON and the forced-scalar fallback
-// — extending the Sec. 5.1 contract to the vector substrate.  Configs
+// lane implementation — AVX-512, AVX2, SSE2, NEON and the forced-scalar
+// fallback — extending the Sec. 5.1 contract to the vector substrate.  Configs
 // the precompute cannot serve (masks, active semi-fluid remap, stride,
 // precompute off, or the non-bit-exact sliding tier) fall back to the
 // shared staged path, again bit-identical by construction.
 //
 // The per-ISA kernels live in match_vector_<isa>.cpp translation units
-// compiled with the matching target flags (only the AVX2 TU needs
-// non-baseline flags on x86-64); runtime dispatch picks among whatever
-// was compiled in (simd/dispatch.hpp).
+// compiled with the matching target flags (only the AVX2 and AVX-512
+// TUs need non-baseline flags on x86-64); runtime dispatch picks among
+// whatever was compiled in (simd/dispatch.hpp).
 #pragma once
 
 #include <cstdint>
@@ -92,8 +92,8 @@ struct BatchSolveHook {
 };
 
 /// Downgrades `request` to the most capable lane implementation that was
-/// actually compiled into this binary (AVX2 degrades to SSE2 degrades to
-/// scalar; NEON to scalar).
+/// actually compiled into this binary (AVX-512 degrades to AVX2 degrades
+/// to SSE2 degrades to scalar; NEON to scalar).
 simd::SimdLevel resolve_kernel_level(simd::SimdLevel request);
 
 /// The per-pixel scan kernel / batched-solve hook for a compiled level
@@ -158,6 +158,13 @@ void scan_pixel_avx2_fma(const VectorKernelArgs&, PixelBest&,
                          VectorLaneTally&);
 void batch_solve6_avx2(const double*, const double*, double*, unsigned char*,
                        double);
+#endif
+#if defined(SMA_KERNEL_AVX512)
+void scan_pixel_avx512(const VectorKernelArgs&, PixelBest&, VectorLaneTally&);
+void scan_pixel_avx512_fma(const VectorKernelArgs&, PixelBest&,
+                           VectorLaneTally&);
+void batch_solve6_avx512(const double*, const double*, double*, unsigned char*,
+                         double);
 #endif
 #if defined(SMA_KERNEL_NEON)
 void scan_pixel_neon(const VectorKernelArgs&, PixelBest&, VectorLaneTally&);

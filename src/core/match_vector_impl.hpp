@@ -247,16 +247,35 @@ void scan_pixel_t(const VectorKernelArgs& g, PixelBest& best,
       }
     }
 
-    // ---- Scalar tail: search widths that are not a lane multiple.
-    // In pruned mode the tail runs unbounded (no checkpoint) — it is at
-    // most N-1 hypotheses per row, and skipping none keeps its counters
-    // trivially consistent (tail hypotheses are always completed).
+    // ---- Scalar tail: search widths that are not a lane multiple.  In
+    // pruned mode it checkpoints through evaluate_hypothesis_bounded —
+    // same gate as the batched path — so narrow windows (common once the
+    // seed shrinks the search box below kLanes) still count bound_checks
+    // / bound_skipped instead of silently bypassing the bound.
     for (; hx0 <= g.hx_max; ++hx0) {
       MotionParams params;
       bool ok = false;
-      const double error = evaluate_hypothesis_precomputed(
-          pre, after, *g.win, x, y, hx0, hy, rx, ry, params, ok);
+      double error;
       ++tally.tail_hypotheses;
+      if (bound_on && best.any_ok && std::isfinite(best.error) &&
+          best.error > 0.0) {
+        bool skipped = false;
+        double bnd = 0.0;
+        error = evaluate_hypothesis_bounded(
+            pre, after, *g.win, *g.win_prefix, x, y, hx0, hy, rx, ry,
+            best.error, /*has_incumbent=*/true, params, ok, skipped, &bnd);
+        ++tally.bound_checks;
+        if (skipped) {
+          ++tally.bound_skipped;
+          continue;
+        }
+        if (std::isfinite(error) && error > 0.0)
+          tally.bound_tightness_sum +=
+              std::min(1.0, std::max(0.0, bnd) / error);
+      } else {
+        error = evaluate_hypothesis_precomputed(
+            pre, after, *g.win, x, y, hx0, hy, rx, ry, params, ok);
+      }
       if (hypothesis_improves(best, error, hx0, hy)) {
         best.solved = ok;
         best.coverage = 1.0;

@@ -353,9 +353,11 @@ TrackResult SmaPipeline::track_pair(const TrackerInput& input,
   mi.disc_after = semifluid ? &gi1->disc : nullptr;
   mi.mask_before = effective.validity_before;
   mi.mask_after = effective.validity_after;
-  // Raw z-surface frames for the pruned mode's coarse seeding pyramid.
+  // Raw z-surface frames for the pruned mode's coarse seeding pyramid,
+  // plus the optional externally computed seed slice (shard runner).
   mi.raw_before = effective.surface_before;
   mi.raw_after = effective.surface_after;
+  mi.prune_seeds = effective.prune_seeds;
 
   // --- Stage: match precompute (cached alongside the geometry).
   check_cancel(cancel, "match_precompute");

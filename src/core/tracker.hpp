@@ -37,6 +37,8 @@
 
 namespace sma::core {
 
+struct PruneSeeds;  // fwd (match_prune.hpp)
+
 enum class ExecutionPolicy {
   kSequential,  ///< single-threaded reference implementation
   kParallel,    ///< OpenMP host-parallel, identical results
@@ -114,6 +116,14 @@ struct TrackerInput {
   /// mask-free pipeline.
   const imaging::ImageU8* validity_before = nullptr;
   const imaging::ImageU8* validity_after = nullptr;
+  /// Optional externally computed pruned-mode seed field (match_prune.hpp),
+  /// sized like the input frames.  The shard runner (src/shard/) computes
+  /// seeds ONCE on the full frames and slices the per-tile crop through
+  /// this hook, because the coarse pyramid pass is a whole-frame product
+  /// — its decimation grid and upsample ratios depend on the full frame
+  /// dimensions, so per-tile recomputation could not be bit-identical.
+  /// Null (the default) lets the pruned search compute its own seeds.
+  const PruneSeeds* prune_seeds = nullptr;
 };
 
 /// Runs the full SMA pipeline on one pair of time steps.
@@ -214,6 +224,10 @@ struct MatchInput {
   /// when null, SearchMode::kPruned falls back to the full search.
   const imaging::ImageF* raw_before = nullptr;
   const imaging::ImageF* raw_after = nullptr;
+  /// Optional externally computed seed field forwarded from
+  /// TrackerInput::prune_seeds (dims must equal the frame dims); the
+  /// pruned search uses it instead of running its own coarse pass.
+  const PruneSeeds* prune_seeds = nullptr;
 
   int width() const { return before != nullptr ? before->width() : 0; }
   int height() const { return before != nullptr ? before->height() : 0; }

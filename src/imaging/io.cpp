@@ -170,4 +170,138 @@ ImageF read_pfm(const std::string& path) {
   return img;
 }
 
+RasterHeader read_raster_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("read_raster_header: cannot open " + path);
+  std::string magic;
+  if (!(in >> magic))
+    throw std::runtime_error("read_raster_header: empty or unreadable file: " +
+                             path);
+  RasterHeader hdr;
+  if (magic == "P5" || magic == "P2") {
+    hdr.width = read_pnm_int(in);
+    hdr.height = read_pnm_int(in);
+    hdr.maxval = read_pnm_int(in);
+    check_dims(hdr.width, hdr.height, "read_raster_header", path);
+    if (hdr.maxval <= 0 || hdr.maxval > 65535)
+      throw std::runtime_error("read_raster_header: bad maxval in " + path);
+    if (magic == "P2") {
+      hdr.format = RasterHeader::Format::kPgmAscii;
+      return hdr;  // no random access — data_offset stays unused
+    }
+    in.get();  // single whitespace after maxval, as in read_pgm
+    hdr.format = hdr.maxval < 256 ? RasterHeader::Format::kPgm8
+                                  : RasterHeader::Format::kPgm16;
+    hdr.data_offset = in.tellg();
+    return hdr;
+  }
+  if (magic == "PF")
+    throw std::runtime_error(
+        "read_raster_header: color PFM not supported: " + path);
+  if (magic != "Pf")
+    throw std::runtime_error("read_raster_header: unknown format in " + path);
+  double scale = 0.0;
+  if (!(in >> hdr.width >> hdr.height >> scale))
+    throw std::runtime_error("read_raster_header: malformed header in " +
+                             path);
+  in.get();
+  check_dims(hdr.width, hdr.height, "read_raster_header", path);
+  if (!std::isfinite(scale) || scale == 0.0)
+    throw std::runtime_error("read_raster_header: malformed scale in " + path);
+  if (scale > 0.0)
+    throw std::runtime_error(
+        "read_raster_header: big-endian PFM (positive scale) not supported: " +
+        path);
+  hdr.format = RasterHeader::Format::kPfm;
+  hdr.data_offset = in.tellg();
+  return hdr;
+}
+
+ImageF read_raster_window(const std::string& path, const RasterHeader& header,
+                          int x0, int y0, int w, int h) {
+  if (w <= 0 || h <= 0 || x0 < 0 || y0 < 0 || x0 + w > header.width ||
+      y0 + h > header.height)
+    throw std::runtime_error("read_raster_window: window outside raster " +
+                             path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("read_raster_window: cannot open " + path);
+  ImageF img(w, h);
+  switch (header.format) {
+    case RasterHeader::Format::kPgmAscii: {
+      // P2 is whitespace-delimited: no random access, so parse up to the
+      // end of the window (read_pnm_int matches read_pgm sample for
+      // sample, keeping the crop bit-identical).
+      in.seekg(0);
+      std::string magic;
+      in >> magic;
+      read_pnm_int(in);  // width
+      read_pnm_int(in);  // height
+      read_pnm_int(in);  // maxval
+      for (int y = 0; y <= y0 + h - 1; ++y)
+        for (int x = 0; x < header.width; ++x) {
+          const int v = read_pnm_int(in);
+          if (v < 0 || v > header.maxval)
+            throw std::runtime_error(
+                "read_raster_window: sample out of range in " + path);
+          if (y >= y0 && x >= x0 && x < x0 + w)
+            img.at(x - x0, y - y0) = static_cast<float>(v);
+        }
+      return img;
+    }
+    case RasterHeader::Format::kPgm8: {
+      std::vector<unsigned char> row(static_cast<std::size_t>(w));
+      for (int y = 0; y < h; ++y) {
+        in.seekg(header.data_offset +
+                 std::streamoff{y0 + y} * header.width + x0);
+        in.read(reinterpret_cast<char*>(row.data()),
+                static_cast<std::streamsize>(row.size()));
+        if (!in)
+          throw std::runtime_error("read_raster_window: truncated " + path);
+        for (int x = 0; x < w; ++x)
+          img.at(x, y) = static_cast<float>(row[static_cast<std::size_t>(x)]);
+      }
+      return img;
+    }
+    case RasterHeader::Format::kPgm16: {
+      std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 2);
+      for (int y = 0; y < h; ++y) {
+        in.seekg(header.data_offset +
+                 std::streamoff{2} * (std::streamoff{y0 + y} * header.width +
+                                      x0));
+        in.read(reinterpret_cast<char*>(row.data()),
+                static_cast<std::streamsize>(row.size()));
+        if (!in)
+          throw std::runtime_error("read_raster_window: truncated " + path);
+        for (int x = 0; x < w; ++x)
+          img.at(x, y) = static_cast<float>(
+              (row[static_cast<std::size_t>(2 * x)] << 8) |
+              row[static_cast<std::size_t>(2 * x + 1)]);
+      }
+      return img;
+    }
+    case RasterHeader::Format::kPfm: {
+      // PFM rows run bottom-to-top: image row y sits at file row
+      // (height - 1 - y).
+      for (int y = 0; y < h; ++y) {
+        const std::streamoff file_row = header.height - 1 - (y0 + y);
+        in.seekg(header.data_offset +
+                 static_cast<std::streamoff>(sizeof(float)) *
+                     (file_row * header.width + x0));
+        in.read(reinterpret_cast<char*>(img.row(y)),
+                static_cast<std::streamsize>(sizeof(float)) * w);
+        if (!in)
+          throw std::runtime_error("read_raster_window: truncated " + path);
+        for (int x = 0; x < w; ++x)
+          if (!std::isfinite(img.at(x, y)))
+            throw std::runtime_error(
+                "read_raster_window: non-finite sample in " + path);
+      }
+      return img;
+    }
+  }
+  throw std::runtime_error("read_raster_window: unknown format for " + path);
+}
+
 }  // namespace sma::imaging

@@ -1,0 +1,57 @@
+#include "shard/costmodel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace sma::shard {
+
+ClusterEstimate model_cluster(const std::vector<TileSpan>& spans,
+                              const ClusterSpec& spec) {
+  if (spec.workers < 1)
+    throw std::invalid_argument("model_cluster: workers >= 1 required");
+  if (spec.worker_rate <= 0.0)
+    throw std::invalid_argument("model_cluster: worker_rate > 0 required");
+  if (spec.link.latency_s < 0.0 || spec.link.bandwidth_Bps <= 0.0)
+    throw std::invalid_argument("model_cluster: link spec out of range");
+  if (spec.disk_bandwidth <= 0.0)
+    throw std::invalid_argument("model_cluster: disk_bandwidth > 0 required");
+
+  ClusterEstimate est;
+  est.workers = spec.workers;
+
+  std::vector<double> load(static_cast<std::size_t>(spec.workers), 0.0);
+  std::uint64_t total_bytes = 0;
+  std::uint64_t halo_bytes = 0;
+  for (const TileSpan& s : spans) {
+    const std::uint64_t bytes = s.core_bytes + s.halo_bytes;
+    const double compute = s.compute_seconds / spec.worker_rate;
+    const double comm =
+        spec.link.latency_s +
+        static_cast<double>(bytes) / spec.link.bandwidth_Bps;
+    est.serial_seconds += s.compute_seconds;
+    est.comm_seconds += comm;
+    total_bytes += bytes;
+    halo_bytes += s.halo_bytes;
+    // Deterministic greedy: least-loaded worker, ties to the lowest id.
+    std::size_t target = 0;
+    for (std::size_t i = 1; i < load.size(); ++i)
+      if (load[i] < load[target]) target = i;
+    load[target] += compute + comm;
+  }
+
+  est.disk_seconds = static_cast<double>(total_bytes) / spec.disk_bandwidth;
+  const double slowest =
+      load.empty() ? 0.0 : *std::max_element(load.begin(), load.end());
+  est.makespan_seconds = std::max(slowest, est.disk_seconds);
+  est.speedup = est.makespan_seconds > 0.0
+                    ? est.serial_seconds / est.makespan_seconds
+                    : 0.0;
+  est.halo_overhead =
+      total_bytes > 0
+          ? static_cast<double>(halo_bytes) / static_cast<double>(total_bytes)
+          : 0.0;
+  return est;
+}
+
+}  // namespace sma::shard

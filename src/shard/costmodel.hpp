@@ -1,0 +1,63 @@
+// costmodel.hpp — modeled cluster replay of a sharded run.
+//
+// The paper's headline numbers are MODELED machine comparisons: Table 2
+// reports the MP-2's 1025x speedup over the sequential SGI baseline by
+// accounting the same work under each machine's cost parameters.  This
+// layer does the cluster-era equivalent for the shard decomposition: it
+// replays the MEASURED per-tile spans (runner.hpp's TileSpan — real
+// compute seconds, real core/halo byte counts) under a simgrid-style
+// cluster specification — W workers of a given relative compute rate,
+// a per-transfer link latency + bandwidth, and a shared disk array —
+// and reports the modeled makespan, speedup over the 1-worker serial
+// replay, and the fraction of traffic that is halo redundancy.
+//
+// The assignment policy is deterministic greedy least-loaded in tile
+// index order (ties to the lowest worker id): the same schedule every
+// run, so BENCH_shard.json is reproducible modulo the measured span
+// timings.
+#pragma once
+
+#include <vector>
+
+#include "shard/runner.hpp"
+
+namespace sma::shard {
+
+/// One interconnect link, simgrid-style.
+struct LinkSpec {
+  double latency_s = 1.0e-4;      ///< per-transfer startup (100 us)
+  double bandwidth_Bps = 1.0e9;   ///< sustained link bandwidth (1 GB/s)
+};
+
+/// The modeled cluster: `workers` nodes each computing at `worker_rate`
+/// times the measured host's speed, fed tile crops over `link` from a
+/// shared disk array of `disk_bandwidth` bytes/s (the MPDA analogue:
+/// 2 x 30 MB/s sustained on the Goddard MP-2).
+struct ClusterSpec {
+  int workers = 4;
+  double worker_rate = 1.0;
+  LinkSpec link;
+  double disk_bandwidth = 60.0e6;
+};
+
+/// Modeled outcome of replaying one span set on one cluster.
+struct ClusterEstimate {
+  int workers = 0;
+  double makespan_seconds = 0.0;   ///< max worker finish, disk-bounded
+  double serial_seconds = 0.0;     ///< 1-worker, no-transfer replay
+  double speedup = 0.0;            ///< serial / makespan
+  double comm_seconds = 0.0;       ///< summed per-tile transfer cost
+  double disk_seconds = 0.0;       ///< total bytes / disk bandwidth
+  double halo_overhead = 0.0;      ///< halo bytes / total bytes moved
+};
+
+/// Replays `spans` on `spec`.  Per tile: compute_seconds / worker_rate
+/// of node time plus link latency + (core + halo bytes) / bandwidth of
+/// transfer time, assigned greedily to the least-loaded worker in tile
+/// index order.  The makespan is the slowest worker's finish time,
+/// floored by the shared disk's streaming time for the total bytes.
+/// Throws std::invalid_argument on a non-positive spec.
+ClusterEstimate model_cluster(const std::vector<TileSpan>& spans,
+                              const ClusterSpec& spec);
+
+}  // namespace sma::shard

@@ -1,0 +1,95 @@
+#include "shard/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sma::shard {
+
+HaloRadii halo_radii(const core::SmaConfig& config, bool subpixel) {
+  // Slack of 2 covers the discriminant / geometric-derivative reach on
+  // top of the surface fit (see the header derivation).
+  constexpr int kSlack = 2;
+  const int probes = subpixel ? 1 : 0;
+  const int nss = config.effective_nss();
+  const int nst =
+      config.model == core::MotionModel::kSemiFluid
+          ? config.semifluid_template_radius
+          : 0;
+  HaloRadii h;
+  h.x = config.z_template_radius + config.z_search_radius + probes + nss +
+        nst + config.surface_fit_radius + kSlack;
+  h.y = config.z_template_ry() + config.z_search_ry() + probes + nss + nst +
+        config.surface_fit_radius + kSlack;
+  return h;
+}
+
+ShardPlan make_plan(int width, int height, const ShardSpec& spec,
+                    const core::SmaConfig& config, bool subpixel) {
+  if (width < 1 || height < 1)
+    throw std::invalid_argument("make_plan: frame dimensions must be >= 1");
+  if (spec.rows < 1 || spec.cols < 1)
+    throw std::invalid_argument("make_plan: shard grid must be >= 1x1");
+  if (spec.rows > height || spec.cols > width) {
+    std::ostringstream os;
+    os << "make_plan: " << spec.rows << "x" << spec.cols
+       << " grid does not fit a " << width << "x" << height << " frame";
+    throw std::invalid_argument(os.str());
+  }
+  config.validate();
+
+  ShardPlan plan;
+  plan.width = width;
+  plan.height = height;
+  plan.spec = spec;
+  plan.halo = halo_radii(config, subpixel);
+
+  // Even split with the remainder spread over the leading tiles, so core
+  // widths differ by at most one pixel.
+  const auto edge = [](int extent, int parts, int i) {
+    return (static_cast<long long>(extent) * i) / parts;
+  };
+  plan.tiles.reserve(static_cast<std::size_t>(spec.rows) * spec.cols);
+  std::size_t max_crop_pixels = 0;
+  for (int r = 0; r < spec.rows; ++r) {
+    const int y0 = static_cast<int>(edge(height, spec.rows, r));
+    const int y1 = static_cast<int>(edge(height, spec.rows, r + 1));
+    for (int c = 0; c < spec.cols; ++c) {
+      Tile t;
+      t.index = static_cast<int>(plan.tiles.size());
+      t.row = r;
+      t.col = c;
+      t.x0 = static_cast<int>(edge(width, spec.cols, c));
+      t.x1 = static_cast<int>(edge(width, spec.cols, c + 1));
+      t.y0 = y0;
+      t.y1 = y1;
+      t.cx0 = std::max(0, t.x0 - plan.halo.x);
+      t.cx1 = std::min(width, t.x1 + plan.halo.x);
+      t.cy0 = std::max(0, t.y0 - plan.halo.y);
+      t.cy1 = std::min(height, t.y1 + plan.halo.y);
+      max_crop_pixels = std::max(
+          max_crop_pixels, static_cast<std::size_t>(t.crop_width()) *
+                               static_cast<std::size_t>(t.crop_height()));
+      plan.tiles.push_back(t);
+    }
+  }
+
+  if (config.max_resident_mb > 0) {
+    // The minimum the out-of-core stream must hold at once: the two
+    // float working crops of the tile being tracked plus (roughly) the
+    // cached source blocks backing them — modeled as another two crops.
+    const std::size_t budget =
+        static_cast<std::size_t>(config.max_resident_mb) * (1u << 20);
+    const std::size_t need = 4 * max_crop_pixels * sizeof(float);
+    if (need > budget) {
+      std::ostringstream os;
+      os << "make_plan: max_resident_mb=" << config.max_resident_mb
+         << " cannot hold one padded tile's working set (" << need
+         << " bytes); use a finer shard grid or a larger budget";
+      throw std::invalid_argument(os.str());
+    }
+  }
+  return plan;
+}
+
+}  // namespace sma::shard

@@ -1,0 +1,90 @@
+// plan.hpp — halo-exchange tile sharding: grid geometry and halo sizing.
+//
+// The paper distributes the 512x512 frame across the MP-2's PE array and
+// notes that each PE cluster only ever touches a bounded neighborhood of
+// its own pixels (Sec. 4: the search area, template window and surface
+// fit all have fixed half-widths).  This layer turns that observation
+// into a cluster-style decomposition: the frame pair is split into an
+// R x C grid of core tiles, each padded with a HALO wide enough that
+// every pixel the staged tracker reads while computing a core pixel lies
+// inside the padded crop.  A tile can then be tracked completely
+// independently — on another thread, another process, or (the modeled
+// story, costmodel.hpp) another cluster node — and the stitched result
+// is BIT-IDENTICAL to the whole-frame run.
+//
+// Halo derivation (per axis; y uses the *_y radii).  The flow at core
+// pixel (x, y) touches, in the AFTER frame, geometry at template pixel +
+// hypothesis + semi-fluid probe offsets:
+//
+//   template window      +/- N_zT   (z_template_radius)
+//   search hypotheses    +/- N_zs   (z_search_radius)
+//   subpixel probes      +/- 1      (TrackOptions::subpixel neighbors)
+//   semi-fluid search    +/- N_ss   (effective_nss: 0 for continuous)
+//   semi-fluid template  +/- N_sT   (discriminant patch at correspondent)
+//
+// and each touched geometry pixel was itself derived from a surface fit
+// over +/- N_z (surface_fit_radius) of raw input.  The halo is the sum
+// plus a slack of 2 (covers the discriminant's own derivative reach).
+// An over-large halo can never break identity — the clamped borders of
+// the padded crop coincide with true image borders exactly where the
+// whole-frame run clamps too — it only costs redundant compute, which
+// ShardReport accounts as halo overhead.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace sma::shard {
+
+/// Tile grid shape: `rows` x `cols` core tiles covering the frame.
+struct ShardSpec {
+  int rows = 1;
+  int cols = 1;
+};
+
+/// Halo half-widths in pixels, per axis.
+struct HaloRadii {
+  int x = 0;
+  int y = 0;
+};
+
+/// One tile of the plan.  [x0, x1) x [y0, y1) is the CORE region this
+/// tile owns in frame coordinates; [cx0, cx1) x [cy0, cy1) is the padded
+/// CROP (core +/- halo, clamped to the frame) the tracker actually runs
+/// on.  Stitching copies core pixels only; halo results are discarded.
+struct Tile {
+  int index = 0;
+  int row = 0, col = 0;
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;      ///< core, half-open
+  int cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;  ///< crop, half-open
+
+  int core_width() const { return x1 - x0; }
+  int core_height() const { return y1 - y0; }
+  int crop_width() const { return cx1 - cx0; }
+  int crop_height() const { return cy1 - cy0; }
+};
+
+struct ShardPlan {
+  int width = 0, height = 0;
+  ShardSpec spec;
+  HaloRadii halo;
+  std::vector<Tile> tiles;  ///< row-major, tile.index == vector position
+};
+
+/// The halo sizing rule derived above.  `subpixel` adds the +/- 1 probe
+/// ring (TrackOptions::subpixel evaluates the four axis neighbors of the
+/// winning hypothesis).
+HaloRadii halo_radii(const core::SmaConfig& config, bool subpixel);
+
+/// Builds the row-major tile plan.  Core tile edges split the frame as
+/// evenly as possible (the first `width % cols` columns get the extra
+/// pixel, ditto rows).  Throws std::invalid_argument when the grid does
+/// not fit the frame (rows/cols < 1 or larger than the dimension) or
+/// when config.max_resident_mb > 0 and even a single padded tile's
+/// working set (two float crops plus their cached source blocks) would
+/// exceed the budget.
+ShardPlan make_plan(int width, int height, const ShardSpec& spec,
+                    const core::SmaConfig& config, bool subpixel);
+
+}  // namespace sma::shard

@@ -10,6 +10,8 @@ const char* level_name(SimdLevel level) {
       return "sse2";
     case SimdLevel::kAvx2:
       return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
     case SimdLevel::kNeon:
       return "neon";
     case SimdLevel::kScalar:
@@ -22,6 +24,7 @@ std::optional<SimdLevel> parse_level(const std::string& text) {
   if (text == "scalar") return SimdLevel::kScalar;
   if (text == "sse2") return SimdLevel::kSse2;
   if (text == "avx2") return SimdLevel::kAvx2;
+  if (text == "avx512") return SimdLevel::kAvx512;
   if (text == "neon") return SimdLevel::kNeon;
   return std::nullopt;
 }
@@ -32,6 +35,10 @@ SimdLevel detect_level() {
 #elif defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
 #if defined(__GNUC__) || defined(__clang__)
   __builtin_cpu_init();
+  // The 512-bit kernel TU is compiled with -mavx512f -mavx512dq, so the
+  // dispatcher requires both feature flags before routing to it.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq"))
+    return SimdLevel::kAvx512;
   if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
   if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
 #endif
@@ -48,7 +55,10 @@ bool level_supported(SimdLevel level) {
   if (level == SimdLevel::kScalar) return true;
   const SimdLevel hw = detect_level();
   if (level == hw) return true;
-  // SSE2 is implied by AVX2 hardware; the NEON/x86 families never mix.
+  // Narrower x86 levels are implied by wider x86 hardware; the NEON/x86
+  // families never mix.
+  if (hw == SimdLevel::kAvx512)
+    return level == SimdLevel::kSse2 || level == SimdLevel::kAvx2;
   return level == SimdLevel::kSse2 && hw == SimdLevel::kAvx2;
 }
 

@@ -7,12 +7,12 @@
 //   1. compile-time override: -DSMA_SIMD=OFF defines
 //      SMA_SIMD_FORCE_SCALAR and pins the scalar lanes — the CI leg that
 //      proves the portable fallback is bit-identical;
-//   2. environment override: SMA_SIMD_LEVEL=scalar|sse2|avx2|neon
+//   2. environment override: SMA_SIMD_LEVEL=scalar|sse2|avx2|avx512|neon
 //      selects a specific level, clamped to what the CPU supports
 //      (requesting avx2 on a non-AVX2 host degrades to detection);
-//   3. CPUID detection: __builtin_cpu_supports on x86-64 (AVX2, then
-//      SSE2 — the architectural baseline), NEON on AArch64, scalar
-//      elsewhere.
+//   3. CPUID detection: __builtin_cpu_supports on x86-64 (AVX-512F+DQ,
+//      then AVX2, then SSE2 — the architectural baseline), NEON on
+//      AArch64, scalar elsewhere.
 //
 // Because every lane implementation is per-lane bit-exact (lane.hpp),
 // the choice affects throughput only — never results — which is why a
@@ -24,13 +24,14 @@
 
 namespace sma::simd {
 
-/// The dispatchable lane implementations, in increasing x86 capability
-/// order (kNeon is the separate AArch64 family).  Values are stable:
-/// they are exported as the `vector.level_id` metric.
-enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+/// The dispatchable lane implementations.  Values are stable: they are
+/// exported as the `vector.level_id` metric, which is why kAvx512 sits
+/// after kNeon (appended later) rather than in x86 capability order.
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3,
+                       kAvx512 = 4 };
 
 /// Lower-case level name as accepted by SMA_SIMD_LEVEL ("scalar",
-/// "sse2", "avx2", "neon").
+/// "sse2", "avx2", "avx512", "neon").
 const char* level_name(SimdLevel level);
 
 /// Parses an SMA_SIMD_LEVEL value; nullopt on unknown names (the caller

@@ -5,7 +5,8 @@
 // processors march the same instruction over different pixels.  On a
 // modern host the analogous axis is the vector register: this header
 // provides a tag-dispatched `LaneTraits<Tag>` family — scalar, SSE2,
-// AVX2 and NEON — whose operations are all *per-lane IEEE-754 exact*
+// AVX2, AVX-512 and NEON — whose operations are all *per-lane IEEE-754
+// exact*
 // (packed add/sub/mul/div/sqrt round identically to their scalar
 // counterparts), so a kernel written against the traits produces
 // bit-identical per-lane results on every implementation.  That is the
@@ -35,7 +36,7 @@
 #include <cmath>
 #include <cstdint>
 
-#if defined(__SSE2__) || defined(__AVX2__)
+#if defined(__SSE2__) || defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 #if defined(__ARM_NEON)
@@ -55,6 +56,9 @@ struct Sse2Tag {};
 #endif
 #if defined(__AVX2__)
 struct Avx2Tag {};
+#endif
+#if defined(__AVX512F__)
+struct Avx512Tag {};
 #endif
 #if defined(__ARM_NEON)
 struct NeonTag {};
@@ -261,6 +265,59 @@ struct LaneTraits<Avx2Tag> {
   static bool mask_any(Mask m) { return mask_bits(m) != 0; }
 };
 #endif  // __AVX2__
+
+// ---------------------------------------------------------------------------
+// AVX-512: eight doubles per register.  Unlike the older x86 families,
+// comparisons produce opmask registers (__mmask8) rather than all-ones
+// lanes, so Mask is the k-register and select() is a masked blend; the
+// lane arithmetic itself rounds identically to scalar, which is all the
+// bit-identity contract needs.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX512F__)
+template <>
+struct LaneTraits<Avx512Tag> {
+  static constexpr int kLanes = 8;
+  using Vec = __m512d;
+  using Mask = __mmask8;
+
+  static Vec zero() { return _mm512_setzero_pd(); }
+  static Vec broadcast(double s) { return _mm512_set1_pd(s); }
+  static Vec load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, Vec a) { _mm512_storeu_pd(p, a); }
+  static Vec load_f32(const float* p) {
+    return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+  }
+
+  static Vec add(Vec a, Vec b) { return _mm512_add_pd(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm512_sub_pd(a, b); }
+  static Vec mul(Vec a, Vec b) { return _mm512_mul_pd(a, b); }
+  static Vec div(Vec a, Vec b) { return _mm512_div_pd(a, b); }
+  static Vec abs(Vec a) { return _mm512_abs_pd(a); }
+  /// a*b + c, fused (fast profile only).  Every AVX-512F part has FMA.
+  static Vec mul_add(Vec a, Vec b, Vec c) {
+    return _mm512_fmadd_pd(a, b, c);
+  }
+
+  static Mask cmp_gt(Vec a, Vec b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+  }
+  static Mask cmp_lt(Vec a, Vec b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+  }
+  static Mask cmp_eq(Vec a, Vec b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ);
+  }
+  static Mask mask_or(Mask a, Mask b) {
+    return static_cast<Mask>(a | b);
+  }
+  static Vec select(Mask m, Vec a, Vec b) {
+    return _mm512_mask_blend_pd(m, b, a);
+  }
+  static unsigned mask_bits(Mask m) { return static_cast<unsigned>(m); }
+  static bool mask_any(Mask m) { return m != 0; }
+};
+#endif  // __AVX512F__
 
 // ---------------------------------------------------------------------------
 // NEON (AArch64): two doubles per register.

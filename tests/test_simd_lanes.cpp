@@ -167,7 +167,8 @@ std::vector<simd::SimdLevel> runnable_levels() {
   std::vector<simd::SimdLevel> out;
   for (simd::SimdLevel req :
        {simd::SimdLevel::kScalar, simd::SimdLevel::kSse2,
-        simd::SimdLevel::kAvx2, simd::SimdLevel::kNeon}) {
+        simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512,
+        simd::SimdLevel::kNeon}) {
     const simd::SimdLevel got = core::resolve_kernel_level(req);
     if (!simd::level_supported(got)) continue;
     bool seen = false;
@@ -276,12 +277,14 @@ TEST(Dispatch, ParsesLevelNames) {
   EXPECT_EQ(simd::parse_level("scalar"), simd::SimdLevel::kScalar);
   EXPECT_EQ(simd::parse_level("sse2"), simd::SimdLevel::kSse2);
   EXPECT_EQ(simd::parse_level("avx2"), simd::SimdLevel::kAvx2);
+  EXPECT_EQ(simd::parse_level("avx512"), simd::SimdLevel::kAvx512);
   EXPECT_EQ(simd::parse_level("neon"), simd::SimdLevel::kNeon);
   EXPECT_EQ(simd::parse_level("AVX512"), std::nullopt);
   EXPECT_EQ(simd::parse_level(""), std::nullopt);
   for (simd::SimdLevel level :
        {simd::SimdLevel::kScalar, simd::SimdLevel::kSse2,
-        simd::SimdLevel::kAvx2, simd::SimdLevel::kNeon})
+        simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512,
+        simd::SimdLevel::kNeon})
     EXPECT_EQ(simd::parse_level(simd::level_name(level)), level);
 }
 
@@ -300,7 +303,8 @@ TEST(Dispatch, ResolveDegradesToCompiledKernels) {
   // with a real kernel + hook.
   for (simd::SimdLevel req :
        {simd::SimdLevel::kScalar, simd::SimdLevel::kSse2,
-        simd::SimdLevel::kAvx2, simd::SimdLevel::kNeon}) {
+        simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512,
+        simd::SimdLevel::kNeon}) {
     const simd::SimdLevel got = core::resolve_kernel_level(req);
     EXPECT_EQ(core::resolve_kernel_level(got), got);
     EXPECT_NE(core::pixel_kernel_hook(got), nullptr);
@@ -335,7 +339,9 @@ SmaConfig vector_config() {
   SmaConfig cfg;
   cfg.model = core::MotionModel::kContinuous;
   cfg.surface_fit_radius = 2;
-  cfg.z_search_radius = 3;
+  // Width 2*4+1 = 9: at least one full batch even at the widest level
+  // (AVX-512's 8 lanes), so the occupancy assertions below stay live.
+  cfg.z_search_radius = 4;
   cfg.z_template_radius = 3;
   cfg.precompute = core::PrecomputeMode::kOn;
   return cfg;
